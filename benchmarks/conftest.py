@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact (DESIGN.md §4) and
+registers its paper-style table via ``record_report`` so everything is
+printed in the terminal summary after the pytest-benchmark stats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import drain_bench_reports, record_bench_report
+
+# The registry lives in the library (not this module) because pytest may
+# import this conftest under a different module name than the benchmark
+# files do ('conftest' vs 'benchmarks.conftest'), which would split a
+# module-level list into two instances.
+record_report = record_bench_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = drain_bench_reports()
+    if reports:
+        terminalreporter.write_sep("=", "paper artifact reproductions")
+        for report in reports:
+            terminalreporter.write_line("")
+            for line in report.splitlines():
+                terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    from repro.costmodel.calibration import default_calibration
+
+    return default_calibration(seed=0)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    from repro.net.testbed import build_paper_testbed
+
+    return build_paper_testbed(with_cross_traffic=False)

@@ -1,0 +1,95 @@
+"""Benchmark: Section 4.4 cost-model accuracy + the block-size ablation.
+
+"With reasonable preprocessing overheads, our models provide quick and
+accurate run-time estimates of processing times" — we time both the
+calibration (the preprocessing) and the prediction (which must be
+microseconds), and check prediction error against real module runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.costmodel.base import compute_dataset_stats
+from repro.costmodel.calibration import calibrate_isosurface, make_calibration_grids
+from repro.data.datasets import make_jet
+from repro.data.octree import build_blocks
+from repro.experiments.reporting import format_table
+from repro.viz.isosurface import extract_blocks
+
+from benchmarks.conftest import record_report
+
+
+class TestBenchCostModel:
+    def test_bench_calibration_preprocessing(self, benchmark):
+        grids = make_calibration_grids(seed=1)
+        model = benchmark.pedantic(
+            lambda: calibrate_isosurface(grids[:1], isovalues_per_grid=3),
+            rounds=2,
+            iterations=1,
+        )
+        assert model.t_case.max() > 0
+
+    def test_bench_prediction_is_quick(self, benchmark, calibration):
+        grid = make_jet(scale=0.15, seed=5)
+        stats = compute_dataset_stats(grid, 0.4, block_cells=8)
+        # the run-time estimate the CM computes per request
+        predicted = benchmark(lambda: calibration.isosurface.extraction_seconds(stats))
+        assert predicted > 0
+
+    def test_prediction_accuracy_vs_measurement(self, benchmark, calibration):
+        grid = make_jet(scale=0.18, seed=11)
+        iso = 0.4 * (grid.vmin + grid.vmax)
+        stats = compute_dataset_stats(grid, iso, block_cells=8)
+        predicted = calibration.isosurface.extraction_seconds(stats)
+
+        blocks = build_blocks(grid, block_cells=8)
+        t0 = time.perf_counter()
+        mesh, _ = extract_blocks(grid, blocks, iso)
+        measured = time.perf_counter() - t0
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        ratio = predicted / max(measured, 1e-9)
+        tri_est = calibration.isosurface.triangle_estimate(stats)
+        tri_err = abs(tri_est - mesh.n_triangles) / max(mesh.n_triangles, 1)
+        record_report(
+            "Section 4.4 - isosurface cost model accuracy (unseen dataset)\n"
+            f"  extraction: predicted {predicted:.3f}s vs measured {measured:.3f}s "
+            f"(ratio {ratio:.2f})\n"
+            f"  triangles:  predicted {tri_est:.0f} vs actual {mesh.n_triangles} "
+            f"(err {100*tri_err:.1f}%)"
+        )
+        assert 0.4 < ratio < 2.5
+        assert tri_err < 0.05
+
+    def test_bench_block_size_ablation(self, benchmark, calibration):
+        """Eq. 4/5 estimation error as a function of S_block."""
+        grid = make_jet(scale=0.15, seed=7)
+        iso = 0.4 * (grid.vmin + grid.vmax)
+
+        def one_pass():
+            rows = []
+            for bc in (4, 8, 16):
+                stats = compute_dataset_stats(grid, iso, block_cells=bc)
+                predicted = calibration.isosurface.extraction_seconds(stats)
+                blocks = build_blocks(grid, block_cells=bc)
+                t0 = time.perf_counter()
+                extract_blocks(grid, blocks, iso)
+                measured = time.perf_counter() - t0
+                rows.append([bc, stats.n_blocks, predicted, measured,
+                             predicted / max(measured, 1e-9)])
+            return rows
+
+        rows = benchmark.pedantic(one_pass, rounds=1, iterations=1)
+        record_report(
+            format_table(
+                ["block cells", "active blocks", "predicted (s)", "measured (s)", "ratio"],
+                rows,
+                title="Ablation - cost-model error vs block size S_block",
+                float_fmt="{:.3f}",
+            )
+        )
+        for row in rows:
+            assert 0.2 < row[4] < 4.0

@@ -1,0 +1,71 @@
+"""Benchmark: Section 4.5 DP optimality, O(n|E|) scaling, greedy gap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel.base import compute_dataset_stats
+from repro.costmodel.pipeline_builder import build_calibrated_pipeline
+from repro.data.datasets import make_dataset
+from repro.experiments.dp_scaling import (
+    run_dp_optimality,
+    run_dp_scaling,
+    run_greedy_gap,
+)
+from repro.experiments.reporting import format_table
+from repro.mapping.dp import map_pipeline
+
+from benchmarks.conftest import record_report
+
+
+class TestBenchDP:
+    def test_bench_dp_on_paper_testbed(self, benchmark, calibration, testbed):
+        """Time one CM configuration decision (the per-request DP cost)."""
+        topology, _ = testbed
+        grid = make_dataset("rage", scale=0.2)
+        stats = compute_dataset_stats(grid, 0.5, full_nbytes=64 * 2**20)
+        pipeline = build_calibrated_pipeline("isosurface", stats, calibration)
+        res = benchmark(
+            lambda: map_pipeline(pipeline, topology, "GaTech", "ORNL")
+        )
+        assert res.delay > 0
+
+    def test_bench_dp_scaling_linear_in_n_edges(self, benchmark):
+        points, r2 = benchmark.pedantic(run_dp_scaling, rounds=1, iterations=1)
+        rows = [
+            [p.n_modules, p.n_nodes, p.n_edges, p.work_product, p.operations]
+            for p in points
+        ]
+        record_report(
+            format_table(
+                ["n modules", "nodes", "|E|", "n*|E|", "DP relaxations"],
+                rows,
+                title=f"Section 4.5 - DP complexity scaling (fit R^2 = {r2:.4f})",
+                float_fmt="{:.0f}",
+            )
+        )
+        # operations ~ linear in n*|E| (the paper's O(n|E|) claim)
+        assert r2 > 0.97
+
+    def test_bench_dp_equals_exhaustive(self, benchmark):
+        trials, worst_gap = benchmark.pedantic(
+            lambda: run_dp_optimality(trials=15), rounds=1, iterations=1
+        )
+        record_report(
+            f"Section 4.5 - DP optimality: {trials} random instances, "
+            f"max relative gap vs brute force = {worst_gap:.2e}"
+        )
+        assert trials == 15
+        assert worst_gap < 1e-9
+
+    def test_bench_greedy_gap_ablation(self, benchmark):
+        mean_ratio, max_ratio = benchmark.pedantic(
+            lambda: run_greedy_gap(trials=20), rounds=1, iterations=1
+        )
+        record_report(
+            "Ablation - greedy heuristic vs DP: "
+            f"mean delay ratio {mean_ratio:.2f}x, worst {max_ratio:.2f}x"
+        )
+        assert mean_ratio >= 1.0 - 1e-12
+        assert max_ratio > 1.0  # greedy must actually lose somewhere

@@ -1,0 +1,91 @@
+"""Benchmark: regenerate Fig. 9 (six-loop end-to-end delay comparison).
+
+Prints the paper-style table and asserts the reproduced *shape*:
+
+* the DP-chosen loop is ORNL-LSU-GaTech-UT-ORNL and beats all five
+  alternatives on every dataset;
+* delays grow with dataset size on every loop;
+* the optimal loop achieves > 3x speedup over the conventional PC-PC
+  client/server mode at the 108 MB dataset ("more than three times
+  speedup ... when visualizing a dataset of about 100 MBytes");
+* at 16 MB the PC-PC gap is small — "for datasets of several or dozens
+  of MBytes, a simple PC-PC configuration ... might be sufficient";
+* cluster loops pay their MPI data-distribution overhead, so their
+  advantage shrinks on small data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.static_loops import FIG9_LOOPS
+from repro.experiments.fig9 import DATASETS, run_fig9
+
+from benchmarks.conftest import record_report
+
+OPTIMAL = FIG9_LOOPS[0].name
+PCPC = [l.name for l in FIG9_LOOPS if l.kind == "pc-pc"]
+
+
+@pytest.fixture(scope="module")
+def fig9_result(calibration):
+    return run_fig9(calibration=calibration)
+
+
+class TestBenchFig9:
+    def test_bench_fig9_regeneration(self, benchmark, calibration, fig9_result):
+        result = benchmark.pedantic(
+            lambda: run_fig9(calibration=calibration), rounds=3, iterations=1
+        )
+        record_report(
+            result.to_table()
+            + "\n"
+            + "\n".join(
+                f"  speedup vs best PC-PC @ {ds}: "
+                f"{result.speedup_vs_pcpc(ds):.2f}x"
+                for ds, _ in DATASETS
+            )
+        )
+        assert result.rows
+
+    def test_dp_choice_matches_paper_loop1(self, benchmark, fig9_result):
+        benchmark.pedantic(lambda: fig9_result.dp_matches_loop1, rounds=1, iterations=1)
+        assert fig9_result.dp_matches_loop1
+        assert fig9_result.optimal_loop_path == "GaTech-UT-ORNL"
+
+    def test_optimal_loop_wins_every_dataset(self, benchmark, fig9_result):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for ds, _ in DATASETS:
+            best = fig9_result.delay(OPTIMAL, ds)
+            for loop in FIG9_LOOPS[1:]:
+                assert best < fig9_result.delay(loop.name, ds), (loop.name, ds)
+
+    def test_delay_grows_with_dataset_size(self, benchmark, fig9_result):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for loop in FIG9_LOOPS:
+            delays = [fig9_result.delay(loop.name, ds) for ds, _ in DATASETS]
+            assert delays[0] < delays[1] < delays[2], loop.name
+
+    def test_speedup_exceeds_3x_at_100mb(self, benchmark, fig9_result):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert fig9_result.speedup_vs_pcpc("viswoman") > 3.0
+
+    def test_pcpc_sufficient_for_small_data(self, benchmark, fig9_result):
+        """At 16 MB the PC-PC penalty is small (< 2.5x, vs > 3x at 108 MB)."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        small = fig9_result.speedup_vs_pcpc("jet")
+        large = fig9_result.speedup_vs_pcpc("viswoman")
+        assert small < 2.5
+        assert small < large
+
+    def test_cluster_overhead_visible_on_small_data(self, benchmark, fig9_result):
+        """Cluster loops carry a fixed distribution overhead, a larger
+        *fraction* of the total on jet than on viswoman."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for row_small in fig9_result.rows:
+            if row_small.loop == OPTIMAL and row_small.dataset == "jet":
+                frac_small = row_small.overhead / row_small.delay
+            if row_small.loop == OPTIMAL and row_small.dataset == "viswoman":
+                frac_large = row_small.overhead / row_small.delay
+        assert frac_small > frac_large
+        assert frac_small > 0.2

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The Fig. 9 experiment, both modeled (full-size) and live (scaled).
+
+Modeled mode evaluates the Eq. 2 delay of all six loops at the paper's
+full dataset sizes (16/64/108 MB) using the calibrated cost models; live
+mode actually executes the visualization modules of every loop on scaled
+replicas, proving the same code path end to end.
+
+Run:  python examples/remote_viz_loops.py
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import default_calibration
+from repro.experiments import run_fig9, run_fig10
+from repro.experiments.fig9 import DATASETS
+
+
+def main() -> None:
+    print("calibrating cost models on this machine ...")
+    calibration = default_calibration(0)
+
+    print("\n-- modeled mode (full-size datasets, Eq. 2 with calibrated models) --")
+    modeled = run_fig9(mode="modeled", calibration=calibration)
+    print(modeled.to_table())
+    print(f"\nDP-chosen path: {modeled.optimal_loop_path} "
+          f"(matches paper loop 1: {modeled.dp_matches_loop1})")
+    for ds, mb in DATASETS:
+        print(f"  {ds:9s} ({mb:3d} MB): optimal-loop speedup vs best PC-PC = "
+              f"{modeled.speedup_vs_pcpc(ds):.2f}x")
+
+    print("\n-- live mode (scale=0.18 replicas, modules actually execute) --")
+    live = run_fig9(mode="live", scale=0.18, calibration=calibration)
+    print(live.to_table())
+
+    print("\n-- Fig. 10: RICSA vs ParaView -crs on the identical mapping --")
+    print(run_fig10(calibration=calibration).to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+``pip install -e .`` requires the ``wheel`` package; on offline machines
+without it, ``python setup.py develop`` (or adding ``src`` to a ``.pth``
+file) installs the package equivalently.  Configuration lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

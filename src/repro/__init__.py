@@ -1,0 +1,27 @@
+"""RICSA reproduction: computational monitoring and steering using
+network-optimized visualization and an Ajax web server.
+
+Reproduces Zhu, Wu & Rao, *"Computational Monitoring and Steering Using
+Network-Optimized Visualization and Ajax Web Server"*, IPDPS 2008.
+
+Top-level subpackages (see DESIGN.md for the full inventory):
+
+* :mod:`repro.des` — discrete-event simulation kernel,
+* :mod:`repro.net` — simulated wide-area network + the paper's testbed,
+* :mod:`repro.transport` — Robbins–Monro stabilized UDP and baselines,
+* :mod:`repro.data` — structured grids, octrees, synthetic datasets,
+* :mod:`repro.viz` — visualization pipeline modules (isosurface, ray
+  casting, streamlines, software rendering),
+* :mod:`repro.costmodel` — the Eq. 4–8 performance estimators,
+* :mod:`repro.mapping` — the dynamic-programming pipeline mapper (core
+  contribution, Eqs. 2/9/10),
+* :mod:`repro.sims` — steerable simulation codes (Sod shock tube, VH1),
+* :mod:`repro.steering` — the RICSA steering framework (CM/DS/CS nodes),
+* :mod:`repro.web` — the Ajax web server and client,
+* :mod:`repro.baselines` — ParaView-style and static-loop comparators,
+* :mod:`repro.experiments` — Fig. 9 / Fig. 10 / ablation drivers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

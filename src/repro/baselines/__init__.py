@@ -1,0 +1,14 @@
+"""Comparator systems for the evaluation.
+
+* :mod:`~repro.baselines.static_loops` — the six fixed visualization
+  loops of Fig. 9 (the RICSA-optimal route plus the alternative cluster
+  routes and the conventional PC-PC client/server loops),
+* :mod:`~repro.baselines.paraview` — the ParaView ``-crs``
+  (client / render-server / data-server) comparator of Fig. 10: same
+  node mapping, manual configuration, third-party package overheads.
+"""
+
+from repro.baselines.paraview import ParaViewModel
+from repro.baselines.static_loops import FIG9_LOOPS, LoopDefinition, evaluate_loop
+
+__all__ = ["FIG9_LOOPS", "LoopDefinition", "ParaViewModel", "evaluate_loop"]

@@ -1,0 +1,85 @@
+"""ParaView ``-crs`` mode comparator (Fig. 10).
+
+The paper ran pvdataserver at GaTech, pvrenderserver (mpirun, the same
+four UT nodes RICSA used) and pvclient at ORNL — the *same* node mapping
+the DP chose, configured manually.  The observed difference is therefore
+overhead: "higher processing and communication overhead incurred by
+visualization and network transfer functions used in ParaView" versus
+RICSA's lightweight own modules, plus ParaView's lack of a CM
+(no adaptive reconfiguration — irrelevant on a stable network, which is
+why the curves are close).
+
+We model ParaView as the identical Eq. 2 evaluation with multiplicative
+compute/transport overhead factors and a fixed per-hop session setup
+cost.  Defaults are chosen so ParaView lands 15-35% above RICSA —
+matching Fig. 10's "comparable, slightly slower" shape, not its exact
+2008 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mapping.model import DelayBreakdown, Mapping, evaluate_mapping
+from repro.net.topology import Topology
+from repro.viz.pipeline import VisualizationPipeline
+
+__all__ = ["ParaViewModel"]
+
+
+@dataclass(frozen=True)
+class ParaViewModel:
+    """Overhead model for ParaView's client / render-server / data-server.
+
+    Attributes
+    ----------
+    compute_overhead:
+        Multiplier on module compute time (general-purpose VTK filters
+        vs RICSA's purpose-built modules).
+    transport_overhead:
+        Multiplier on transport time (protocol framing, data marshaling).
+    per_hop_setup:
+        Fixed seconds per data-path hop (session/proxy establishment).
+    """
+
+    compute_overhead: float = 1.30
+    transport_overhead: float = 1.15
+    per_hop_setup: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.compute_overhead < 1.0 or self.transport_overhead < 1.0:
+            raise ConfigurationError("overhead factors must be >= 1")
+        if self.per_hop_setup < 0:
+            raise ConfigurationError("per_hop_setup must be >= 0")
+
+    def crs_delay(
+        self,
+        pipeline: VisualizationPipeline,
+        topology: Topology,
+        mapping: Mapping,
+        bandwidths: dict[tuple[str, str], float] | None = None,
+    ) -> DelayBreakdown:
+        """Eq. 2 on the given (manually configured) mapping + overheads."""
+        base = evaluate_mapping(
+            pipeline,
+            topology,
+            mapping,
+            bandwidths=bandwidths,
+            include_parallel_overhead=True,
+        )
+        hops = mapping.q - 1
+        total = (
+            base.compute * self.compute_overhead
+            + base.transport * self.transport_overhead
+            + base.overhead
+            + self.per_hop_setup * hops
+        )
+        return DelayBreakdown(
+            total=total,
+            compute=base.compute * self.compute_overhead,
+            transport=base.transport * self.transport_overhead,
+            overhead=base.overhead + self.per_hop_setup * hops,
+            per_group_compute=[c * self.compute_overhead for c in base.per_group_compute],
+            per_link_transport=[t * self.transport_overhead for t in base.per_link_transport],
+        )

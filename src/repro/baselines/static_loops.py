@@ -1,0 +1,115 @@
+"""The six visualization loops of Fig. 9.
+
+Loop 1 is the DP-optimal configuration (ORNL-LSU-GaTech-UT-ORNL); loops
+2-4 route through the alternative data source / cluster combinations;
+loops 5-6 are conventional PC-PC client/server setups where the data
+source extracts (it has no graphics card) and the ORNL client renders —
+exactly the partitioning described in Section 5.3.1.
+
+Group assignment per loop follows the paper: on cluster loops the
+5-module pipeline splits as ``source+filter | extract+render | display``;
+on PC-PC loops as ``source+filter+extract | render+display``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.model import DelayBreakdown, Mapping, evaluate_mapping
+from repro.net.topology import Topology
+from repro.viz.pipeline import VisualizationPipeline
+
+__all__ = ["LoopDefinition", "FIG9_LOOPS", "evaluate_loop"]
+
+
+@dataclass(frozen=True)
+class LoopDefinition:
+    """One Fig. 9 loop: control path + data path + module groups."""
+
+    name: str
+    control_path: tuple[str, ...]
+    data_path: tuple[str, ...]
+    groups: tuple[tuple[int, ...], ...]
+    kind: str  # "optimal" | "cluster" | "pc-pc"
+
+    @property
+    def source(self) -> str:
+        return self.data_path[0]
+
+    def mapping(self) -> Mapping:
+        return Mapping(self.data_path, self.groups)
+
+    def loop_name(self) -> str:
+        """Paper-style closed-loop label."""
+        names: list[str] = []
+        for n in self.control_path + self.data_path:
+            if not names or names[-1] != n:
+                names.append(n)
+        return "-".join(names)
+
+
+_CLUSTER_GROUPS = ((0, 1), (2, 3), (4,))
+_PCPC_GROUPS = ((0, 1, 2), (3, 4))
+
+#: Loops exactly as enumerated under Fig. 9.
+FIG9_LOOPS: tuple[LoopDefinition, ...] = (
+    LoopDefinition(
+        "Loop 1 (RICSA optimal)",
+        ("ORNL", "LSU", "GaTech"),
+        ("GaTech", "UT", "ORNL"),
+        _CLUSTER_GROUPS,
+        "optimal",
+    ),
+    LoopDefinition(
+        "Loop 2",
+        ("ORNL", "LSU", "GaTech"),
+        ("GaTech", "NCState", "ORNL"),
+        _CLUSTER_GROUPS,
+        "cluster",
+    ),
+    LoopDefinition(
+        "Loop 3",
+        ("ORNL", "LSU", "OSU"),
+        ("OSU", "NCState", "ORNL"),
+        _CLUSTER_GROUPS,
+        "cluster",
+    ),
+    LoopDefinition(
+        "Loop 4",
+        ("ORNL", "LSU", "OSU"),
+        ("OSU", "UT", "ORNL"),
+        _CLUSTER_GROUPS,
+        "cluster",
+    ),
+    LoopDefinition(
+        "Loop 5 (PC-PC)",
+        ("ORNL",),
+        ("GaTech", "ORNL"),
+        _PCPC_GROUPS,
+        "pc-pc",
+    ),
+    LoopDefinition(
+        "Loop 6 (PC-PC)",
+        ("ORNL",),
+        ("OSU", "ORNL"),
+        _PCPC_GROUPS,
+        "pc-pc",
+    ),
+)
+
+
+def evaluate_loop(
+    loop: LoopDefinition,
+    pipeline: VisualizationPipeline,
+    topology: Topology,
+    bandwidths: dict[tuple[str, str], float] | None = None,
+    include_min_delay: bool = False,
+) -> DelayBreakdown:
+    """End-to-end delay of ``pipeline`` mapped onto ``loop`` (Eq. 2)."""
+    return evaluate_mapping(
+        pipeline,
+        topology,
+        loop.mapping(),
+        bandwidths=bandwidths,
+        include_min_delay=include_min_delay,
+    )

@@ -1,0 +1,49 @@
+"""Performance estimation for visualization modules (Section 4.4).
+
+The paper drives its dynamic-programming mapper with "quick and accurate
+run-time estimates of processing times" built from analytical models plus
+statistical measurements:
+
+* :mod:`~repro.costmodel.isosurface_cost` — Eqs. 4-6: block-level
+  extraction time from per-MC-class case probabilities and times, and
+  rendering cost from estimated triangle counts,
+* :mod:`~repro.costmodel.raycast_cost` — Eq. 7,
+* :mod:`~repro.costmodel.streamline_cost` — Eq. 8,
+* :mod:`~repro.costmodel.calibration` — offline measurement harness that
+  fits the per-case times ``T_Case(i)``, ``t_sample`` and
+  ``T_advection`` by running the real viz code on sample datasets,
+* :mod:`~repro.costmodel.transport_cost` — per-link EPB profiling that
+  feeds measured bandwidths to the mapper,
+* :mod:`~repro.costmodel.pipeline_builder` — assembles calibrated
+  :class:`~repro.viz.pipeline.VisualizationPipeline` instances.
+"""
+
+from repro.costmodel.base import DatasetStats, compute_dataset_stats
+from repro.costmodel.calibration import (
+    CalibrationStore,
+    calibrate_isosurface,
+    calibrate_raycast,
+    calibrate_streamline,
+    default_calibration,
+)
+from repro.costmodel.isosurface_cost import IsosurfaceCostModel
+from repro.costmodel.pipeline_builder import build_calibrated_pipeline
+from repro.costmodel.raycast_cost import RaycastCostModel
+from repro.costmodel.streamline_cost import StreamlineCostModel
+from repro.costmodel.transport_cost import bandwidth_table, profile_links
+
+__all__ = [
+    "CalibrationStore",
+    "DatasetStats",
+    "IsosurfaceCostModel",
+    "RaycastCostModel",
+    "StreamlineCostModel",
+    "bandwidth_table",
+    "build_calibrated_pipeline",
+    "calibrate_isosurface",
+    "calibrate_raycast",
+    "calibrate_streamline",
+    "compute_dataset_stats",
+    "default_calibration",
+    "profile_links",
+]

@@ -1,0 +1,128 @@
+"""Shared cost-model inputs: per-dataset statistics.
+
+Eq. 5's ``P_Case(i)`` — the probability that a cell falls in MC class
+``i`` at the chosen isovalue — is a property of (dataset, isovalue).  The
+paper measures it offline on sample datasets; we compute it directly
+(optionally on a scaled-down replica and extrapolate the counts, which is
+exactly the statistical-sampling spirit of Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.grid import StructuredGrid
+from repro.data.octree import build_blocks
+from repro.errors import ConfigurationError
+from repro.viz.isosurface import classify_cells
+from repro.viz.mc_tables import N_MC_CLASSES
+
+__all__ = ["DatasetStats", "compute_dataset_stats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Inputs to the Eq. 4-6 estimators for one (dataset, isovalue).
+
+    Attributes
+    ----------
+    nbytes:
+        Full dataset payload size in bytes (``m_1`` of the pipeline).
+    n_cells:
+        Total cell count of the full dataset.
+    n_blocks:
+        Active (isosurface-containing) block count, Eq. 4's
+        ``n_blocks``.
+    s_block:
+        Cells per block, Eq. 4's ``S_block``.
+    p_case:
+        Length-15 MC class probabilities over cells of *active* blocks.
+    isovalue:
+        The isovalue the statistics were computed at.
+    """
+
+    nbytes: float
+    n_cells: int
+    n_blocks: int
+    s_block: int
+    p_case: np.ndarray
+    isovalue: float
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.p_case, dtype=float)
+        if p.shape != (N_MC_CLASSES,):
+            raise ConfigurationError(f"p_case must have shape (15,), got {p.shape}")
+        if p.min() < -1e-12 or abs(p.sum() - 1.0) > 1e-6:
+            raise ConfigurationError("p_case must be a probability vector")
+        object.__setattr__(self, "p_case", p)
+
+
+def compute_dataset_stats(
+    grid: StructuredGrid,
+    iso: float,
+    block_cells: int = 16,
+    full_nbytes: float | None = None,
+    full_n_cells: int | None = None,
+    full_block_cells: int | None = None,
+) -> DatasetStats:
+    """Measure Eq. 4-6 statistics on ``grid`` at isovalue ``iso``.
+
+    When ``grid`` is a scaled replica of a larger dataset, pass the full
+    dataset's ``full_nbytes`` (and optionally ``full_n_cells``): class
+    probabilities are measured on the replica while block/cell counts
+    are extrapolated.  Two extrapolation modes:
+
+    * volume-proportional (default): active block count scales with the
+      cell-count ratio — right for volumetrically active data;
+    * physically matched (``full_block_cells`` set): ``block_cells``
+      should then cover the same *physical* extent as
+      ``full_block_cells`` does at full resolution, and the *fraction*
+      of active blocks carries over — right for surface-dominated data,
+      where activity grows with area, not volume.
+    """
+    blocks = build_blocks(grid, block_cells=block_cells)
+    active = [b for b in blocks if b.contains_isovalue(iso)]
+    hist = np.zeros(N_MC_CLASSES, dtype=np.int64)
+    for b in active:
+        hist += classify_cells(grid.values[b.slices()], iso)
+    total_active_cells = int(hist.sum())
+    if total_active_cells == 0:
+        # Degenerate isovalue: everything is class 0.
+        p = np.zeros(N_MC_CLASSES)
+        p[0] = 1.0
+        n_blocks_active = 0
+    else:
+        p = hist / total_active_cells
+        n_blocks_active = len(active)
+
+    n_cells = grid.n_cells
+    nbytes = float(grid.nbytes)
+    s_block = int(np.mean([b.n_cells for b in active])) if active else block_cells**3
+    if full_nbytes is not None and full_nbytes > 0:
+        ratio = full_nbytes / nbytes
+        if full_n_cells is None:
+            full_n_cells = int(round(n_cells * ratio))
+        if full_block_cells is not None:
+            active_fraction = n_blocks_active / max(len(blocks), 1)
+            total_blocks_full = full_n_cells / float(full_block_cells**3)
+            n_blocks_active = int(round(active_fraction * total_blocks_full))
+            s_block = int(full_block_cells**3)
+        else:
+            n_blocks_active = int(
+                round(n_blocks_active * full_n_cells / max(n_cells, 1))
+            )
+        n_cells = full_n_cells
+        nbytes = float(full_nbytes)
+
+    return DatasetStats(
+        nbytes=nbytes,
+        n_cells=n_cells,
+        n_blocks=max(n_blocks_active, 0),
+        s_block=s_block,
+        p_case=p,
+        isovalue=iso,
+        name=grid.name,
+    )

@@ -1,0 +1,184 @@
+"""Offline calibration of the cost models (Section 4.4's "statistical
+measurements").
+
+The harness runs the *real* visualization code on sample datasets and
+fits the model constants:
+
+* ``T_Case(i)`` — per-cell extraction time per MC class, by non-negative
+  least squares over per-block (class histogram, measured seconds)
+  records ("mark down the frequency of the related cells found inside a
+  block as well as the time spent on each case"),
+* ``t_sample`` — seconds per ray-casting sample,
+* ``T_advection`` — seconds per streamline advection.
+
+Calibrated constants are machine-specific by design: they measure *this*
+host, the reference "power-1 node" of the whole cost system.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.costmodel.isosurface_cost import IsosurfaceCostModel
+from repro.costmodel.raycast_cost import RaycastCostModel
+from repro.costmodel.streamline_cost import StreamlineCostModel
+from repro.data.grid import StructuredGrid, VectorField
+from repro.data.octree import build_blocks
+from repro.errors import CalibrationError
+from repro.viz.camera import OrthoCamera
+from repro.viz.isosurface import extract_blocks
+from repro.viz.mc_tables import N_MC_CLASSES
+from repro.viz.raycast import raycast
+from repro.viz.streamline import seed_grid, trace_streamlines
+
+__all__ = [
+    "CalibrationStore",
+    "calibrate_isosurface",
+    "calibrate_raycast",
+    "calibrate_streamline",
+    "default_calibration",
+    "make_calibration_grids",
+]
+
+
+def calibrate_isosurface(
+    grids: list[StructuredGrid],
+    isovalues_per_grid: int = 5,
+    block_cells: int = 8,
+) -> IsosurfaceCostModel:
+    """Fit ``T_Case`` from block-level extraction measurements.
+
+    For each grid we march ``isovalues_per_grid`` isovalues spanning the
+    value range and record, per active block, the 15-class histogram and
+    the measured wall time; ``T_Case`` solves the non-negative least
+    squares system ``histogram @ T_case ~= seconds``.
+    """
+    rows: list[np.ndarray] = []
+    times: list[float] = []
+    for grid in grids:
+        lo, hi = grid.vmin, grid.vmax
+        if hi <= lo:
+            continue
+        isovalues = np.linspace(lo + 0.15 * (hi - lo), hi - 0.15 * (hi - lo),
+                                isovalues_per_grid)
+        blocks = build_blocks(grid, block_cells=block_cells)
+        for iso in isovalues:
+            _, records = extract_blocks(grid, blocks, float(iso))
+            for rec in records:
+                rows.append(rec.class_histogram.astype(float))
+                times.append(rec.seconds)
+    if len(rows) < N_MC_CLASSES:
+        raise CalibrationError(
+            f"only {len(rows)} block samples; need >= {N_MC_CLASSES}"
+        )
+    A = np.vstack(rows)
+    b = np.asarray(times)
+    t_case, _residual = nnls(A, b)
+    # Classes never observed get the median positive cost so predictions
+    # on unseen data stay finite and sane.
+    seen = A.sum(axis=0) > 0
+    positive = t_case[(t_case > 0) & seen]
+    fallback = float(np.median(positive)) if positive.size else 1e-7
+    t_case = np.where(seen, t_case, fallback)
+    # Class 0 (empty) cells still pay the configuration scan; nnls may
+    # zero it out on noisy data, which is fine (it is a lower-order term).
+    return IsosurfaceCostModel(t_case=t_case)
+
+
+def calibrate_raycast(
+    grids: list[StructuredGrid],
+    viewport: int = 64,
+    step_factor: float = 1.0,
+) -> RaycastCostModel:
+    """Measure seconds/sample over representative casts."""
+    total_seconds = 0.0
+    total_samples = 0
+    for grid in grids:
+        cam = OrthoCamera.framing(*grid.bounds(), width=viewport, height=viewport)
+        step = float(min(grid.spacing)) * step_factor
+        t0 = time.perf_counter()
+        res = raycast(grid, camera=cam, step=step, early_termination=1.1)
+        total_seconds += time.perf_counter() - t0
+        # Eq. 7 counts every (ray, step) evaluation, so calibrate against
+        # attempted samples — the same unit the predictor multiplies out.
+        total_samples += res.n_samples_attempted
+    if total_samples == 0:
+        raise CalibrationError("raycast calibration produced zero samples")
+    return RaycastCostModel(t_sample=max(total_seconds / total_samples, 1e-12))
+
+
+def calibrate_streamline(
+    fields: list[VectorField],
+    n_seeds_per_axis: int = 3,
+    n_steps: int = 50,
+) -> StreamlineCostModel:
+    """Measure seconds/advection over representative traces."""
+    total_seconds = 0.0
+    total_advections = 0
+    for field_ in fields:
+        seeds = seed_grid(field_, n_per_axis=n_seeds_per_axis)
+        t0 = time.perf_counter()
+        res = trace_streamlines(field_, seeds, n_steps=n_steps, h=0.25)
+        total_seconds += time.perf_counter() - t0
+        total_advections += res.advections
+    if total_advections == 0:
+        raise CalibrationError("streamline calibration produced zero advections")
+    return StreamlineCostModel(t_advection=max(total_seconds / total_advections, 1e-12))
+
+
+@dataclass
+class CalibrationStore:
+    """Bundle of calibrated models, JSON-serializable."""
+
+    isosurface: IsosurfaceCostModel
+    raycast: RaycastCostModel
+    streamline: StreamlineCostModel
+    host_note: str = "calibrated on the reference (power-1) host"
+
+    def to_dict(self) -> dict:
+        return {
+            "isosurface": self.isosurface.to_dict(),
+            "raycast": self.raycast.to_dict(),
+            "streamline": self.streamline.to_dict(),
+            "host_note": self.host_note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CalibrationStore":
+        return cls(
+            isosurface=IsosurfaceCostModel.from_dict(data["isosurface"]),
+            raycast=RaycastCostModel.from_dict(data["raycast"]),
+            streamline=StreamlineCostModel.from_dict(data["streamline"]),
+            host_note=data.get("host_note", ""),
+        )
+
+
+def make_calibration_grids(seed: int = 0) -> list[StructuredGrid]:
+    """Small sample datasets "from various applications" (Section 4.4.1)."""
+    from repro.data.datasets import make_jet, make_rage, make_viswoman
+
+    return [
+        make_jet(scale=0.14, seed=seed),
+        make_rage(scale=0.12, seed=seed),
+        make_viswoman(scale=0.08, seed=seed),
+    ]
+
+
+_DEFAULT_CACHE: dict[int, CalibrationStore] = {}
+
+
+def default_calibration(seed: int = 0) -> CalibrationStore:
+    """Calibrate all three models on the standard sample set (cached)."""
+    if seed not in _DEFAULT_CACHE:
+        grids = make_calibration_grids(seed)
+        fields = [g.gradient() for g in grids[:2]]
+        _DEFAULT_CACHE[seed] = CalibrationStore(
+            isosurface=calibrate_isosurface(grids),
+            raycast=calibrate_raycast([grids[0]]),
+            streamline=calibrate_streamline(fields),
+        )
+    return _DEFAULT_CACHE[seed]

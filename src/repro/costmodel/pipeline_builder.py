@@ -1,0 +1,99 @@
+"""Assemble calibrated pipelines for the mapper.
+
+Combines a :class:`~repro.costmodel.calibration.CalibrationStore` with
+per-dataset statistics into a :class:`~repro.viz.pipeline.VisualizationPipeline`
+whose module complexities ``c_j`` and message sizes ``m_j`` are the
+cost-model estimates — precisely the inputs Section 4.5's DP consumes.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.base import DatasetStats
+from repro.costmodel.calibration import CalibrationStore
+from repro.errors import ConfigurationError
+from repro.viz.camera import OrthoCamera
+from repro.viz.pipeline import ModuleSpec, VisualizationPipeline
+
+__all__ = ["build_calibrated_pipeline"]
+
+#: Display-side handling cost per image byte (copy + blit bookkeeping).
+DISPLAY_COMPLEXITY = 2.0e-9
+#: Filtering cost per input byte (subset/clamp-style passes).
+FILTER_COMPLEXITY = 4.0e-9
+
+
+def build_calibrated_pipeline(
+    technique: str,
+    stats: DatasetStats,
+    calibration: CalibrationStore,
+    image_bytes: float = 256 * 1024,
+    filter_ratio: float = 1.0,
+    camera: OrthoCamera | None = None,
+    raycast_step: float = 1.0,
+    volume_diag: float | None = None,
+    n_seeds: int = 64,
+    n_steps: int = 200,
+) -> VisualizationPipeline:
+    """Build the 5-module source->filter->transform->render->display
+    pipeline with calibrated complexities.
+
+    For ``raycast`` the transform *is* the renderer (it emits pixels), so
+    the render module models final compositing at image cost.
+    """
+    filtered_bytes = stats.nbytes * filter_ratio
+
+    if technique == "isosurface":
+        # Extraction time and geometry size both scale ~linearly with the
+        # (filtered) input volume, so the per-byte complexity and the
+        # output ratio measured on the full dataset carry over unchanged.
+        iso_model = calibration.isosurface
+        extract = ModuleSpec(
+            "isosurface-extract",
+            "extract",
+            complexity=iso_model.extract_complexity(stats),
+            output_ratio=iso_model.geometry_ratio(stats),
+        )
+        render = ModuleSpec(
+            "geometry-render",
+            "render",
+            complexity=iso_model.render_complexity(stats),
+            fixed_output=image_bytes,
+        )
+    elif technique == "raycast":
+        cam = camera if camera is not None else OrthoCamera()
+        diag = volume_diag if volume_diag is not None else cam.extent
+        c = calibration.raycast.complexity_per_byte(cam, diag, raycast_step, filtered_bytes)
+        extract = ModuleSpec(
+            "raycast", "extract", complexity=c, fixed_output=image_bytes
+        )
+        render = ModuleSpec(
+            "composite", "render", complexity=DISPLAY_COMPLEXITY, fixed_output=image_bytes
+        )
+    elif technique == "streamline":
+        c = calibration.streamline.complexity_per_byte(
+            n_seeds, n_steps, filtered_bytes
+        )
+        # Polyline payload: n_seeds polylines of n_steps+1 xyz float32.
+        poly_bytes = n_seeds * (n_steps + 1) * 12.0
+        extract = ModuleSpec(
+            "streamline-trace", "extract", complexity=c, fixed_output=poly_bytes
+        )
+        render = ModuleSpec(
+            "polyline-render",
+            "render",
+            complexity=5.0e-9,
+            fixed_output=image_bytes,
+        )
+    else:
+        raise ConfigurationError(f"unknown technique {technique!r}")
+
+    modules = [
+        ModuleSpec("data-source", "source"),
+        ModuleSpec(
+            "filter", "filter", complexity=FILTER_COMPLEXITY, output_ratio=filter_ratio
+        ),
+        extract,
+        render,
+        ModuleSpec("display", "display", complexity=DISPLAY_COMPLEXITY, output_ratio=1.0),
+    ]
+    return VisualizationPipeline(modules, stats.nbytes)

@@ -1,0 +1,84 @@
+"""Ray-casting cost model (Eq. 7).
+
+.. math::
+
+    t_{raycasting} = n_{blocks} \\times n_{rays} \\times n_{samples}
+        \\times t_{sample}
+
+The paper deliberately ignores early ray termination ("aiming to provide
+the quantitative measurement of the computing power") so the model is an
+upper bound that becomes tight for semi-transparent transfer functions.
+We keep that choice and expose the measured-vs-modelled gap in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.viz.camera import OrthoCamera
+
+__all__ = ["RaycastCostModel"]
+
+
+@dataclass(frozen=True)
+class RaycastCostModel:
+    """Calibrated per-sample cost, seconds/sample on a power-1 node."""
+
+    t_sample: float
+
+    def __post_init__(self) -> None:
+        if self.t_sample <= 0:
+            raise ConfigurationError("t_sample must be positive")
+
+    def seconds(
+        self,
+        n_rays: int,
+        n_samples_per_ray: int,
+        n_blocks: int = 1,
+        power: float = 1.0,
+    ) -> float:
+        """Eq. 7 on a node of normalized ``power``.
+
+        ``n_blocks`` is the non-empty block count when casting block by
+        block; full-volume casts use 1 and fold the volume into
+        ``n_samples_per_ray``.
+        """
+        if power <= 0:
+            raise ConfigurationError("power must be positive")
+        return n_blocks * n_rays * n_samples_per_ray * self.t_sample / power
+
+    def seconds_for_camera(
+        self,
+        camera: OrthoCamera,
+        volume_diag: float,
+        step: float,
+        power: float = 1.0,
+    ) -> float:
+        """Eq. 7 with ``n_rays``/``n_samples`` derived from the view.
+
+        For orthographic projection the ray and sample counts depend only
+        on the viewport and step — "constant for a given view", as the
+        paper notes.
+        """
+        if step <= 0:
+            raise ConfigurationError("step must be positive")
+        n_rays = camera.width * camera.height
+        travel = 2.0 * camera.extent + volume_diag
+        n_samples = max(2, int(travel / step))
+        return self.seconds(n_rays, n_samples, n_blocks=1, power=power)
+
+    def complexity_per_byte(
+        self, camera: OrthoCamera, volume_diag: float, step: float, nbytes: float
+    ) -> float:
+        """Per-input-byte complexity for the pipeline representation."""
+        if nbytes <= 0:
+            raise ConfigurationError("nbytes must be positive")
+        return self.seconds_for_camera(camera, volume_diag, step) / nbytes
+
+    def to_dict(self) -> dict:
+        return {"t_sample": self.t_sample}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RaycastCostModel":
+        return cls(t_sample=float(data["t_sample"]))

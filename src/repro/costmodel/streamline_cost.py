@@ -1,0 +1,64 @@
+"""Streamline cost model (Eq. 8).
+
+.. math::
+
+    t_{streamline}(n_{seeds}, n_{steps}) = n_{seeds} \\times n_{steps}
+        \\times T_{advection}
+
+``T_advection`` is the calibrated cost of one advection evaluation; RK4
+performs four per step, RK2 two — the model works in *advections* so the
+integrator choice is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamlineCostModel", "STAGES_PER_STEP"]
+
+#: Advection evaluations per integration step by method.
+STAGES_PER_STEP = {"rk2": 2, "rk4": 4}
+
+
+@dataclass(frozen=True)
+class StreamlineCostModel:
+    """Calibrated per-advection cost, seconds on a power-1 node."""
+
+    t_advection: float
+
+    def __post_init__(self) -> None:
+        if self.t_advection <= 0:
+            raise ConfigurationError("t_advection must be positive")
+
+    def seconds(
+        self,
+        n_seeds: int,
+        n_steps: int,
+        method: str = "rk4",
+        power: float = 1.0,
+    ) -> float:
+        """Eq. 8 on a node of normalized ``power``."""
+        if power <= 0:
+            raise ConfigurationError("power must be positive")
+        try:
+            stages = STAGES_PER_STEP[method]
+        except KeyError:
+            raise ConfigurationError(f"unknown method {method!r}") from None
+        return n_seeds * n_steps * stages * self.t_advection / power
+
+    def complexity_per_byte(
+        self, n_seeds: int, n_steps: int, nbytes: float, method: str = "rk4"
+    ) -> float:
+        """Per-input-byte complexity for the pipeline representation."""
+        if nbytes <= 0:
+            raise ConfigurationError("nbytes must be positive")
+        return self.seconds(n_seeds, n_steps, method) / nbytes
+
+    def to_dict(self) -> dict:
+        return {"t_advection": self.t_advection}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamlineCostModel":
+        return cls(t_advection=float(data["t_advection"]))

@@ -1,0 +1,56 @@
+"""Per-link transport profiling for the mapper.
+
+Section 4.3: the CM node estimates each virtual link's effective path
+bandwidth by active measurement and linear regression.  This module runs
+:func:`repro.net.measurement.measure_path` over every topology link on a
+throwaway simulator and returns the EPB table the DP consumes as its
+``b_{i,j}`` inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.des.simulator import Simulator
+from repro.net.channel import build_sim_path
+from repro.net.measurement import DEFAULT_PROBE_SIZES, PathEstimate, measure_path
+from repro.net.topology import Topology
+
+__all__ = ["profile_links", "bandwidth_table"]
+
+
+def profile_links(
+    topology: Topology,
+    sizes=DEFAULT_PROBE_SIZES,
+    repeats: int = 2,
+    seed: int = 0,
+    no_cross_traffic: bool = False,
+) -> dict[tuple[str, str], PathEstimate]:
+    """Actively measure every link; returns ``{(u, v): PathEstimate}``.
+
+    Each link gets a fresh simulator so probes do not interfere; the rng
+    stream is derived per link for reproducibility.
+    """
+    estimates: dict[tuple[str, str], PathEstimate] = {}
+    for link in topology.links():
+        sim = Simulator()
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, hash(link.key) & 0x7FFFFFFF])
+        )
+        path = build_sim_path(
+            sim,
+            topology,
+            [link.u, link.v],
+            rng=rng,
+            max_queue_delay=2.0,
+            no_cross_traffic=no_cross_traffic,
+        )
+        estimates[link.key] = measure_path(path, sizes=sizes, repeats=repeats)
+    return estimates
+
+
+def bandwidth_table(
+    estimates: dict[tuple[str, str], PathEstimate],
+) -> dict[tuple[str, str], float]:
+    """Flatten estimates to the ``{(u, v): bytes_per_sec}`` DP input."""
+    return {key: est.epb for key, est in estimates.items()}

@@ -1,0 +1,79 @@
+"""Minimal self-describing binary container for grids.
+
+Plays the role of the CDF/HDF/NetCDF files the paper's data sources hold:
+a magic header, a JSON metadata block (shape, dtype, spacing, origin,
+name, free-form attributes) and the raw little-endian array payload.
+
+Layout::
+
+    bytes 0..3    magic b"RICB"
+    bytes 4..7    format version (uint32 LE)
+    bytes 8..11   metadata length M (uint32 LE)
+    bytes 12..12+M  UTF-8 JSON metadata
+    remainder     raw array bytes (C order)
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.grid import StructuredGrid
+from repro.errors import DataFormatError
+
+__all__ = ["save_grid", "load_grid", "MAGIC", "FORMAT_VERSION"]
+
+MAGIC = b"RICB"
+FORMAT_VERSION = 1
+
+
+def save_grid(path: str | Path, grid: StructuredGrid, attrs: dict | None = None) -> int:
+    """Write ``grid`` to ``path``; returns the file size in bytes."""
+    meta = {
+        "shape": list(grid.shape),
+        "dtype": str(grid.values.dtype),
+        "spacing": list(grid.spacing),
+        "origin": list(grid.origin),
+        "name": grid.name,
+        "attrs": attrs or {},
+    }
+    blob = json.dumps(meta).encode("utf-8")
+    payload = np.ascontiguousarray(grid.values).tobytes()
+    data = MAGIC + struct.pack("<II", FORMAT_VERSION, len(blob)) + blob + payload
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_grid(path: str | Path) -> StructuredGrid:
+    """Read a grid written by :func:`save_grid`."""
+    raw = Path(path).read_bytes()
+    if len(raw) < 12 or raw[:4] != MAGIC:
+        raise DataFormatError(f"{path}: not a RICB container")
+    version, mlen = struct.unpack("<II", raw[4:12])
+    if version != FORMAT_VERSION:
+        raise DataFormatError(f"{path}: unsupported version {version}")
+    if len(raw) < 12 + mlen:
+        raise DataFormatError(f"{path}: truncated metadata block")
+    try:
+        meta = json.loads(raw[12 : 12 + mlen].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DataFormatError(f"{path}: corrupt metadata ({exc})") from exc
+
+    shape = tuple(int(s) for s in meta["shape"])
+    dtype = np.dtype(meta["dtype"])
+    expected = int(np.prod(shape)) * dtype.itemsize
+    payload = raw[12 + mlen :]
+    if len(payload) != expected:
+        raise DataFormatError(
+            f"{path}: payload size {len(payload)} != expected {expected}"
+        )
+    values = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    return StructuredGrid(
+        values.astype(np.float32, copy=True),
+        spacing=tuple(meta["spacing"]),
+        origin=tuple(meta["origin"]),
+        name=meta.get("name", "field"),
+    )

@@ -1,0 +1,116 @@
+"""Event heap for the DES kernel.
+
+The queue orders callbacks by ``(time, priority, sequence)``.  The
+monotonically increasing sequence number makes ordering *total* and hence
+deterministic even when many events share a timestamp — crucial for
+reproducible network simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "ScheduledCallback", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledCallback:
+    """A callback scheduled at an absolute simulation time.
+
+    Sort key is ``(time, priority, seq)``; ``fn``/``args`` are excluded
+    from comparisons.  ``cancelled`` entries stay in the heap but are
+    skipped on pop (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this entry so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class Event:
+    """A triggerable one-shot event with subscriber callbacks.
+
+    Processes may wait on an :class:`Event`; triggering it resumes all
+    subscribers (in subscription order) with the trigger value.
+    """
+
+    __slots__ = ("_callbacks", "_triggered", "_value")
+
+    def __init__(self) -> None:
+        self._callbacks: list[Callable[[Any], None]] = []
+        self._triggered = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """Value passed to :meth:`trigger` (``None`` before triggering)."""
+        return self._value
+
+    def subscribe(self, fn: Callable[[Any], None]) -> None:
+        """Register ``fn(value)``; fires immediately if already triggered."""
+        if self._triggered:
+            fn(self._value)
+        else:
+            self._callbacks.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event exactly once; later calls are ignored."""
+        if self._triggered:
+            return
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(value)
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`ScheduledCallback` entries."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledCallback] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for item in self._heap if not item.cancelled)
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> ScheduledCallback:
+        """Schedule ``fn(*args)`` at absolute ``time``; returns a handle."""
+        item = ScheduledCallback(time, priority, next(self._counter), fn, args)
+        heapq.heappush(self._heap, item)
+        return item
+
+    def pop(self) -> ScheduledCallback | None:
+        """Remove and return the earliest live entry, or ``None`` if empty."""
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            if not item.cancelled:
+                return item
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live entry without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,108 @@
+"""Bounded FIFO stores for producer/consumer process coupling."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Store", "StoreGet", "StorePut"]
+
+
+class StoreGet:
+    """Waitable returned by :meth:`Store.get`; resolves with the item."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        self.store = store
+
+    def _bind(self, sim, resume: Callable[[Any], None]) -> None:
+        self.store._enqueue_get(resume)
+
+
+class StorePut:
+    """Waitable returned by :meth:`Store.put`; resolves when accepted."""
+
+    __slots__ = ("store", "item")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.store = store
+        self.item = item
+
+    def _bind(self, sim, resume: Callable[[Any], None]) -> None:
+        self.store._enqueue_put(self.item, resume)
+
+
+class Store:
+    """FIFO item store with optional capacity.
+
+    ``get`` blocks while empty; ``put`` blocks while full.  Waiters are
+    served in FIFO order, which keeps the simulation deterministic.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(f"store capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Callable[[Any], None]] = deque()
+        self._putters: deque[tuple[Any, Callable[[Any], None]]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether a put would currently block."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def get(self) -> StoreGet:
+        """Waitable removing the oldest item (blocks while empty)."""
+        return StoreGet(self)
+
+    def put(self, item: Any) -> StorePut:
+        """Waitable inserting ``item`` (blocks while at capacity)."""
+        return StorePut(self, item)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; ``False`` if the store is full."""
+        if self.full and not self._getters:
+            return False
+        self._enqueue_put(item, lambda _value: None)
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; ``(False, None)`` if empty."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._drain_putters()
+        return True, item
+
+    # -- internals ------------------------------------------------------------
+
+    def _enqueue_get(self, resume: Callable[[Any], None]) -> None:
+        if self._items:
+            resume(self._items.popleft())
+            self._drain_putters()
+        else:
+            self._getters.append(resume)
+
+    def _enqueue_put(self, item: Any, resume: Callable[[Any], None]) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            resume(None)
+            getter(item)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            resume(None)
+        else:
+            self._putters.append((item, resume))
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.full:
+            item, resume = self._putters.popleft()
+            self._items.append(item)
+            resume(None)

@@ -1,0 +1,159 @@
+"""Simulation clock, scheduler and waitable primitives."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.des.event import Event, EventQueue, ScheduledCallback
+from repro.errors import ConfigurationError
+
+__all__ = ["Simulator", "Timeout", "Trigger"]
+
+
+class Timeout:
+    """Waitable: resume the yielding process after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"negative timeout delay: {delay}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _bind(self, sim: "Simulator", resume: Callable[[Any], None]) -> None:
+        sim.schedule(self.delay, resume, self.value)
+
+
+class Trigger:
+    """Waitable wrapper around a triggerable :class:`Event`."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+    def _bind(self, sim: "Simulator", resume: Callable[[Any], None]) -> None:
+        self.event.subscribe(resume)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Drives an :class:`EventQueue` with a virtual clock.  Supports plain
+    callback scheduling (:meth:`schedule`) and generator processes
+    (:meth:`process`) that ``yield`` waitables.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(1.5)
+    ...     seen.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> seen
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for complexity checks)."""
+        return self._events_processed
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledCallback:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past: {delay}")
+        return self._queue.push(self._now + delay, fn, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledCallback:
+        """Run ``fn(*args)`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        return self._queue.push(time, fn, args, priority)
+
+    # -- waitable constructors ---------------------------------------------
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Waitable that fires after ``delay`` seconds."""
+        return Timeout(delay, value)
+
+    def event(self) -> Event:
+        """Fresh triggerable event (wrap in :class:`Trigger` to wait on it)."""
+        return Event()
+
+    # -- processes ----------------------------------------------------------
+
+    def process(self, gen: Generator) -> "Process":
+        """Start a generator-based process; returns its handle."""
+        from repro.des.process import Process
+
+        return Process(self, gen)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single earliest event; ``False`` when queue empty."""
+        item = self._queue.pop()
+        if item is None:
+            return False
+        self._now = item.time
+        self._events_processed += 1
+        item.fn(*item.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> None:
+        """Run events until the queue drains, ``until`` passes, or the
+        ``max_events`` safety valve trips (raises ``RuntimeError``)."""
+        executed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely livelock"
+                )
+
+    def run_all(self, waitables: Iterable[Event], until: float | None = None) -> None:
+        """Run until every event in ``waitables`` has triggered."""
+        pending = [ev for ev in waitables if not ev.triggered]
+        while pending:
+            if not self.step():
+                raise RuntimeError("event queue drained with events untriggered")
+            if until is not None and self._now > until:
+                raise RuntimeError(f"deadline {until} passed with events pending")
+            pending = [ev for ev in pending if not ev.triggered]

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries while still discriminating specific
+failure modes where it matters (infeasible mappings, protocol violations,
+malformed data containers, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "TransportError",
+    "MappingError",
+    "InfeasibleMappingError",
+    "SimulationError",
+    "ProtocolError",
+    "DataFormatError",
+    "CalibrationError",
+    "SteeringError",
+    "WebServerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (bad parameter value or combo)."""
+
+
+class TopologyError(ReproError):
+    """Malformed network topology (unknown node, missing link, bad weight)."""
+
+
+class TransportError(ReproError):
+    """Failure inside a transport protocol (flow aborted, channel closed)."""
+
+
+class MappingError(ReproError):
+    """Pipeline-to-network mapping failure (bad pipeline spec, bad groups)."""
+
+
+class InfeasibleMappingError(MappingError):
+    """No feasible mapping exists under the given capability constraints."""
+
+
+class SimulationError(ReproError):
+    """Numerical simulation failure (instability, invalid state, bad steer)."""
+
+
+class ProtocolError(ReproError):
+    """Steering/session protocol violation (bad message for current state)."""
+
+
+class DataFormatError(ReproError):
+    """Malformed on-disk or on-wire data container."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration could not produce a usable estimate."""
+
+
+class SteeringError(ReproError):
+    """Steering framework failure outside the wire protocol itself."""
+
+
+class WebServerError(ReproError):
+    """Ajax web server failure (port binding, session registry, ...)."""

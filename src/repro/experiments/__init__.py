@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every evaluation artifact.
+
+One module per paper artifact (see DESIGN.md §4):
+
+* :mod:`~repro.experiments.fig9` — six-loop end-to-end delay comparison,
+* :mod:`~repro.experiments.fig10` — RICSA vs ParaView ``-crs``,
+* :mod:`~repro.experiments.transport_exp` — Section 3 goodput
+  stabilization (plus the α-gain ablation),
+* :mod:`~repro.experiments.dp_scaling` — Section 4.5 optimality and
+  ``O(n |E|)`` scaling (plus the greedy-quality ablation),
+* :mod:`~repro.experiments.reporting` — ASCII tables in the paper's
+  row/series format.
+"""
+
+from repro.experiments.dp_scaling import run_dp_optimality, run_dp_scaling, run_greedy_gap
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.fig10 import Fig10Result, run_fig10
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.transport_exp import run_alpha_sweep, run_transport_comparison
+
+__all__ = [
+    "Fig9Result",
+    "Fig10Result",
+    "format_series",
+    "format_table",
+    "run_alpha_sweep",
+    "run_dp_optimality",
+    "run_dp_scaling",
+    "run_fig9",
+    "run_fig10",
+    "run_greedy_gap",
+    "run_transport_comparison",
+]

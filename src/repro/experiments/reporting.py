@@ -1,0 +1,81 @@
+"""ASCII reporting in the paper's row/series format."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "sparkline",
+    "record_bench_report",
+    "drain_bench_reports",
+]
+
+#: Registry of paper-style tables produced during a benchmark run; the
+#: benchmark conftest drains this into the pytest terminal summary.
+_BENCH_REPORTS: list[str] = []
+
+
+def record_bench_report(text: str) -> None:
+    """Queue a report table for the benchmark terminal summary."""
+    _BENCH_REPORTS.append(text)
+
+
+def drain_bench_reports() -> list[str]:
+    """Return and clear all queued reports."""
+    out = list(_BENCH_REPORTS)
+    _BENCH_REPORTS.clear()
+    return out
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows = [
+        [
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, unit: str = "") -> str:
+    """One labelled (x, y) series per line."""
+    pts = ", ".join(f"{x}={y:.3g}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pts}"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Tiny ASCII chart for goodput traces."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    return "".join(
+        blocks[min(int((v - lo) / span * (len(blocks) - 1)), len(blocks) - 1)]
+        for v in sampled
+    )

@@ -1,0 +1,171 @@
+"""Section 3 experiments: control-channel goodput stabilization.
+
+Compares the Robbins–Monro stabilized UDP transport against TCP Reno and
+open-loop UDP on the same stochastic channel, and sweeps the
+Robbins–Monro exponent α (the gain-schedule ablation DESIGN.md calls
+out).  The paper's claim: the stabilized transport converges to the
+target ``g*`` and holds it with low jitter where TCP saws and raw UDP
+either starves or floods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des.simulator import Simulator
+from repro.net.channel import build_sim_path
+from repro.net.topology import LinkSpec, NodeSpec, Topology
+from repro.transport.base import FlowConfig
+from repro.transport.ratecontrol import RobbinsMonroController
+from repro.transport.stabilized import StabilizedUDPTransport
+from repro.transport.tcp import TcpRenoTransport
+from repro.transport.udp_blast import ConstantRateUdpTransport
+from repro.experiments.reporting import format_table
+from repro.units import mbit_per_s
+
+import numpy as np
+
+__all__ = [
+    "TransportRow",
+    "TransportComparison",
+    "run_transport_comparison",
+    "run_alpha_sweep",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TransportRow:
+    protocol: str
+    mean_goodput: float
+    goodput_std: float
+    jitter_coefficient: float
+    tracking_error: float
+    convergence_time: float | None
+    loss_fraction: float
+
+
+@dataclass
+class TransportComparison:
+    target: float
+    rows: list[TransportRow] = field(default_factory=list)
+
+    def row(self, protocol: str) -> TransportRow:
+        for r in self.rows:
+            if r.protocol == protocol:
+                return r
+        raise KeyError(protocol)
+
+    def to_table(self) -> str:
+        headers = [
+            "Protocol", "mean g (MB/s)", "std g (MB/s)", "jitter", "track err",
+            "conv (s)", "loss",
+        ]
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.protocol,
+                r.mean_goodput / 2**20,
+                r.goodput_std / 2**20,
+                r.jitter_coefficient,
+                r.tracking_error,
+                -1.0 if r.convergence_time is None else r.convergence_time,
+                r.loss_fraction,
+            ])
+        return format_table(
+            headers, rows,
+            title=f"Section 3 - control-channel stabilization (g* = {self.target/2**20:.2f} MB/s)",
+        )
+
+
+def _control_channel(
+    bandwidth: float, loss: float, cross: str
+) -> Topology:
+    return Topology.from_specs(
+        [NodeSpec("frontend"), NodeSpec("simulator")],
+        [LinkSpec("frontend", "simulator", bandwidth, 0.015, loss, 0.15, cross)],
+    )
+
+
+def _paths(topo: Topology, seed: int):
+    sim = Simulator()
+    fwd = build_sim_path(sim, topo, ["frontend", "simulator"],
+                         rng=np.random.default_rng(seed))
+    rev = build_sim_path(sim, topo, ["simulator", "frontend"],
+                         rng=np.random.default_rng(seed + 1))
+    return sim, fwd, rev
+
+
+def _row(protocol: str, stats, target: float) -> TransportRow:
+    # Judge every protocol against the same g* (TCP/UDP have no internal
+    # target; the question is how well they would hold the control
+    # channel's required rate).
+    stats.target_goodput = target
+    return TransportRow(
+        protocol=protocol,
+        mean_goodput=stats.mean_goodput(after_fraction=0.5),
+        goodput_std=stats.goodput_std(after_fraction=0.5),
+        jitter_coefficient=stats.jitter_coefficient(after_fraction=0.5),
+        tracking_error=stats.tracking_error(after_fraction=0.5),
+        convergence_time=stats.convergence_time(tolerance=0.15),
+        loss_fraction=stats.loss_fraction,
+    )
+
+
+def run_transport_comparison(
+    target: float = 1.5 * 2**20,
+    bandwidth: float = mbit_per_s(40),
+    loss: float = 0.02,
+    cross: str = "moderate",
+    duration: float = 90.0,
+    seed: int = 7,
+) -> TransportComparison:
+    """Run all three protocols on statistically identical channels."""
+    out = TransportComparison(target=target)
+
+    sim, fwd, rev = _paths(_control_channel(bandwidth, loss, cross), seed)
+    ctrl = RobbinsMonroController(target_goodput=target, window=32, ts_init=0.2)
+    stab = StabilizedUDPTransport(
+        sim, fwd, rev, FlowConfig(flow="stab", duration=duration), controller=ctrl
+    )
+    out.rows.append(_row("stabilized-udp (RM)", stab.run_to_completion(), target))
+
+    sim, fwd, rev = _paths(_control_channel(bandwidth, loss, cross), seed)
+    tcp = TcpRenoTransport(sim, fwd, rev, FlowConfig(flow="tcp", duration=duration))
+    out.rows.append(_row("tcp-reno", tcp.run_to_completion(), target))
+
+    sim, fwd, rev = _paths(_control_channel(bandwidth, loss, cross), seed)
+    udp = ConstantRateUdpTransport(
+        sim, fwd, rev, FlowConfig(flow="udp", duration=duration), rate=target
+    )
+    out.rows.append(_row("udp-constant", udp.run_to_completion(), target))
+    return out
+
+
+def run_alpha_sweep(
+    alphas: tuple[float, ...] = (0.55, 0.7, 0.8, 0.9, 1.0),
+    target: float = 1.5 * 2**20,
+    duration: float = 60.0,
+    seed: int = 3,
+) -> list[tuple[float, float | None, float]]:
+    """Ablation on the Robbins–Monro exponent.
+
+    Returns ``(alpha, convergence_time, tail_jitter)`` tuples: small α
+    keeps gains large (fast but noisy), α -> 1 damps aggressively.
+    """
+    out = []
+    for alpha in alphas:
+        sim, fwd, rev = _paths(
+            _control_channel(mbit_per_s(40), 0.02, "moderate"), seed
+        )
+        ctrl = RobbinsMonroController(
+            target_goodput=target, window=32, ts_init=0.2, alpha=alpha
+        )
+        t = StabilizedUDPTransport(
+            sim, fwd, rev, FlowConfig(flow=f"a{alpha}", duration=duration),
+            controller=ctrl,
+        )
+        stats = t.run_to_completion()
+        out.append(
+            (alpha, stats.convergence_time(0.15), stats.jitter_coefficient(0.5))
+        )
+    return out

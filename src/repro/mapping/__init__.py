@@ -1,0 +1,29 @@
+"""Pipeline partitioning and network mapping (the paper's Section 4).
+
+The core contribution: given a linear visualization pipeline of ``n + 1``
+modules and a transport network graph, find the decomposition into
+groups and the path of nodes hosting them that minimizes the end-to-end
+delay of Eq. 2.  :mod:`~repro.mapping.dp` implements the
+dynamic-programming recursion of Eqs. 9/10 in ``O(n * |E|)``;
+:mod:`~repro.mapping.exhaustive` is the brute-force optimality oracle;
+:mod:`~repro.mapping.greedy` the quality-ablation heuristic; and
+:mod:`~repro.mapping.vrt` the Visualization Routing Table distributed to
+the nodes (Section 2).
+"""
+
+from repro.mapping.dp import DPResult, map_pipeline
+from repro.mapping.exhaustive import exhaustive_map
+from repro.mapping.greedy import greedy_map
+from repro.mapping.model import DelayBreakdown, Mapping, evaluate_mapping
+from repro.mapping.vrt import VisualizationRoutingTable
+
+__all__ = [
+    "DPResult",
+    "DelayBreakdown",
+    "Mapping",
+    "VisualizationRoutingTable",
+    "evaluate_mapping",
+    "exhaustive_map",
+    "greedy_map",
+    "map_pipeline",
+]

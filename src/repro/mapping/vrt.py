@@ -1,0 +1,131 @@
+"""The Visualization Routing Table (VRT).
+
+"The computation for pipeline partitioning and network mapping results
+in a visualization routing table (VRT), which is delivered sequentially
+over the loop to establish the network routing path" (Section 2).  The
+CM node builds one of these from a DP result and ships it to every
+participating node; each entry tells a node which modules to run and
+where to forward its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.model import Mapping
+from repro.viz.pipeline import VisualizationPipeline
+
+__all__ = ["VRTEntry", "VisualizationRoutingTable"]
+
+
+@dataclass(frozen=True, slots=True)
+class VRTEntry:
+    """One hop of the routing table."""
+
+    node: str
+    module_indices: tuple[int, ...]
+    module_names: tuple[str, ...]
+    next_hop: str | None
+    output_bytes: float
+
+
+@dataclass
+class VisualizationRoutingTable:
+    """Ordered VRT entries, source node first."""
+
+    entries: list[VRTEntry]
+    control_path: tuple[str, ...] = field(default_factory=tuple)
+    expected_delay: float = 0.0
+
+    @classmethod
+    def from_mapping(
+        cls,
+        pipeline: VisualizationPipeline,
+        mapping: Mapping,
+        control_path: tuple[str, ...] = (),
+        expected_delay: float = 0.0,
+    ) -> "VisualizationRoutingTable":
+        """Build the table a CM node distributes over the loop."""
+        sizes = pipeline.message_sizes()
+        entries = []
+        for i, (node, group) in enumerate(zip(mapping.path, mapping.groups)):
+            nxt = mapping.path[i + 1] if i + 1 < mapping.q else None
+            out_bytes = sizes[group[-1]] if group[-1] < len(sizes) else sizes[-1]
+            entries.append(
+                VRTEntry(
+                    node=node,
+                    module_indices=tuple(group),
+                    module_names=tuple(pipeline.modules[j].name for j in group),
+                    next_hop=nxt,
+                    output_bytes=float(out_bytes),
+                )
+            )
+        return cls(
+            entries=entries,
+            control_path=tuple(control_path),
+            expected_delay=expected_delay,
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def data_path(self) -> tuple[str, ...]:
+        """Node sequence of the data (forward) path."""
+        return tuple(e.node for e in self.entries)
+
+    def entry_for(self, node: str) -> VRTEntry | None:
+        """The entry addressed to ``node`` (first match), or ``None``."""
+        for e in self.entries:
+            if e.node == node:
+                return e
+        return None
+
+    def loop_description(self) -> str:
+        """Paper-style loop naming, e.g. ``ORNL-LSU-GaTech-UT-ORNL``.
+
+        The loop is control path (client -> ... -> source) followed by
+        the data path back to the client.
+        """
+        names: list[str] = []
+        for n in self.control_path:
+            if not names or names[-1] != n:
+                names.append(n)
+        for n in self.data_path:
+            if not names or names[-1] != n:
+                names.append(n)
+        return "-".join(names)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "control_path": list(self.control_path),
+            "expected_delay": self.expected_delay,
+            "entries": [
+                {
+                    "node": e.node,
+                    "module_indices": list(e.module_indices),
+                    "module_names": list(e.module_names),
+                    "next_hop": e.next_hop,
+                    "output_bytes": e.output_bytes,
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VisualizationRoutingTable":
+        return cls(
+            entries=[
+                VRTEntry(
+                    node=d["node"],
+                    module_indices=tuple(d["module_indices"]),
+                    module_names=tuple(d["module_names"]),
+                    next_hop=d["next_hop"],
+                    output_bytes=d["output_bytes"],
+                )
+                for d in data["entries"]
+            ],
+            control_path=tuple(data.get("control_path", ())),
+            expected_delay=float(data.get("expected_delay", 0.0)),
+        )

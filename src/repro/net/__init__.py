@@ -1,0 +1,50 @@
+"""Simulated wide-area network substrate.
+
+Models the paper's Internet deployment (Fig. 8) as an overlay of nodes and
+virtual links with bandwidth, propagation delay, stochastic queuing noise,
+random loss and time-varying cross traffic.  Provides:
+
+* :mod:`~repro.net.topology` — node/link specs and the overlay graph,
+* :mod:`~repro.net.crosstraffic` — stochastic background-traffic models,
+* :mod:`~repro.net.channel` — packet-level simulated links and paths
+  driven by the DES kernel,
+* :mod:`~repro.net.measurement` — active effective-path-bandwidth (EPB)
+  estimation via linear regression (Section 4.3 of the paper),
+* :mod:`~repro.net.testbed` — the six-site ORNL/LSU/UT/NCState/OSU/GaTech
+  experiment network.
+"""
+
+from repro.net.channel import LinkStats, SimLink, SimPath, build_sim_path
+from repro.net.crosstraffic import (
+    CompositeCrossTraffic,
+    ConstantCrossTraffic,
+    CrossTrafficModel,
+    OnOffCrossTraffic,
+    SinusoidalCrossTraffic,
+)
+from repro.net.measurement import PathEstimate, estimate_path_bandwidth, measure_path
+from repro.net.packet import Datagram, PacketKind
+from repro.net.testbed import PAPER_SITES, build_paper_testbed
+from repro.net.topology import LinkSpec, NodeSpec, Topology
+
+__all__ = [
+    "CompositeCrossTraffic",
+    "ConstantCrossTraffic",
+    "CrossTrafficModel",
+    "Datagram",
+    "LinkSpec",
+    "LinkStats",
+    "NodeSpec",
+    "OnOffCrossTraffic",
+    "PacketKind",
+    "PathEstimate",
+    "PAPER_SITES",
+    "SimLink",
+    "SimPath",
+    "SinusoidalCrossTraffic",
+    "Topology",
+    "build_paper_testbed",
+    "build_sim_path",
+    "estimate_path_bandwidth",
+    "measure_path",
+]

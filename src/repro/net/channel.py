@@ -1,0 +1,219 @@
+"""Packet-level simulated links and multi-hop paths.
+
+A :class:`SimLink` is one *direction* of an overlay link.  It models:
+
+* serialization at the available bandwidth ``b(t) = b_raw * (1 - u(t))``,
+* a bounded FIFO drop-tail queue (congestion loss),
+* random per-datagram loss at the spec's ``loss_rate``,
+* propagation delay plus stochastic queuing jitter.
+
+A :class:`SimPath` chains links so a datagram handed to hop 0 pops out at
+the destination after traversing every hop (or is dropped on the way).
+This is the substrate under the transport protocols of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.des.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.crosstraffic import ConstantCrossTraffic, CrossTrafficModel, make_cross_traffic
+from repro.net.packet import Datagram
+from repro.net.topology import LinkSpec, Topology
+
+__all__ = ["LinkStats", "SimLink", "SimPath", "build_sim_path"]
+
+DeliverFn = Callable[[Datagram], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction link counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_random: int = 0
+    dropped_queue: int = 0
+    bytes_sent: float = 0.0
+    bytes_delivered: float = 0.0
+    busy_time: float = 0.0
+
+    @property
+    def dropped(self) -> int:
+        """Total drops from both causes."""
+        return self.dropped_random + self.dropped_queue
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed fraction of sent datagrams that were dropped."""
+        return self.dropped / self.sent if self.sent else 0.0
+
+
+class SimLink:
+    """One direction of an overlay link, driven by the DES clock.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator supplying the clock.
+    spec:
+        Static link parameters (bandwidth, delay, loss, jitter).
+    cross_traffic:
+        Background-utilization model; defaults to the spec's tag.
+    rng:
+        Random stream for loss and jitter draws (deterministic per link).
+    max_queue_delay:
+        Drop-tail bound: a datagram whose queueing wait would exceed this
+        many seconds is dropped (congestion loss).  Roughly
+        ``buffer_bytes / bandwidth`` of a real router.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: LinkSpec,
+        cross_traffic: CrossTrafficModel | None = None,
+        rng: np.random.Generator | None = None,
+        max_queue_delay: float = 0.5,
+    ) -> None:
+        if max_queue_delay <= 0:
+            raise ConfigurationError("max_queue_delay must be positive")
+        self.sim = sim
+        self.spec = spec
+        self.cross_traffic = (
+            cross_traffic
+            if cross_traffic is not None
+            else make_cross_traffic(spec.cross_traffic, rng)
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_queue_delay = max_queue_delay
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+
+    # -- bandwidth model -------------------------------------------------------
+
+    def available_bandwidth(self, t: float | None = None) -> float:
+        """Bandwidth left over by cross traffic at time ``t`` (bytes/s)."""
+        t = self.sim.now if t is None else t
+        util = self.cross_traffic.utilization(t)
+        return self.spec.bandwidth * max(1.0 - util, 0.05)
+
+    def transmission_delay(self, nbytes: float, t: float | None = None) -> float:
+        """Serialization time of ``nbytes`` at current available bandwidth."""
+        return nbytes / self.available_bandwidth(t)
+
+    def expected_message_delay(self, nbytes: float, t: float = 0.0) -> float:
+        """Deterministic bulk-message delay (no loss/jitter): Eq. 3 head terms."""
+        return self.transmission_delay(nbytes, t) + self.spec.prop_delay
+
+    # -- packet transmission -----------------------------------------------------
+
+    def send(self, dgram: Datagram, on_deliver: DeliverFn | None) -> bool:
+        """Enqueue ``dgram``; returns ``False`` if it was dropped.
+
+        On success, ``on_deliver(dgram)`` fires at the delivery time.
+        """
+        now = self.sim.now
+        self.stats.sent += 1
+        self.stats.bytes_sent += dgram.size
+
+        queue_wait = max(0.0, self._busy_until - now)
+        if queue_wait > self.max_queue_delay:
+            self.stats.dropped_queue += 1
+            return False
+        if self.spec.loss_rate > 0 and self.rng.random() < self.spec.loss_rate:
+            # Random (non-congestion) loss still consumes link time up to
+            # the drop point; we charge serialization as if transmitted.
+            self.stats.dropped_random += 1
+            txd = self.transmission_delay(dgram.size)
+            self._busy_until = now + queue_wait + txd
+            self.stats.busy_time += txd
+            return False
+
+        txd = self.transmission_delay(dgram.size)
+        self._busy_until = now + queue_wait + txd
+        self.stats.busy_time += txd
+        jitter = 0.0
+        if self.spec.jitter > 0:
+            # Lognormal multiplicative noise on the propagation component,
+            # modelling the random equipment delay d_q of Eq. 3.
+            sigma = self.spec.jitter
+            jitter = self.spec.prop_delay * (
+                float(self.rng.lognormal(mean=0.0, sigma=sigma)) - 1.0
+            )
+            jitter = max(jitter, -0.5 * self.spec.prop_delay)
+        latency = queue_wait + txd + self.spec.prop_delay + jitter
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += dgram.size
+        if on_deliver is not None:
+            self.sim.schedule(latency, on_deliver, dgram)
+        return True
+
+
+class SimPath:
+    """A chain of :class:`SimLink` hops forming one direction of a route."""
+
+    def __init__(self, links: Sequence[SimLink]) -> None:
+        if not links:
+            raise ConfigurationError("a path needs at least one link")
+        self.links = list(links)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.links[0].sim
+
+    def bottleneck_bandwidth(self, t: float = 0.0) -> float:
+        """Minimum available bandwidth along the path (bytes/s)."""
+        return min(l.available_bandwidth(t) for l in self.links)
+
+    def min_delay(self) -> float:
+        """Sum of per-hop minimum link delays."""
+        return sum(l.spec.prop_delay for l in self.links)
+
+    def expected_message_delay(self, nbytes: float, t: float = 0.0) -> float:
+        """Store-and-forward bulk delay (deterministic approximation)."""
+        return sum(l.expected_message_delay(nbytes, t) for l in self.links)
+
+    def send(self, dgram: Datagram, on_deliver: DeliverFn | None) -> None:
+        """Inject at hop 0; ``on_deliver`` fires at the final hop (if not dropped)."""
+        dgram.send_time = self.sim.now
+        self._forward(0, dgram, on_deliver)
+
+    def _forward(self, hop: int, dgram: Datagram, on_deliver: DeliverFn | None) -> None:
+        if hop == len(self.links) - 1:
+            self.links[hop].send(dgram, on_deliver)
+            return
+        self.links[hop].send(
+            dgram, lambda d, h=hop + 1: self._forward(h, d, on_deliver)
+        )
+
+
+def build_sim_path(
+    sim: Simulator,
+    topology: Topology,
+    path_nodes: Sequence[str],
+    rng: np.random.Generator | None = None,
+    max_queue_delay: float = 0.5,
+    no_cross_traffic: bool = False,
+) -> SimPath:
+    """Instantiate a directed :class:`SimPath` along ``path_nodes``.
+
+    Each hop gets its own rng sub-stream (derived from ``rng``) so loss
+    draws on different hops are independent but reproducible.
+    """
+    specs = topology.path_links(list(path_nodes))
+    if not specs:
+        raise ConfigurationError("path must contain at least two nodes")
+    base = rng if rng is not None else np.random.default_rng(0)
+    links = []
+    for i, spec in enumerate(specs):
+        child = np.random.default_rng(base.integers(0, 2**63 - 1))
+        ct = ConstantCrossTraffic(0.0) if no_cross_traffic else None
+        links.append(
+            SimLink(sim, spec, cross_traffic=ct, rng=child, max_queue_delay=max_queue_delay)
+        )
+    return SimPath(links)

@@ -1,0 +1,159 @@
+"""Stochastic cross-traffic models.
+
+Cross traffic occupies a time-varying fraction of a link's raw bandwidth;
+the *available* bandwidth seen by our flows is ``b * (1 - utilization(t))``.
+The paper attributes goodput randomness to "time-varying cross traffic and
+host loads" (Section 4.3); these models supply that randomness in a
+reproducible way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CrossTrafficModel",
+    "ConstantCrossTraffic",
+    "OnOffCrossTraffic",
+    "SinusoidalCrossTraffic",
+    "CompositeCrossTraffic",
+    "make_cross_traffic",
+]
+
+_MAX_UTILIZATION = 0.95
+
+
+class CrossTrafficModel(Protocol):
+    """Anything exposing ``utilization(t) -> fraction in [0, 0.95]``."""
+
+    def utilization(self, t: float) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class ConstantCrossTraffic:
+    """Fixed background utilization (a loaded but steady link)."""
+
+    def __init__(self, level: float = 0.0) -> None:
+        if not (0.0 <= level <= _MAX_UTILIZATION):
+            raise ConfigurationError(f"utilization {level} outside [0, {_MAX_UTILIZATION}]")
+        self.level = float(level)
+
+    def utilization(self, t: float) -> float:
+        return self.level
+
+
+class SinusoidalCrossTraffic:
+    """Slow periodic load swing (diurnal-style variation)."""
+
+    def __init__(
+        self,
+        mean: float = 0.3,
+        amplitude: float = 0.2,
+        period: float = 300.0,
+        phase: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        if mean - amplitude < 0 or mean + amplitude > _MAX_UTILIZATION:
+            raise ConfigurationError("mean +/- amplitude must stay within [0, 0.95]")
+        self.mean = mean
+        self.amplitude = amplitude
+        self.period = period
+        self.phase = phase
+
+    def utilization(self, t: float) -> float:
+        return self.mean + self.amplitude * math.sin(
+            2.0 * math.pi * t / self.period + self.phase
+        )
+
+
+class OnOffCrossTraffic:
+    """Two-state Markov (bursty) background traffic.
+
+    Holding times in each state are exponential; the switch schedule is
+    generated lazily and deterministically from the seed, so queries at
+    arbitrary ``t`` are reproducible regardless of call order.
+    """
+
+    def __init__(
+        self,
+        on_level: float = 0.6,
+        off_level: float = 0.1,
+        mean_on: float = 5.0,
+        mean_off: float = 10.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        for name, lvl in (("on_level", on_level), ("off_level", off_level)):
+            if not (0.0 <= lvl <= _MAX_UTILIZATION):
+                raise ConfigurationError(f"{name}={lvl} outside [0, {_MAX_UTILIZATION}]")
+        if mean_on <= 0 or mean_off <= 0:
+            raise ConfigurationError("mean holding times must be positive")
+        self.on_level = on_level
+        self.off_level = off_level
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # _switches[i] is the time at which the i-th state period *ends*;
+        # state of period i is ON for even i, OFF for odd i.
+        self._switches: list[float] = []
+        self._extend_to(1.0)
+
+    def _extend_to(self, t: float) -> None:
+        last = self._switches[-1] if self._switches else 0.0
+        while last <= t:
+            on_period = len(self._switches) % 2 == 0
+            mean = self.mean_on if on_period else self.mean_off
+            last += float(self._rng.exponential(mean))
+            self._switches.append(last)
+
+    def utilization(self, t: float) -> float:
+        if t < 0:
+            t = 0.0
+        self._extend_to(t)
+        idx = int(np.searchsorted(np.asarray(self._switches), t, side="right"))
+        return self.on_level if idx % 2 == 0 else self.off_level
+
+
+class CompositeCrossTraffic:
+    """Sum of component models, clipped to the physical maximum."""
+
+    def __init__(self, components: Sequence[CrossTrafficModel]) -> None:
+        if not components:
+            raise ConfigurationError("composite needs at least one component")
+        self.components = list(components)
+
+    def utilization(self, t: float) -> float:
+        total = sum(c.utilization(t) for c in self.components)
+        return min(total, _MAX_UTILIZATION)
+
+
+def make_cross_traffic(
+    kind: str, rng: np.random.Generator | None = None
+) -> CrossTrafficModel:
+    """Factory from a link-spec string tag.
+
+    Recognized tags: ``none``, ``light``, ``moderate``, ``heavy``,
+    ``bursty``, ``diurnal``.
+    """
+    if kind == "none":
+        return ConstantCrossTraffic(0.0)
+    if kind == "light":
+        return ConstantCrossTraffic(0.1)
+    if kind == "moderate":
+        return CompositeCrossTraffic(
+            [ConstantCrossTraffic(0.2), SinusoidalCrossTraffic(0.1, 0.08, 120.0)]
+        )
+    if kind == "heavy":
+        return CompositeCrossTraffic(
+            [ConstantCrossTraffic(0.4), SinusoidalCrossTraffic(0.15, 0.1, 90.0)]
+        )
+    if kind == "bursty":
+        return OnOffCrossTraffic(rng=rng)
+    if kind == "diurnal":
+        return SinusoidalCrossTraffic(0.3, 0.25, 600.0)
+    raise ConfigurationError(f"unknown cross-traffic kind {kind!r}")

@@ -1,0 +1,51 @@
+"""Datagram objects exchanged over simulated links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["PacketKind", "Datagram"]
+
+
+class PacketKind(str, Enum):
+    """Role of a datagram inside a flow (mirrors Fig. 2 of the paper)."""
+
+    DATA = "DATA"
+    ACK = "ACK"
+    NACK = "NACK"
+    CONTROL = "CONTROL"
+
+
+@dataclass(slots=True)
+class Datagram:
+    """A UDP datagram (or TCP segment) traversing the simulated network.
+
+    Attributes
+    ----------
+    flow:
+        Flow identifier; statistics are grouped per flow.
+    seq:
+        Sequence number within the flow (-1 for pure control packets).
+    size:
+        Payload size in bytes (headers are ignored; the paper works at
+        the granularity of MB-scale messages so header overhead is noise).
+    kind:
+        DATA / ACK / NACK / CONTROL.
+    payload:
+        Arbitrary metadata carried along (e.g. cumulative-ACK state).
+    send_time:
+        Simulation time at which the packet entered the first link.
+    """
+
+    flow: str
+    seq: int
+    size: float
+    kind: PacketKind = PacketKind.DATA
+    payload: Any = None
+    send_time: float = field(default=0.0)
+
+    def is_data(self) -> bool:
+        """True for payload-bearing packets counted toward goodput."""
+        return self.kind is PacketKind.DATA

@@ -1,0 +1,128 @@
+"""The six-site experiment testbed of the paper (Fig. 8).
+
+Sites and roles (Section 5.3):
+
+* **ORNL** — Ajax client + Ajax front end (display; can also render in the
+  PC-PC loops),
+* **LSU** — central management (CM) node,
+* **OSU**, **GaTech** — data-source PCs holding the replicated datasets;
+  *no graphics card* (the paper performs extraction there but renders at
+  ORNL in the PC-PC loops),
+* **UT**, **NCState** — clusters with MPI-based parallel visualization
+  modules (8 nodes each in the paper's GUI experiment).
+
+Link bandwidths/delays are calibrated so the *shape* of Fig. 9 holds:
+the GaTech→UT→ORNL route is the best data path, NCState routes are
+second, OSU routes third, and the direct PC-PC paths are bandwidth- and
+compute-starved for large data.  Absolute values are documented
+substitutes for the 2008 Internet paths (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.topology import LinkSpec, NodeSpec, Topology
+from repro.units import mbit_per_s
+
+__all__ = ["PAPER_SITES", "TestbedRoles", "build_paper_testbed"]
+
+#: Canonical site names, in the order the paper lists them.
+PAPER_SITES: tuple[str, ...] = ("ORNL", "LSU", "UT", "NCState", "OSU", "GaTech")
+
+
+@dataclass(frozen=True, slots=True)
+class TestbedRoles:
+    """Which site plays which RICSA role (Fig. 8)."""
+
+    client: str = "ORNL"
+    frontend: str = "ORNL"
+    central_manager: str = "LSU"
+    data_sources: tuple[str, ...] = ("GaTech", "OSU")
+    computing_services: tuple[str, ...] = ("UT", "NCState")
+
+
+def _cluster_power(n_hosts: int, per_host: float, efficiency: float) -> float:
+    """Effective aggregate power of an ``n_hosts`` cluster.
+
+    Amdahl-style: the first host contributes fully, the rest at the
+    parallel efficiency typical for block-distributed viz modules.
+    """
+    return per_host * (1.0 + efficiency * (n_hosts - 1))
+
+
+def build_paper_testbed(
+    seed: int = 0, with_cross_traffic: bool = True
+) -> tuple[Topology, TestbedRoles]:
+    """Construct the Fig. 8 topology.
+
+    Parameters
+    ----------
+    seed:
+        Reserved for future stochastic attributes; kept for API stability
+        so experiment configs can thread a seed through uniformly.
+    with_cross_traffic:
+        When ``False`` all links carry the ``none`` traffic tag, which
+        makes transport deterministic (useful for unit tests).
+    """
+    del seed  # topology itself is deterministic; channels get their own rng
+    ct = (lambda tag: tag) if with_cross_traffic else (lambda tag: "none")
+
+    pc_caps = frozenset({"source", "filter", "extract", "display"})
+    nodes = [
+        # Client/front-end PC: has a display and a modest graphics card, so
+        # it can render in the PC-PC fallback loops.
+        NodeSpec(
+            name="ORNL",
+            power=1.0,
+            capabilities=frozenset({"display", "render", "extract", "filter"}),
+            triangles_per_sec=2.0e6,
+        ),
+        # CM host only coordinates; it never runs visualization modules.
+        NodeSpec(name="LSU", power=1.0, capabilities=frozenset({"control"})),
+        # Data-source PCs: hold datasets, can filter/extract, cannot render
+        # (no graphics card, per Section 5.3.1).
+        NodeSpec(name="OSU", power=0.9, capabilities=pc_caps, triangles_per_sec=0.0),
+        NodeSpec(name="GaTech", power=1.0, capabilities=pc_caps, triangles_per_sec=0.0),
+        # Clusters with MPI viz modules; parallel_overhead models the data
+        # distribution/communication cost the paper observes on small data.
+        NodeSpec(
+            name="UT",
+            power=_cluster_power(8, 1.1, 0.55),
+            capabilities=frozenset({"filter", "extract", "render"}),
+            cluster_size=8,
+            parallel_overhead=1.6,
+            triangles_per_sec=2.4e7,
+        ),
+        NodeSpec(
+            name="NCState",
+            power=_cluster_power(8, 0.9, 0.50),
+            capabilities=frozenset({"filter", "extract", "render"}),
+            cluster_size=8,
+            parallel_overhead=1.8,
+            triangles_per_sec=1.6e7,
+        ),
+    ]
+
+    links = [
+        # Control-plane links (client -> CM -> data sources): modest
+        # bandwidth, low delay — they carry KB-scale steering messages.
+        LinkSpec("ORNL", "LSU", mbit_per_s(100), 0.012, 0.002, 0.15, ct("light")),
+        LinkSpec("LSU", "GaTech", mbit_per_s(100), 0.010, 0.002, 0.15, ct("light")),
+        LinkSpec("LSU", "OSU", mbit_per_s(80), 0.014, 0.002, 0.15, ct("light")),
+        # Data-plane links between sources and cluster computing services.
+        LinkSpec("GaTech", "UT", mbit_per_s(420), 0.006, 0.001, 0.10, ct("moderate")),
+        LinkSpec("GaTech", "NCState", mbit_per_s(180), 0.008, 0.001, 0.10, ct("moderate")),
+        LinkSpec("OSU", "UT", mbit_per_s(130), 0.009, 0.001, 0.10, ct("moderate")),
+        LinkSpec("OSU", "NCState", mbit_per_s(110), 0.009, 0.001, 0.10, ct("moderate")),
+        # Delivery links from computing services to the client.
+        LinkSpec("UT", "ORNL", mbit_per_s(300), 0.005, 0.001, 0.10, ct("moderate")),
+        LinkSpec("NCState", "ORNL", mbit_per_s(140), 0.007, 0.001, 0.10, ct("moderate")),
+        # Direct PC-PC paths used by the conventional client/server loops.
+        LinkSpec("ORNL", "GaTech", mbit_per_s(90), 0.011, 0.002, 0.20, ct("heavy")),
+        LinkSpec("ORNL", "OSU", mbit_per_s(70), 0.013, 0.002, 0.20, ct("heavy")),
+    ]
+
+    return Topology.from_specs(nodes, links), TestbedRoles()

@@ -1,0 +1,233 @@
+"""Overlay network topology: node and link specifications.
+
+The transport network of the paper is a graph ``G = (V, E)`` where node
+``v_i`` has normalized computing power ``p_i`` and link ``L_{i,j}`` has
+bandwidth ``b_{i,j}`` and minimum delay ``d_{i,j}`` (Section 4.2).  This
+module provides exactly that representation plus capability metadata used by
+the feasibility checks of Section 4.5 ("some nodes are only capable of
+executing certain visualization modules").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import TopologyError
+
+__all__ = ["NodeSpec", "LinkSpec", "Topology"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """A computing node in the overlay.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier (site name in the testbed).
+    power:
+        Normalized computing power ``p_i`` (1.0 = reference PC).  For a
+        cluster this is the *effective aggregate* power seen by a
+        block-parallel visualization module.
+    capabilities:
+        Which module kinds the node may run (``'source'``, ``'filter'``,
+        ``'extract'``, ``'render'``, ``'display'``, ``'control'``).  A
+        node without ``'render'`` models a host with no graphics card,
+        exactly the constraint the paper hits at GaTech/OSU.
+    cluster_size:
+        Number of hosts (1 for a PC, 8 for the paper's clusters).
+    parallel_overhead:
+        Fixed per-invocation overhead in seconds for distributing work
+        across a cluster (the MPI data-distribution cost the paper notes
+        makes clusters unattractive for small datasets).
+    triangles_per_sec:
+        Rendering throughput used by the Eq. 6 rendering cost model.
+    """
+
+    name: str
+    power: float = 1.0
+    capabilities: frozenset[str] = frozenset({"filter", "extract", "render"})
+    cluster_size: int = 1
+    parallel_overhead: float = 0.0
+    triangles_per_sec: float = 2.0e6
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise TopologyError(f"node {self.name!r}: power must be > 0")
+        if self.cluster_size < 1:
+            raise TopologyError(f"node {self.name!r}: cluster_size must be >= 1")
+
+    def can(self, capability: str) -> bool:
+        """Whether this node may execute modules requiring ``capability``."""
+        return capability in self.capabilities
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """A (bidirectional) virtual link of the overlay.
+
+    Bandwidth is in **bytes/second**; ``prop_delay`` is the minimum link
+    delay ``d_{i,j}`` in seconds (propagation + base queuing of Eq. 3).
+    ``loss_rate`` is the random per-datagram loss probability and
+    ``jitter`` the relative standard deviation of stochastic queuing
+    noise applied to per-packet delay.
+    """
+
+    u: str
+    v: str
+    bandwidth: float
+    prop_delay: float = 0.01
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+    cross_traffic: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise TopologyError(f"link {self.u}-{self.v}: bandwidth must be > 0")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise TopologyError(f"link {self.u}-{self.v}: loss_rate must be in [0,1)")
+        if self.prop_delay < 0:
+            raise TopologyError(f"link {self.u}-{self.v}: negative prop_delay")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Canonical (sorted) endpoint pair."""
+        return (self.u, self.v) if self.u <= self.v else (self.v, self.u)
+
+
+class Topology:
+    """The overlay graph ``G = (V, E)`` with spec-typed nodes and links.
+
+    Thin wrapper over :class:`networkx.Graph` that enforces spec objects
+    and gives O(1) typed access.  Links are undirected (the paper's
+    virtual links are symmetric overlay paths); per-direction channel
+    state lives in :class:`repro.net.channel.SimLink`.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.Graph()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, spec: NodeSpec) -> None:
+        """Add a node; re-adding the same name replaces its spec."""
+        self._g.add_node(spec.name, spec=spec)
+
+    def add_link(self, spec: LinkSpec) -> None:
+        """Add a link; both endpoints must already exist."""
+        for end in (spec.u, spec.v):
+            if end not in self._g:
+                raise TopologyError(f"link references unknown node {end!r}")
+        if spec.u == spec.v:
+            raise TopologyError(f"self-loop on {spec.u!r} not allowed")
+        self._g.add_edge(spec.u, spec.v, spec=spec)
+
+    @classmethod
+    def from_specs(
+        cls, nodes: Iterable[NodeSpec], links: Iterable[LinkSpec]
+    ) -> "Topology":
+        """Build a topology from node and link spec iterables."""
+        topo = cls()
+        for n in nodes:
+            topo.add_node(n)
+        for l in links:
+            topo.add_link(l)
+        return topo
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    @property
+    def node_names(self) -> list[str]:
+        """Node names in insertion order."""
+        return list(self._g.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self._g.number_of_edges()
+
+    def node(self, name: str) -> NodeSpec:
+        """Spec of node ``name`` (raises :class:`TopologyError` if absent)."""
+        try:
+            return self._g.nodes[name]["spec"]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def has_link(self, u: str, v: str) -> bool:
+        return self._g.has_edge(u, v)
+
+    def link(self, u: str, v: str) -> LinkSpec:
+        """Spec of link ``(u, v)`` (order-insensitive)."""
+        try:
+            return self._g.edges[u, v]["spec"]
+        except KeyError:
+            raise TopologyError(f"no link between {u!r} and {v!r}") from None
+
+    def neighbors(self, name: str) -> list[str]:
+        """Adjacent node names (``adj(v_i)`` in Eq. 9)."""
+        if name not in self._g:
+            raise TopologyError(f"unknown node {name!r}")
+        return list(self._g.neighbors(name))
+
+    def links(self) -> Iterator[LinkSpec]:
+        """Iterate over all link specs."""
+        for _, _, data in self._g.edges(data=True):
+            yield data["spec"]
+
+    def nodes(self) -> Iterator[NodeSpec]:
+        """Iterate over all node specs."""
+        for _, data in self._g.nodes(data=True):
+            yield data["spec"]
+
+    def bandwidth(self, u: str, v: str) -> float:
+        """Link bandwidth ``b_{u,v}`` in bytes/second."""
+        return self.link(u, v).bandwidth
+
+    def prop_delay(self, u: str, v: str) -> float:
+        """Minimum link delay ``d_{u,v}`` in seconds."""
+        return self.link(u, v).prop_delay
+
+    def path_links(self, path: list[str]) -> list[LinkSpec]:
+        """Link specs along a node path (validates adjacency)."""
+        if len(path) < 2:
+            return []
+        return [self.link(u, v) for u, v in zip(path[:-1], path[1:])]
+
+    def simple_paths(self, src: str, dst: str, max_hops: int | None = None) -> list[list[str]]:
+        """All simple paths from ``src`` to ``dst`` (for exhaustive search)."""
+        cutoff = max_hops if max_hops is not None else self.num_nodes - 1
+        return [list(p) for p in nx.all_simple_paths(self._g, src, dst, cutoff=cutoff)]
+
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._g
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (capabilities become sorted lists)."""
+        nodes = []
+        for spec in self.nodes():
+            d = asdict(spec)
+            d["capabilities"] = sorted(spec.capabilities)
+            nodes.append(d)
+        return {"nodes": nodes, "links": [asdict(l) for l in self.links()]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Topology":
+        """Inverse of :meth:`to_dict`."""
+        nodes = [
+            NodeSpec(**{**nd, "capabilities": frozenset(nd["capabilities"])})
+            for nd in data["nodes"]
+        ]
+        links = [LinkSpec(**ld) for ld in data["links"]]
+        return cls.from_specs(nodes, links)

@@ -1,0 +1,36 @@
+"""Steerable simulation codes (the paper's computation substrate).
+
+The paper steers the Virginia Hydrodynamics (VH1) Fortran code running
+the Sod shock tube and a stellar-wind bow shock (Figs. 6-7).  This
+package provides Python equivalents with the same structure:
+
+* :mod:`~repro.sims.riemann` — exact Riemann solver (validation oracle),
+* :mod:`~repro.sims.euler1d` — 1-D finite-volume Euler (Sod shock tube),
+* :mod:`~repro.sims.vh1` — 3-D Euler with VH1's ``sweepx/sweepy/sweepz``
+  dimensional splitting,
+* :mod:`~repro.sims.bowshock` — stellar-wind bow shock setup (Fig. 6),
+* :mod:`~repro.sims.heat` — a diffusion demo for fast steering tests,
+* :mod:`~repro.sims.registry` — name -> factory lookup for the steering
+  framework ("choose from a list of available simulation codes").
+"""
+
+from repro.sims.base import ParamSpec, SteerableSimulation
+from repro.sims.bowshock import BowShockSimulation
+from repro.sims.euler1d import SodShockTube
+from repro.sims.heat import HeatDiffusionSimulation
+from repro.sims.registry import available_simulations, create_simulation
+from repro.sims.riemann import exact_riemann, sod_exact_solution
+from repro.sims.vh1 import VH1Simulation
+
+__all__ = [
+    "BowShockSimulation",
+    "HeatDiffusionSimulation",
+    "ParamSpec",
+    "SodShockTube",
+    "SteerableSimulation",
+    "VH1Simulation",
+    "available_simulations",
+    "create_simulation",
+    "exact_riemann",
+    "sod_exact_solution",
+]

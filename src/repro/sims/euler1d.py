@@ -1,0 +1,166 @@
+"""1-D finite-volume Euler solver: the Sod shock tube.
+
+HLL fluxes with MUSCL (minmod) reconstruction and CFL-controlled time
+steps.  Steerable parameters: the left/right initial states, gamma and
+the CFL number — changing the states mid-run restarts the problem, while
+gamma/CFL take effect immediately (the classic "steer the stray
+simulation" scenario).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.grid import StructuredGrid
+from repro.errors import SimulationError
+from repro.sims.base import ParamSpec, SteerableSimulation
+
+__all__ = ["SodShockTube", "hll_flux", "primitive_to_conserved", "conserved_to_primitive"]
+
+
+def primitive_to_conserved(rho, u, p, gamma):
+    """(rho, u, p) -> (rho, rho*u, E)."""
+    e = p / (gamma - 1.0) + 0.5 * rho * u**2
+    return np.stack([rho, rho * u, e])
+
+
+def conserved_to_primitive(U, gamma):
+    """(rho, rho*u, E) -> (rho, u, p); floors protect against negativity."""
+    rho = np.maximum(U[0], 1e-12)
+    u = U[1] / rho
+    p = np.maximum((gamma - 1.0) * (U[2] - 0.5 * rho * u**2), 1e-12)
+    return rho, u, p
+
+
+def _euler_flux(U, gamma):
+    rho, u, p = conserved_to_primitive(U, gamma)
+    return np.stack([rho * u, rho * u**2 + p, (U[2] + p) * u])
+
+
+def hll_flux(U_l, U_r, gamma):
+    """HLL approximate Riemann flux between left/right states."""
+    rho_l, u_l, p_l = conserved_to_primitive(U_l, gamma)
+    rho_r, u_r, p_r = conserved_to_primitive(U_r, gamma)
+    a_l = np.sqrt(gamma * p_l / rho_l)
+    a_r = np.sqrt(gamma * p_r / rho_r)
+    s_l = np.minimum(u_l - a_l, u_r - a_r)
+    s_r = np.maximum(u_l + a_l, u_r + a_r)
+    F_l = _euler_flux(U_l, gamma)
+    F_r = _euler_flux(U_r, gamma)
+    out = np.where(
+        s_l >= 0,
+        F_l,
+        np.where(
+            s_r <= 0,
+            F_r,
+            (s_r * F_l - s_l * F_r + s_l * s_r * (U_r - U_l)) / (s_r - s_l),
+        ),
+    )
+    return out
+
+
+def _minmod(a, b):
+    return np.where(a * b <= 0, 0.0, np.where(np.abs(a) < np.abs(b), a, b))
+
+
+class SodShockTube(SteerableSimulation):
+    """The canonical Sod problem on ``n`` cells of a unit tube."""
+
+    name = "sod"
+
+    def __init__(self, n_cells: int = 400, muscl: bool = True) -> None:
+        if n_cells < 8:
+            raise SimulationError("need at least 8 cells")
+        self.n = int(n_cells)
+        self.muscl = muscl
+        self.dx = 1.0 / self.n
+        self.x = (np.arange(self.n) + 0.5) * self.dx
+        super().__init__()
+        self._initialize()
+
+    @classmethod
+    def param_specs(cls) -> list[ParamSpec]:
+        return [
+            ParamSpec("gamma", "float", 1.4, 1.05, 5.0 / 3.0, description="ratio of specific heats"),
+            ParamSpec("cfl", "float", 0.4, 0.05, 0.9, description="CFL number"),
+            ParamSpec("rho_l", "float", 1.0, 0.01, 10.0, description="left density"),
+            ParamSpec("p_l", "float", 1.0, 0.01, 10.0, description="left pressure"),
+            ParamSpec("rho_r", "float", 0.125, 0.01, 10.0, description="right density"),
+            ParamSpec("p_r", "float", 0.1, 0.01, 10.0, description="right pressure"),
+            ParamSpec("diaphragm", "float", 0.5, 0.1, 0.9, description="initial interface position"),
+        ]
+
+    def variables(self) -> list[str]:
+        return ["density", "velocity", "pressure", "energy"]
+
+    # -- state ------------------------------------------------------------------
+
+    def _initialize(self) -> None:
+        p = self.params
+        left = self.x < p["diaphragm"]
+        rho = np.where(left, p["rho_l"], p["rho_r"])
+        vel = np.zeros(self.n)
+        prs = np.where(left, p["p_l"], p["p_r"])
+        self.U = primitive_to_conserved(rho, vel, prs, p["gamma"])
+        self.time = 0.0
+
+    def on_params_changed(self) -> None:
+        # Changing the initial states or diaphragm restarts the problem;
+        # gamma/CFL steer the running computation in place.
+        changed = self.steering_events[-1][1] if self.steering_events else {}
+        if {"rho_l", "p_l", "rho_r", "p_r", "diaphragm"} & set(changed):
+            self._initialize()
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def _advance(self) -> None:
+        gamma = self.params["gamma"]
+        cfl = self.params["cfl"]
+        rho, u, p = conserved_to_primitive(self.U, gamma)
+        a = np.sqrt(gamma * p / rho)
+        smax = float(np.max(np.abs(u) + a))
+        dt = cfl * self.dx / max(smax, 1e-12)
+
+        U = self.U
+        # Outflow (zero-gradient) ghost cells, 2 deep for MUSCL.
+        Ug = np.concatenate([U[:, :1], U[:, :1], U, U[:, -1:], U[:, -1:]], axis=1)
+        if self.muscl:
+            dU = Ug[:, 1:] - Ug[:, :-1]
+            slope = _minmod(dU[:, :-1], dU[:, 1:])  # slopes for cells 1..end-1
+            Uc = Ug[:, 1:-1]
+            U_left_face = Uc + 0.5 * slope  # right edge of each cell
+            U_right_face = Uc - 0.5 * slope  # left edge of each cell
+            U_l = U_left_face[:, :-1]
+            U_r = U_right_face[:, 1:]
+        else:
+            Uc = Ug[:, 1:-1]
+            U_l = Uc[:, :-1]
+            U_r = Uc[:, 1:]
+
+        F = hll_flux(U_l, U_r, gamma)  # fluxes at interior interfaces
+        self.U = U - dt / self.dx * (F[:, 1 : self.n + 1] - F[:, : self.n])
+        self.time += dt
+
+    # -- monitoring ------------------------------------------------------------------
+
+    def primitives(self):
+        """(rho, u, p) cell arrays."""
+        return conserved_to_primitive(self.U, self.params["gamma"])
+
+    def get_field(self, variable: str) -> StructuredGrid:
+        rho, u, p = self.primitives()
+        if variable == "density":
+            vals = rho
+        elif variable == "velocity":
+            vals = u
+        elif variable == "pressure":
+            vals = p
+        elif variable == "energy":
+            vals = self.U[2]
+        else:
+            raise SimulationError(f"unknown variable {variable!r}")
+        return StructuredGrid(
+            vals.reshape(self.n, 1, 1).astype(np.float32),
+            spacing=(self.dx, 1.0, 1.0),
+            name=variable,
+        )

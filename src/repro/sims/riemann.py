@@ -1,0 +1,161 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro's algorithm).
+
+Used as the validation oracle for the finite-volume solvers: the Sod
+shock tube has a closed-form (up to a scalar Newton solve) solution that
+the numerical schemes must converge to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["exact_riemann", "sod_exact_solution", "SOD_LEFT", "SOD_RIGHT"]
+
+#: Canonical Sod initial states (rho, u, p).
+SOD_LEFT = (1.0, 0.0, 1.0)
+SOD_RIGHT = (0.125, 0.0, 0.1)
+
+
+def _pressure_function(p: float, rho_k: float, p_k: float, gamma: float) -> tuple[float, float]:
+    """Toro's f_K(p) and its derivative for one side of the star region."""
+    a_k = np.sqrt(gamma * p_k / rho_k)
+    if p > p_k:  # shock
+        A = 2.0 / ((gamma + 1.0) * rho_k)
+        B = (gamma - 1.0) / (gamma + 1.0) * p_k
+        sq = np.sqrt(A / (p + B))
+        f = (p - p_k) * sq
+        df = sq * (1.0 - 0.5 * (p - p_k) / (p + B))
+    else:  # rarefaction
+        f = (2.0 * a_k / (gamma - 1.0)) * (
+            (p / p_k) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0
+        )
+        df = (1.0 / (rho_k * a_k)) * (p / p_k) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return f, df
+
+
+def _star_pressure(
+    rho_l: float, u_l: float, p_l: float,
+    rho_r: float, u_r: float, p_r: float,
+    gamma: float,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> float:
+    """Newton iteration for the star-region pressure."""
+    a_l = np.sqrt(gamma * p_l / rho_l)
+    a_r = np.sqrt(gamma * p_r / rho_r)
+    du = u_r - u_l
+    if 2.0 * (a_l + a_r) / (gamma - 1.0) <= du:
+        raise SimulationError("vacuum generated: Riemann problem has no solution")
+    # Two-rarefaction initial guess, robust across regimes.
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p0 = (
+        (a_l + a_r - 0.5 * (gamma - 1.0) * du)
+        / (a_l / p_l**z + a_r / p_r**z)
+    ) ** (1.0 / z)
+    p = max(p0, 1e-10)
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, rho_l, p_l, gamma)
+        f_r, df_r = _pressure_function(p, rho_r, p_r, gamma)
+        f = f_l + f_r + du
+        step = f / (df_l + df_r)
+        p_new = max(p - step, 1e-12)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            return p_new
+        p = p_new
+    return p
+
+
+def exact_riemann(
+    left: tuple[float, float, float],
+    right: tuple[float, float, float],
+    xi: np.ndarray,
+    gamma: float = 1.4,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample the exact Riemann solution at similarity coordinates
+    ``xi = x / t``.
+
+    Returns ``(rho, u, p)`` arrays matching ``xi``'s shape.
+    """
+    rho_l, u_l, p_l = left
+    rho_r, u_r, p_r = right
+    xi = np.asarray(xi, dtype=float)
+    p_star = _star_pressure(rho_l, u_l, p_l, rho_r, u_r, p_r, gamma)
+    f_l, _ = _pressure_function(p_star, rho_l, p_l, gamma)
+    f_r, _ = _pressure_function(p_star, rho_r, p_r, gamma)
+    u_star = 0.5 * (u_l + u_r) + 0.5 * (f_r - f_l)
+
+    a_l = np.sqrt(gamma * p_l / rho_l)
+    a_r = np.sqrt(gamma * p_r / rho_r)
+    g1 = (gamma - 1.0) / (gamma + 1.0)
+
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_side = xi <= u_star
+    # --- Left of the contact -------------------------------------------------
+    if p_star > p_l:  # left shock
+        rho_star_l = rho_l * ((p_star / p_l + g1) / (g1 * p_star / p_l + 1.0))
+        s_l = u_l - a_l * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * p_star / p_l
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        pre = left_side & (xi < s_l)
+        post = left_side & (xi >= s_l)
+        rho[pre], u[pre], p[pre] = rho_l, u_l, p_l
+        rho[post], u[post], p[post] = rho_star_l, u_star, p_star
+    else:  # left rarefaction
+        rho_star_l = rho_l * (p_star / p_l) ** (1.0 / gamma)
+        a_star_l = a_l * (p_star / p_l) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_l - a_l
+        tail = u_star - a_star_l
+        pre = left_side & (xi < head)
+        fan = left_side & (xi >= head) & (xi < tail)
+        post = left_side & (xi >= tail)
+        rho[pre], u[pre], p[pre] = rho_l, u_l, p_l
+        u[fan] = 2.0 / (gamma + 1.0) * (a_l + 0.5 * (gamma - 1.0) * u_l + xi[fan])
+        a_fan = a_l - 0.5 * (gamma - 1.0) * (u[fan] - u_l)
+        rho[fan] = rho_l * (a_fan / a_l) ** (2.0 / (gamma - 1.0))
+        p[fan] = p_l * (a_fan / a_l) ** (2.0 * gamma / (gamma - 1.0))
+        rho[post], u[post], p[post] = rho_star_l, u_star, p_star
+
+    right_side = ~left_side
+    # --- Right of the contact -------------------------------------------------
+    if p_star > p_r:  # right shock
+        rho_star_r = rho_r * ((p_star / p_r + g1) / (g1 * p_star / p_r + 1.0))
+        s_r = u_r + a_r * np.sqrt(
+            (gamma + 1.0) / (2.0 * gamma) * p_star / p_r
+            + (gamma - 1.0) / (2.0 * gamma)
+        )
+        post = right_side & (xi <= s_r)
+        pre = right_side & (xi > s_r)
+        rho[post], u[post], p[post] = rho_star_r, u_star, p_star
+        rho[pre], u[pre], p[pre] = rho_r, u_r, p_r
+    else:  # right rarefaction
+        rho_star_r = rho_r * (p_star / p_r) ** (1.0 / gamma)
+        a_star_r = a_r * (p_star / p_r) ** ((gamma - 1.0) / (2.0 * gamma))
+        head = u_r + a_r
+        tail = u_star + a_star_r
+        post = right_side & (xi <= tail)
+        fan = right_side & (xi > tail) & (xi < head)
+        pre = right_side & (xi >= head)
+        rho[post], u[post], p[post] = rho_star_r, u_star, p_star
+        u[fan] = 2.0 / (gamma + 1.0) * (-a_r + 0.5 * (gamma - 1.0) * u_r + xi[fan])
+        a_fan = a_r + 0.5 * (gamma - 1.0) * (u[fan] - u_r)
+        rho[fan] = rho_r * (a_fan / a_r) ** (2.0 / (gamma - 1.0))
+        p[fan] = p_r * (a_fan / a_r) ** (2.0 * gamma / (gamma - 1.0))
+        rho[pre], u[pre], p[pre] = rho_r, u_r, p_r
+
+    return rho, u, p
+
+
+def sod_exact_solution(
+    x: np.ndarray, t: float, x0: float = 0.5, gamma: float = 1.4
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact Sod solution at positions ``x`` and time ``t > 0``."""
+    if t <= 0:
+        raise SimulationError("need t > 0 to sample the similarity solution")
+    xi = (np.asarray(x, dtype=float) - x0) / t
+    return exact_riemann(SOD_LEFT, SOD_RIGHT, xi, gamma)

@@ -1,0 +1,54 @@
+"""The RICSA steering framework (Sections 2 and 5.2).
+
+Message-driven, state-machine based — the paper's own description of its
+implementation.  The pieces:
+
+* :mod:`~repro.steering.messages` — wire messages + binary framing,
+* :mod:`~repro.steering.bus` — in-process message transport between the
+  virtual component nodes (socket stand-in; the web package exposes the
+  same traffic over real HTTP),
+* :mod:`~repro.steering.protocol` — the session state machine,
+* :mod:`~repro.steering.api` — the six ``RICSA_*`` calls of Fig. 7 that
+  instrument a simulation code,
+* :mod:`~repro.steering.central_manager` — CM node: profiling + DP
+  mapping -> VRT,
+* :mod:`~repro.steering.frontend` — Ajax front end: fixed-size image
+  store with versioned updates,
+* :mod:`~repro.steering.loop` — executes a visualization loop (live
+  module execution + modelled WAN transport),
+* :mod:`~repro.steering.client` — the steering/monitoring client,
+* :mod:`~repro.steering.session` — end-to-end steering session thread.
+"""
+
+from repro.steering.api import SteeringServer, run_steered_cycles
+from repro.steering.bus import Mailbox, MessageBus
+from repro.steering.central_manager import CentralManager, VizRequest
+from repro.steering.client import SteeringClient
+from repro.steering.computing_service import ComputingServiceNode
+from repro.steering.data_source import DataSourceNode
+from repro.steering.frontend import FrontEnd, ImageStore
+from repro.steering.loop import LoopResult, VisualizationLoopRunner
+from repro.steering.messages import Message, MessageKind
+from repro.steering.protocol import SessionState, SessionStateMachine
+from repro.steering.session import SteeringSession
+
+__all__ = [
+    "CentralManager",
+    "ComputingServiceNode",
+    "DataSourceNode",
+    "FrontEnd",
+    "ImageStore",
+    "LoopResult",
+    "Mailbox",
+    "Message",
+    "MessageBus",
+    "MessageKind",
+    "SessionState",
+    "SessionStateMachine",
+    "SteeringClient",
+    "SteeringServer",
+    "SteeringSession",
+    "VisualizationLoopRunner",
+    "VizRequest",
+    "run_steered_cycles",
+]

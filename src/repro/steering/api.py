@@ -1,0 +1,149 @@
+"""The RICSA simulation-side API (Fig. 7).
+
+Six calls instrument a simulation code's main loop, exactly as the paper
+inserts them into VH1's Fortran::
+
+    server = RICSA_StartupSimulationServer(sim, bus)
+    server.RICSA_WaitAcceptConnection()
+    while not done:
+        sweepx(); sweepy(); sweepz()          # the original code
+        server.RICSA_PushDataToVizNode()
+        msg = server.RICSA_ReceiveHandleMessage()
+        if msg is NewSimulationParameters:
+            server.RICSA_UpdateSimulationParameters()
+
+Data pushes go to a configurable consumer (the visualization loop or the
+front end); steering messages arrive over the bus and are staged into
+the simulation's pending parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.grid import StructuredGrid
+from repro.errors import SteeringError
+from repro.sims.base import SteerableSimulation
+from repro.steering.bus import MessageBus
+from repro.steering.messages import Message, MessageKind
+from repro.steering.protocol import SessionState, SessionStateMachine
+
+__all__ = ["SteeringServer", "RICSA_StartupSimulationServer", "run_steered_cycles"]
+
+
+class SteeringServer:
+    """Simulation-side endpoint of the steering loop."""
+
+    def __init__(
+        self,
+        simulation: SteerableSimulation,
+        bus: MessageBus,
+        node_name: str = "simulator",
+        data_consumer: Callable[[StructuredGrid, int], None] | None = None,
+    ) -> None:
+        self.simulation = simulation
+        self.bus = bus
+        self.node_name = node_name
+        self.mailbox = bus.register(node_name)
+        self.data_consumer = data_consumer
+        self.machine = SessionStateMachine()
+        self.monitored_variable: str | None = None
+        self.client: str = ""
+        self.pushes = 0
+        self.handled = 0
+        self.shutdown_requested = False
+
+    # -- Fig. 7 API -------------------------------------------------------------
+
+    def RICSA_WaitAcceptConnection(self, timeout: float | None = 10.0) -> Message:
+        """Block until the SIMULATION_REQUEST arrives; configures the run."""
+        while True:
+            msg = self.mailbox.recv(timeout=timeout)
+            if msg.kind is MessageKind.SIMULATION_REQUEST:
+                break
+            # Pre-connection noise is acknowledged and dropped (the Fig. 7
+            # do/while loop: keep handling until a SimulationReq).
+        self.machine.check_accepts(msg.kind)
+        self.machine.transition(SessionState.REQUESTED)
+        self.client = msg.sender or "client"
+        self.monitored_variable = msg.payload.get("variable")
+        initial = msg.payload.get("params") or {}
+        if initial:
+            self.simulation.apply_steering(initial)
+        self.machine.transition(SessionState.CONFIGURED)
+        self.machine.transition(SessionState.RUNNING)
+        return msg
+
+    def RICSA_ReceiveHandleMessage(self, block: bool = False, timeout: float = 1.0) -> Message | None:
+        """Process one pending message; returns it (or ``None`` if idle)."""
+        msg = self.mailbox.recv(timeout=timeout) if block else self.mailbox.poll()
+        if msg is None:
+            return None
+        self.machine.check_accepts(msg.kind)
+        self.handled += 1
+        if msg.kind is MessageKind.SIMULATION_PARAMS:
+            self.simulation.apply_steering(msg.payload.get("params", {}))
+        elif msg.kind is MessageKind.SHUTDOWN:
+            self.shutdown_requested = True
+            if not self.machine.terminal:
+                self.machine.transition(SessionState.DONE)
+        return msg
+
+    def RICSA_UpdateSimulationParameters(self) -> None:
+        """Apply staged parameters immediately (next step would anyway)."""
+        sim = self.simulation
+        if sim._pending:
+            sim.params.update(sim._pending)
+            sim.steering_events.append((sim.cycle, dict(sim._pending)))
+            sim._pending.clear()
+            sim.on_params_changed()
+
+    def RICSA_PushDataToVizNode(self, variable: str | None = None) -> StructuredGrid:
+        """Hand the current monitored field to the visualization loop."""
+        var = variable or self.monitored_variable or self.simulation.variables()[0]
+        grid = self.simulation.get_field(var)
+        if self.data_consumer is not None:
+            self.data_consumer(grid, self.simulation.cycle)
+        self.pushes += 1
+        return grid
+
+    def RICSA_ShutdownSimulationServer(self) -> None:
+        """Terminate the session."""
+        if not self.machine.terminal:
+            self.machine.transition(SessionState.DONE)
+
+
+def RICSA_StartupSimulationServer(
+    simulation: SteerableSimulation,
+    bus: MessageBus,
+    node_name: str = "simulator",
+    data_consumer: Callable[[StructuredGrid, int], None] | None = None,
+) -> SteeringServer:
+    """Create the steering server (first call of Fig. 7)."""
+    return SteeringServer(simulation, bus, node_name, data_consumer)
+
+
+def run_steered_cycles(
+    server: SteeringServer,
+    n_cycles: int,
+    push_every: int = 1,
+) -> int:
+    """The Fig. 7 main computational loop, verbatim in structure.
+
+    Returns the number of cycles actually run (a SHUTDOWN message stops
+    the loop early, saving the "runaway computation").
+    """
+    if server.machine.state is not SessionState.RUNNING:
+        raise SteeringError("call RICSA_WaitAcceptConnection before running")
+    ran = 0
+    for _ in range(n_cycles):
+        server.simulation.step()  # sweepx; sweepy; sweepz
+        ran += 1
+        if server.simulation.cycle % push_every == 0:
+            server.RICSA_PushDataToVizNode()
+        msg = server.RICSA_ReceiveHandleMessage()
+        if msg is not None and msg.kind is MessageKind.SIMULATION_PARAMS:
+            server.RICSA_UpdateSimulationParameters()
+        if server.shutdown_requested:
+            break
+    return ran

@@ -1,0 +1,99 @@
+"""The steering/monitoring client (programmatic Ajax-client equivalent).
+
+Wraps a :class:`~repro.steering.session.SteeringSession` with the calls a
+GUI exposes: pick a simulation, watch images arrive, steer parameters,
+rotate/zoom, stop.  The web package's HTTP handlers delegate to exactly
+this object, so browser actions and test actions share one code path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SteeringError
+from repro.steering.central_manager import CentralManager
+from repro.steering.frontend import FrontEnd, StoredImage
+from repro.steering.session import SteeringSession
+from repro.viz.image import Image, decode_fixed_size
+
+__all__ = ["SteeringClient"]
+
+
+class SteeringClient:
+    """High-level driver for one steering session."""
+
+    def __init__(self, cm: CentralManager, frontend: FrontEnd | None = None) -> None:
+        self.cm = cm
+        self.frontend = frontend if frontend is not None else FrontEnd()
+        self.session: SteeringSession | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(
+        self,
+        simulator: str = "heat",
+        technique: str = "isosurface",
+        variable: str | None = None,
+        n_cycles: int = 20,
+        background: bool = True,
+        session_id: str = "session0",
+        initial_params: dict | None = None,
+        sim_kwargs: dict | None = None,
+        push_every: int = 1,
+    ) -> SteeringSession:
+        """Begin a monitored run of ``simulator``."""
+        self.session = SteeringSession(
+            self.cm,
+            self.frontend,
+            session_id=session_id,
+            simulator=simulator,
+            technique=technique,
+            variable=variable,
+            sim_kwargs=sim_kwargs,
+            push_every=push_every,
+        )
+        self.session.configure(initial_params=initial_params)
+        if background:
+            self.session.start_background(n_cycles)
+        else:
+            self.session.run(n_cycles)
+        return self.session
+
+    def _require_session(self) -> SteeringSession:
+        if self.session is None:
+            raise SteeringError("no active session; call start() first")
+        return self.session
+
+    # -- monitoring ------------------------------------------------------------------
+
+    def latest_image(self) -> tuple[Image, StoredImage] | None:
+        """Decode the most recent image, if any."""
+        s = self._require_session()
+        entry = s.store.latest()
+        if entry is None:
+            return None
+        return decode_fixed_size(entry.blob), entry
+
+    def wait_for_image(self, since: int = 0, timeout: float = 10.0) -> StoredImage:
+        """Block until an image newer than ``since`` arrives."""
+        s = self._require_session()
+        entry = s.store.wait_newer(since, timeout=timeout)
+        if entry is None:
+            raise SteeringError(f"no image newer than v{since} within {timeout}s")
+        return entry
+
+    # -- steering --------------------------------------------------------------------
+
+    def steer(self, **params) -> None:
+        """Adjust simulation parameters mid-run."""
+        self._require_session().steer(params)
+
+    def rotate(self, azimuth: float, elevation: float | None = None) -> None:
+        self._require_session().set_camera(azimuth=azimuth, elevation=elevation)
+
+    def zoom(self, factor: float) -> None:
+        s = self._require_session()
+        s.set_camera(zoom=s._camera.zoom * factor)
+
+    def stop(self) -> None:
+        s = self._require_session()
+        s.request_shutdown()
+        s.join_background(timeout=30.0)

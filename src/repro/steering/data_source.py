@@ -1,0 +1,58 @@
+"""Data-source (DS) node: simulation output or archival datasets.
+
+"A simulation/data source node either contains pre-generated datasets or
+a simulator ... simulation data is continuously produced and periodically
+cached on a local storage device" (Section 2).  Both modes:
+
+* ``from_simulation`` — each :meth:`produce` call returns the current
+  monitored field (live streaming mode),
+* ``from_archive`` — cycles through pre-generated grids (the Jet / Rage /
+  Visible Woman experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.grid import StructuredGrid
+from repro.errors import SteeringError
+from repro.sims.base import SteerableSimulation
+
+__all__ = ["DataSourceNode"]
+
+
+class DataSourceNode:
+    """Produces datasets for the visualization loop, one per cycle."""
+
+    def __init__(
+        self,
+        node_name: str,
+        simulation: SteerableSimulation | None = None,
+        variable: str | None = None,
+        archive: Sequence[StructuredGrid] = (),
+        advance_simulation: bool = True,
+    ) -> None:
+        if (simulation is None) == (not archive):
+            raise SteeringError("provide exactly one of simulation or archive")
+        self.node_name = node_name
+        self.simulation = simulation
+        self.variable = variable
+        self.archive = list(archive)
+        self.advance_simulation = advance_simulation
+        self.produced = 0
+
+    @property
+    def is_live(self) -> bool:
+        return self.simulation is not None
+
+    def produce(self) -> StructuredGrid:
+        """Next dataset: a fresh simulation cycle or the next archive entry."""
+        if self.simulation is not None:
+            if self.advance_simulation:
+                self.simulation.step()
+            var = self.variable or self.simulation.variables()[0]
+            grid = self.simulation.get_field(var)
+        else:
+            grid = self.archive[self.produced % len(self.archive)]
+        self.produced += 1
+        return grid

@@ -1,0 +1,117 @@
+"""The Ajax front end: versioned fixed-size image store.
+
+"Ajax front end will then save the received images as fixed-size files
+that are to be delivered to the browser through the object exchange
+mechanism of XMLHttpRequest" (Section 2).  The store keeps a small ring
+of encoded images per session with a monotonically increasing version;
+long-poll waiters block on a condition variable until the version
+advances — the data-driven partial-update model.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import WebServerError
+from repro.viz.image import Image, encode_fixed_size
+
+__all__ = ["ImageStore", "FrontEnd", "StoredImage"]
+
+
+@dataclass(frozen=True, slots=True)
+class StoredImage:
+    """One fixed-size image file plus its metadata."""
+
+    version: int
+    cycle: int
+    blob: bytes
+    meta: dict = field(default_factory=dict)
+
+
+class ImageStore:
+    """Thread-safe ring buffer of fixed-size encoded images."""
+
+    def __init__(self, file_size: int = 256 * 1024, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise WebServerError("capacity must be >= 1")
+        self.file_size = int(file_size)
+        self.capacity = int(capacity)
+        self._ring: list[StoredImage] = []
+        self._version = 0
+        self._cond = threading.Condition()
+
+    @property
+    def version(self) -> int:
+        with self._cond:
+            return self._version
+
+    def put(self, image: Image, cycle: int = 0, meta: dict | None = None) -> int:
+        """Encode and store ``image``; returns the new version."""
+        blob = encode_fixed_size(image, self.file_size)
+        with self._cond:
+            self._version += 1
+            entry = StoredImage(self._version, cycle, blob, dict(meta or {}))
+            self._ring.append(entry)
+            if len(self._ring) > self.capacity:
+                self._ring.pop(0)
+            self._cond.notify_all()
+            return self._version
+
+    def latest(self) -> StoredImage | None:
+        with self._cond:
+            return self._ring[-1] if self._ring else None
+
+    def get(self, version: int) -> StoredImage | None:
+        """Image with exactly ``version``, if still in the ring."""
+        with self._cond:
+            for entry in reversed(self._ring):
+                if entry.version == version:
+                    return entry
+        return None
+
+    def wait_newer(self, since: int, timeout: float | None = None) -> StoredImage | None:
+        """Block until a version newer than ``since`` exists (long poll)."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._version > since, timeout=timeout):
+                return None
+            return self._ring[-1]
+
+
+class FrontEnd:
+    """Per-session image stores plus session metadata registry."""
+
+    def __init__(self, file_size: int = 256 * 1024) -> None:
+        self.file_size = int(file_size)
+        self._stores: dict[str, ImageStore] = {}
+        self._meta: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def open_session(self, session_id: str, meta: dict | None = None) -> ImageStore:
+        """Create (or return) the store for ``session_id``."""
+        with self._lock:
+            if session_id not in self._stores:
+                self._stores[session_id] = ImageStore(file_size=self.file_size)
+                self._meta[session_id] = dict(meta or {})
+            elif meta:
+                self._meta[session_id].update(meta)
+            return self._stores[session_id]
+
+    def store(self, session_id: str) -> ImageStore:
+        with self._lock:
+            try:
+                return self._stores[session_id]
+            except KeyError:
+                raise WebServerError(f"unknown session {session_id!r}") from None
+
+    def sessions(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                sid: {**meta, "version": self._stores[sid].version}
+                for sid, meta in self._meta.items()
+            }
+
+    def update_meta(self, session_id: str, **meta) -> None:
+        with self._lock:
+            if session_id in self._meta:
+                self._meta[session_id].update(meta)

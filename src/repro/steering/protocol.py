@@ -1,0 +1,113 @@
+"""Session state machine.
+
+The paper implements RICSA with "a message-driven programming model and a
+state machine-based methodology".  This is that state machine: a session
+moves ``IDLE -> REQUESTED -> CONFIGURED -> RUNNING`` and may loop between
+``RUNNING`` and ``STEERING`` until ``DONE``; invalid transitions raise
+:class:`~repro.errors.ProtocolError` instead of silently corrupting the
+loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+
+from repro.errors import ProtocolError
+from repro.steering.messages import MessageKind
+
+__all__ = ["SessionState", "SessionStateMachine"]
+
+
+class SessionState(str, Enum):
+    IDLE = "IDLE"
+    REQUESTED = "REQUESTED"
+    CONFIGURED = "CONFIGURED"
+    RUNNING = "RUNNING"
+    STEERING = "STEERING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+
+
+#: Allowed transitions: state -> set of next states.
+_TRANSITIONS: dict[SessionState, set[SessionState]] = {
+    SessionState.IDLE: {SessionState.REQUESTED, SessionState.FAILED},
+    SessionState.REQUESTED: {SessionState.CONFIGURED, SessionState.FAILED},
+    SessionState.CONFIGURED: {SessionState.RUNNING, SessionState.FAILED},
+    SessionState.RUNNING: {
+        SessionState.STEERING,
+        SessionState.RUNNING,
+        SessionState.DONE,
+        SessionState.FAILED,
+    },
+    SessionState.STEERING: {SessionState.RUNNING, SessionState.DONE, SessionState.FAILED},
+    SessionState.DONE: set(),
+    SessionState.FAILED: set(),
+}
+
+#: Which message kinds are legal to *process* in each state.
+_ACCEPTS: dict[SessionState, set[MessageKind]] = {
+    SessionState.IDLE: {MessageKind.SIMULATION_REQUEST, MessageKind.SHUTDOWN},
+    SessionState.REQUESTED: {MessageKind.VRT_DISTRIBUTE, MessageKind.SHUTDOWN},
+    SessionState.CONFIGURED: {
+        MessageKind.DATA_PUSH,
+        MessageKind.SESSION_STATE,
+        MessageKind.SHUTDOWN,
+    },
+    SessionState.RUNNING: {
+        MessageKind.SIMULATION_PARAMS,
+        MessageKind.VIZ_REQUEST,
+        MessageKind.DATA_PUSH,
+        MessageKind.IMAGE_RESULT,
+        MessageKind.SESSION_STATE,
+        MessageKind.SHUTDOWN,
+    },
+    SessionState.STEERING: {
+        MessageKind.SIMULATION_PARAMS,
+        MessageKind.DATA_PUSH,
+        MessageKind.IMAGE_RESULT,
+        MessageKind.SESSION_STATE,
+        MessageKind.SHUTDOWN,
+    },
+    SessionState.DONE: set(),
+    SessionState.FAILED: set(),
+}
+
+
+class SessionStateMachine:
+    """Thread-safe state holder with validated transitions."""
+
+    def __init__(self, session_id: str = "session0") -> None:
+        self.session_id = session_id
+        self._state = SessionState.IDLE
+        self._lock = threading.Lock()
+        self.history: list[SessionState] = [SessionState.IDLE]
+
+    @property
+    def state(self) -> SessionState:
+        with self._lock:
+            return self._state
+
+    def transition(self, new: SessionState) -> None:
+        """Move to ``new``; raises on an illegal edge."""
+        with self._lock:
+            if new not in _TRANSITIONS[self._state]:
+                raise ProtocolError(
+                    f"session {self.session_id}: illegal transition "
+                    f"{self._state.value} -> {new.value}"
+                )
+            self._state = new
+            self.history.append(new)
+
+    def check_accepts(self, kind: MessageKind) -> None:
+        """Raise unless ``kind`` may be processed in the current state."""
+        with self._lock:
+            if kind not in _ACCEPTS[self._state]:
+                raise ProtocolError(
+                    f"session {self.session_id}: message {kind.value} not "
+                    f"allowed in state {self._state.value}"
+                )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (SessionState.DONE, SessionState.FAILED)

@@ -1,0 +1,199 @@
+"""End-to-end steering session: simulation thread + visualization loop.
+
+Ties every RICSA component together in one process, the way Fig. 1's
+deployment ties them together across sites: the client sends a
+SIMULATION_REQUEST; the CM configures the loop (DP -> VRT); the steering
+server runs the simulation's instrumented main loop in a worker thread;
+each data push travels the VRT (live viz modules + modelled transport)
+and lands in the front end's image store, where Ajax clients long-poll.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.costmodel.base import compute_dataset_stats
+from repro.errors import SteeringError
+from repro.sims.registry import create_simulation
+from repro.steering.api import RICSA_StartupSimulationServer, run_steered_cycles
+from repro.steering.bus import MessageBus
+from repro.steering.central_manager import CentralManager, VizRequest
+from repro.steering.frontend import FrontEnd
+from repro.steering.loop import VisualizationLoopRunner
+from repro.steering.messages import Message, MessageKind
+from repro.viz.camera import OrthoCamera
+
+__all__ = ["SteeringSession"]
+
+
+class SteeringSession:
+    """One client's monitored-and-steered simulation run."""
+
+    def __init__(
+        self,
+        cm: CentralManager,
+        frontend: FrontEnd,
+        bus: MessageBus | None = None,
+        session_id: str = "session0",
+        simulator: str = "heat",
+        variable: str | None = None,
+        technique: str = "isosurface",
+        isovalue_fraction: float = 0.5,
+        push_every: int = 1,
+        sim_kwargs: dict | None = None,
+    ) -> None:
+        self.cm = cm
+        self.frontend = frontend
+        self.bus = bus if bus is not None else MessageBus()
+        self.session_id = session_id
+        self.simulator_name = simulator
+        self.technique = technique
+        self.isovalue_fraction = isovalue_fraction
+        self.push_every = push_every
+
+        self.simulation = create_simulation(simulator, **(sim_kwargs or {}))
+        self.variable = variable or self.simulation.variables()[0]
+        self.store = frontend.open_session(
+            session_id,
+            meta={
+                "simulator": simulator,
+                "variable": self.variable,
+                "technique": technique,
+            },
+        )
+        self.server = RICSA_StartupSimulationServer(
+            self.simulation,
+            self.bus,
+            node_name=f"simulator/{session_id}",
+            data_consumer=self._on_data_push,
+        )
+        self.decision = None
+        self.runner: VisualizationLoopRunner | None = None
+        self.loop_results: list = []
+        self._camera = OrthoCamera(width=192, height=192)
+        self._thread: threading.Thread | None = None
+        self._thread_error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    # -- configuration -----------------------------------------------------------
+
+    def configure(self, initial_params: dict | None = None) -> None:
+        """Client request -> CM decision -> VRT; simulator accepts."""
+        request = Message.simulation_request(
+            self.simulator_name,
+            self.variable,
+            params=initial_params,
+            session=self.session_id,
+            sender="client",
+        )
+        self.bus.send(self.server.node_name, request)
+        self.server.RICSA_WaitAcceptConnection(timeout=5.0)
+
+        grid = self.simulation.get_field(self.variable)
+        iso = self._isovalue(grid)
+        stats = compute_dataset_stats(grid, iso, block_cells=8)
+        viz_request = VizRequest(
+            technique=self.technique,
+            variable=self.variable,
+            isovalue=iso,
+            session=self.session_id,
+        )
+        self.decision = self.cm.configure(viz_request, stats)
+        self.runner = VisualizationLoopRunner(
+            self.cm.topology, bandwidths=self.cm.bandwidths
+        )
+        lo, hi = grid.bounds()
+        self._camera = OrthoCamera.framing(lo, hi, width=192, height=192)
+        self.frontend.update_meta(
+            self.session_id,
+            loop=self.decision.vrt.loop_description(),
+            expected_delay=self.decision.vrt.expected_delay,
+        )
+
+    def _isovalue(self, grid) -> float:
+        lo, hi = grid.vmin, grid.vmax
+        if hi <= lo:
+            return lo
+        return lo + self.isovalue_fraction * (hi - lo)
+
+    # -- data path ----------------------------------------------------------------
+
+    def _on_data_push(self, grid, cycle: int) -> None:
+        if self.runner is None or self.decision is None:
+            raise SteeringError("session not configured")
+        iso = self._isovalue(grid)
+        result = self.runner.run_cycle(
+            self.decision.vrt,
+            grid,
+            params={"isovalue": iso, "camera": self._camera, "max_triangles": 60_000},
+            cycle=cycle,
+        )
+        with self._lock:
+            self.loop_results.append(result)
+        self.store.put(
+            result.image,
+            cycle=cycle,
+            meta={
+                "total_delay": result.total_seconds,
+                "compute": result.compute_seconds,
+                "transport": result.transport_seconds,
+                "isovalue": iso,
+            },
+        )
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, n_cycles: int) -> int:
+        """Run the instrumented main loop synchronously."""
+        if self.decision is None:
+            self.configure()
+        return run_steered_cycles(self.server, n_cycles, push_every=self.push_every)
+
+    def start_background(self, n_cycles: int) -> threading.Thread:
+        """Run the simulation loop in a daemon thread (web-demo mode)."""
+
+        def _worker():
+            try:
+                self.run(n_cycles)
+            except BaseException as exc:  # surfaced via .join_background()
+                self._thread_error = exc
+
+        self._thread = threading.Thread(target=_worker, daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def join_background(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            if self._thread_error is not None:
+                raise SteeringError(
+                    f"steering session failed: {self._thread_error!r}"
+                ) from self._thread_error
+
+    # -- client-facing ops ----------------------------------------------------------
+
+    def steer(self, params: dict) -> None:
+        """Send a steering update over the bus (client -> simulator)."""
+        self.bus.send(
+            self.server.node_name,
+            Message.steering_update(params, session=self.session_id),
+        )
+
+    def set_camera(self, azimuth: float | None = None, elevation: float | None = None,
+                   zoom: float | None = None) -> None:
+        """Interactive viewing operations (rotate / zoom)."""
+        cam = self._camera
+        if azimuth is not None or elevation is not None:
+            cam = cam.rotated(
+                (azimuth - cam.azimuth) if azimuth is not None else 0.0,
+                (elevation - cam.elevation) if elevation is not None else 0.0,
+            )
+        if zoom is not None and zoom > 0:
+            cam = cam.zoomed(zoom / cam.zoom)
+        self._camera = cam
+
+    def request_shutdown(self) -> None:
+        self.bus.send(
+            self.server.node_name,
+            Message(MessageKind.SHUTDOWN, session=self.session_id),
+        )

@@ -1,0 +1,32 @@
+"""Transport protocols over the simulated network (Section 3 of the paper).
+
+The centrepiece is :class:`~repro.transport.stabilized.StabilizedUDPTransport`:
+a window-based UDP transport (Fig. 2 of the paper) whose inter-window
+sleep time is adapted by Robbins–Monro stochastic approximation (Eq. 1)
+so receiver goodput converges to a target ``g*`` despite random loss and
+cross traffic.  :class:`~repro.transport.tcp.TcpRenoTransport` and
+:class:`~repro.transport.udp_blast.ConstantRateUdpTransport` are the
+comparison baselines ("limitations of default TCP or UDP", Section 6).
+"""
+
+from repro.transport.base import FlowConfig, Transport
+from repro.transport.metrics import EpochRecord, FlowStats
+from repro.transport.ratecontrol import AimdController, RobbinsMonroController
+from repro.transport.retransmit import ReceiverWindow, RetransmitQueue
+from repro.transport.stabilized import StabilizedUDPTransport
+from repro.transport.tcp import TcpRenoTransport
+from repro.transport.udp_blast import ConstantRateUdpTransport
+
+__all__ = [
+    "AimdController",
+    "ConstantRateUdpTransport",
+    "EpochRecord",
+    "FlowConfig",
+    "FlowStats",
+    "ReceiverWindow",
+    "RetransmitQueue",
+    "RobbinsMonroController",
+    "StabilizedUDPTransport",
+    "TcpRenoTransport",
+    "Transport",
+]

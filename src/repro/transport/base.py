@@ -1,0 +1,130 @@
+"""Common transport scaffolding: flow configuration and the Transport ABC."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.des.process import Process
+from repro.des.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.channel import SimPath
+from repro.net.packet import Datagram, PacketKind
+from repro.transport.metrics import FlowStats
+
+__all__ = ["FlowConfig", "Transport"]
+
+
+@dataclass(slots=True)
+class FlowConfig:
+    """Configuration shared by every transport flow.
+
+    Exactly one of ``total_bytes`` (reliable finite transfer) or
+    ``duration`` (open-ended rate-controlled stream, as used for control
+    channels) must be set.
+    """
+
+    flow: str = "flow0"
+    datagram_size: float = 1024.0
+    total_bytes: float | None = None
+    duration: float | None = None
+    ack_size: float = 64.0
+
+    def __post_init__(self) -> None:
+        if (self.total_bytes is None) == (self.duration is None):
+            raise ConfigurationError(
+                "set exactly one of total_bytes (finite) or duration (stream)"
+            )
+        if self.datagram_size <= 0:
+            raise ConfigurationError("datagram_size must be positive")
+
+    @property
+    def total_seqs(self) -> int | None:
+        """Number of data datagrams for a finite flow, else ``None``."""
+        if self.total_bytes is None:
+            return None
+        return max(1, int(round(self.total_bytes / self.datagram_size)))
+
+
+class Transport(abc.ABC):
+    """A transport protocol instance bound to forward/reverse paths.
+
+    Subclasses implement :meth:`_sender`, a DES process generator.  The
+    framework provides datagram construction, ACK plumbing and the
+    :class:`FlowStats` record.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward: SimPath,
+        reverse: SimPath,
+        config: FlowConfig,
+    ) -> None:
+        self.sim = sim
+        self.forward = forward
+        self.reverse = reverse
+        self.config = config
+        self.stats = FlowStats(
+            flow=config.flow,
+            datagram_size=config.datagram_size,
+        )
+        self._process: Process | None = None
+        self._start_time = 0.0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> Process:
+        """Launch the sender process; returns its handle."""
+        self._start_time = self.sim.now
+        self._process = self.sim.process(self._sender())
+        return self._process
+
+    def run_to_completion(self, until: float | None = None) -> FlowStats:
+        """Start (if needed) and run the simulator until the flow finishes."""
+        if self._process is None:
+            self.start()
+        assert self._process is not None
+        guard = 0
+        while not self._process.done:
+            if not self.sim.step():
+                break
+            if until is not None and self.sim.now > until:
+                break
+            guard += 1
+            if guard > 20_000_000:
+                raise RuntimeError("transport flow did not terminate")
+        self.stats.duration = self.sim.now - self._start_time
+        return self.stats
+
+    # -- helpers for subclasses --------------------------------------------------------
+
+    def _make_data(self, seq: int) -> Datagram:
+        return Datagram(
+            flow=self.config.flow,
+            seq=seq,
+            size=self.config.datagram_size,
+            kind=PacketKind.DATA,
+        )
+
+    def _send_data(self, seq: int, on_deliver) -> None:
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += self.config.datagram_size
+        self.forward.send(self._make_data(seq), on_deliver)
+
+    def _send_ack(self, payload, on_deliver) -> None:
+        self.reverse.send(
+            Datagram(
+                flow=self.config.flow,
+                seq=-1,
+                size=self.config.ack_size,
+                kind=PacketKind.ACK,
+                payload=payload,
+            ),
+            on_deliver,
+        )
+
+    @abc.abstractmethod
+    def _sender(self):
+        """Generator implementing the sender-side protocol loop."""
+        raise NotImplementedError

@@ -1,0 +1,131 @@
+"""Flow statistics: goodput traces, jitter, convergence diagnostics.
+
+The paper's transport claims are about *stability*: goodput should
+converge to the target ``g*`` and stay there with low variance.  This
+module holds the per-epoch records every transport produces and the
+derived metrics the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EpochRecord", "FlowStats"]
+
+
+@dataclass(slots=True)
+class EpochRecord:
+    """One control epoch of a flow (one congestion window + sleep)."""
+
+    time: float
+    goodput: float
+    sleep_time: float
+    window: int
+    sent: int
+    acked: int
+    lost: int
+
+
+@dataclass
+class FlowStats:
+    """Aggregated statistics for one transport flow."""
+
+    flow: str
+    target_goodput: float | None = None
+    datagram_size: float = 1024.0
+    epochs: list[EpochRecord] = field(default_factory=list)
+    bytes_sent: float = 0.0
+    bytes_delivered: float = 0.0
+    bytes_retransmitted: float = 0.0
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_duplicated: int = 0
+    completed: bool = False
+    duration: float = 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def record_epoch(self, rec: EpochRecord) -> None:
+        """Append one epoch record."""
+        self.epochs.append(rec)
+
+    # -- series accessors --------------------------------------------------------
+
+    def goodput_series(self) -> np.ndarray:
+        """(time, goodput) array with shape (n_epochs, 2)."""
+        if not self.epochs:
+            return np.zeros((0, 2))
+        return np.array([(e.time, e.goodput) for e in self.epochs])
+
+    def sleep_series(self) -> np.ndarray:
+        """(time, sleep_time) array."""
+        if not self.epochs:
+            return np.zeros((0, 2))
+        return np.array([(e.time, e.sleep_time) for e in self.epochs])
+
+    # -- derived metrics ------------------------------------------------------------
+
+    def _tail(self, after_fraction: float) -> np.ndarray:
+        g = self.goodput_series()
+        if g.shape[0] == 0:
+            return g
+        start = int(g.shape[0] * after_fraction)
+        return g[start:]
+
+    def mean_goodput(self, after_fraction: float = 0.0) -> float:
+        """Mean goodput over the tail of the flow (bytes/s)."""
+        tail = self._tail(after_fraction)
+        return float(tail[:, 1].mean()) if tail.size else 0.0
+
+    def goodput_std(self, after_fraction: float = 0.5) -> float:
+        """Goodput standard deviation over the tail (the jitter proxy)."""
+        tail = self._tail(after_fraction)
+        return float(tail[:, 1].std()) if tail.size else 0.0
+
+    def jitter_coefficient(self, after_fraction: float = 0.5) -> float:
+        """Coefficient of variation of tail goodput (std/mean)."""
+        tail = self._tail(after_fraction)
+        if tail.size == 0:
+            return 0.0
+        mean = float(tail[:, 1].mean())
+        return float(tail[:, 1].std()) / mean if mean > 0 else float("inf")
+
+    def convergence_time(self, tolerance: float = 0.10, hold_epochs: int = 10) -> float | None:
+        """First time goodput enters and *stays* within ``tolerance`` of target.
+
+        Returns ``None`` when the flow never converges (or no target set).
+        """
+        if self.target_goodput is None or not self.epochs:
+            return None
+        g = self.goodput_series()
+        ok = np.abs(g[:, 1] - self.target_goodput) <= tolerance * self.target_goodput
+        n = len(ok)
+        for i in range(n):
+            window = ok[i : min(i + hold_epochs, n)]
+            if window.size and bool(window.all()) and i + hold_epochs <= n:
+                return float(g[i, 0])
+        return None
+
+    def tracking_error(self, after_fraction: float = 0.5) -> float:
+        """RMS relative error of tail goodput vs target (0 when no target)."""
+        if self.target_goodput is None:
+            return 0.0
+        tail = self._tail(after_fraction)
+        if tail.size == 0:
+            return float("inf")
+        rel = (tail[:, 1] - self.target_goodput) / self.target_goodput
+        return float(np.sqrt(np.mean(rel**2)))
+
+    @property
+    def effective_goodput(self) -> float:
+        """Distinct delivered bytes over the whole flow duration."""
+        return self.bytes_delivered / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of sent datagrams never delivered."""
+        if self.datagrams_sent == 0:
+            return 0.0
+        return 1.0 - self.datagrams_delivered / self.datagrams_sent

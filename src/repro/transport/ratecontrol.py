@@ -1,0 +1,153 @@
+"""Rate controllers: Robbins–Monro stochastic approximation and AIMD.
+
+Eq. 1 of the paper adapts the sender's sleep (idle) time between
+congestion windows:
+
+.. math::
+
+    T_s(t_{n+1}) = \\frac{1}{\\dfrac{1}{T_s(t_n)}
+        - \\dfrac{a}{W_c\\, n^{\\alpha}}\\,(g(t_n) - g^*)}
+
+i.e. the *inverse* sleep time — a surrogate for the source rate — is
+nudged opposite the goodput error with a Robbins–Monro gain
+``a / (W_c n^α)``.  Under the classic conditions (``Σ gain = ∞``,
+``Σ gain² < ∞``, so ``0.5 < α <= 1``), goodput converges to ``g*`` under
+random losses (Rao et al., IEEE Comm. Letters 2004).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RobbinsMonroController", "AimdController"]
+
+
+class RobbinsMonroController:
+    """Sleep-time controller implementing Eq. 1 of the paper.
+
+    Parameters
+    ----------
+    target_goodput:
+        ``g*`` in bytes/second.
+    window:
+        Congestion window ``W_c`` in datagrams (fixed; the paper adapts
+        the sleep time, not the window).
+    datagram_size:
+        Bytes per datagram; used only for the rate conversion helper.
+    a:
+        Gain numerator.  The update is
+        ``1/Ts_new = 1/Ts - (a / (W_c n^alpha)) * (g - g*)``; with goodput
+        in bytes/s a gain around ``1e-5``–``1e-4`` per unit window puts the
+        correction on the scale of 1/Ts for LAN/WAN rates.
+    alpha:
+        Robbins–Monro exponent; must satisfy ``0.5 < alpha <= 1`` for the
+        convergence conditions.
+    ts_init, ts_min, ts_max:
+        Initial and clamping bounds on the sleep time (seconds).
+    """
+
+    def __init__(
+        self,
+        target_goodput: float,
+        window: int = 32,
+        datagram_size: float = 1024.0,
+        a: float = 4.0e-4,
+        alpha: float = 0.8,
+        ts_init: float = 0.05,
+        ts_min: float = 1.0e-4,
+        ts_max: float = 5.0,
+    ) -> None:
+        if target_goodput <= 0:
+            raise ConfigurationError("target goodput must be positive")
+        if not (0.5 < alpha <= 1.0):
+            raise ConfigurationError(
+                f"alpha={alpha} violates Robbins-Monro conditions (0.5 < alpha <= 1)"
+            )
+        if window < 1:
+            raise ConfigurationError("window must be >= 1 datagram")
+        if not (0 < ts_min < ts_max):
+            raise ConfigurationError("need 0 < ts_min < ts_max")
+        if not (ts_min <= ts_init <= ts_max):
+            raise ConfigurationError("ts_init must lie within [ts_min, ts_max]")
+        self.target_goodput = float(target_goodput)
+        self.window = int(window)
+        self.datagram_size = float(datagram_size)
+        self.a = float(a)
+        self.alpha = float(alpha)
+        self.ts_min = float(ts_min)
+        self.ts_max = float(ts_max)
+        self.sleep_time = float(ts_init)
+        self.step_count = 0
+
+    def gain(self, n: int) -> float:
+        """Robbins–Monro gain ``a / (W_c n^alpha)`` at step ``n >= 1``."""
+        return self.a / (self.window * n**self.alpha)
+
+    def update(self, goodput: float) -> float:
+        """Apply Eq. 1 with measured ``goodput``; returns the new sleep time."""
+        self.step_count += 1
+        inv = 1.0 / self.sleep_time
+        inv_new = inv - self.gain(self.step_count) * (goodput - self.target_goodput)
+        # Clamp through the inverse so the update stays monotone in the error.
+        inv_new = min(max(inv_new, 1.0 / self.ts_max), 1.0 / self.ts_min)
+        self.sleep_time = 1.0 / inv_new
+        return self.sleep_time
+
+    def source_rate(self, tc: float = 0.0) -> float:
+        """Nominal source rate ``W_c * D / (Ts + Tc)`` in bytes/s."""
+        return self.window * self.datagram_size / (self.sleep_time + tc)
+
+    def reset(self, ts_init: float | None = None) -> None:
+        """Restart the gain schedule (e.g. after a route change)."""
+        self.step_count = 0
+        if ts_init is not None:
+            self.sleep_time = min(max(ts_init, self.ts_min), self.ts_max)
+
+
+class AimdController:
+    """TCP-style additive-increase / multiplicative-decrease on the window.
+
+    Used by the TCP baseline: the *window* adapts and there is no pacing
+    sleep, producing the familiar sawtooth (high jitter) that motivates
+    the paper's stabilized transport.
+    """
+
+    def __init__(
+        self,
+        init_window: int = 2,
+        max_window: int = 4096,
+        ssthresh: int = 256,
+        decrease_factor: float = 0.5,
+    ) -> None:
+        if not (0.0 < decrease_factor < 1.0):
+            raise ConfigurationError("decrease_factor must be in (0,1)")
+        if init_window < 1 or max_window < init_window:
+            raise ConfigurationError("need 1 <= init_window <= max_window")
+        self.window = float(init_window)
+        self.max_window = int(max_window)
+        self.ssthresh = float(ssthresh)
+        self.decrease_factor = float(decrease_factor)
+
+    @property
+    def cwnd(self) -> int:
+        """Integral congestion window in segments (>= 1)."""
+        return max(1, int(self.window))
+
+    def on_ack_epoch(self, acked_segments: int) -> None:
+        """Grow the window: slow start below ssthresh, else +1 per RTT."""
+        if acked_segments <= 0:
+            return
+        if self.window < self.ssthresh:
+            self.window = min(self.window + acked_segments, float(self.max_window))
+        else:
+            self.window = min(self.window + 1.0, float(self.max_window))
+
+    def on_loss(self) -> None:
+        """Multiplicative decrease (fast-recovery style)."""
+        self.window = max(1.0, self.window * self.decrease_factor)
+        self.ssthresh = max(2.0, self.window)
+
+    def on_timeout(self) -> None:
+        """Full collapse to one segment (RTO)."""
+        self.ssthresh = max(2.0, self.window * self.decrease_factor)
+        self.window = 1.0

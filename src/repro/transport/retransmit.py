@@ -1,0 +1,151 @@
+"""Reliability bookkeeping: receiver window and retransmission queue.
+
+Implements the "retransmission control / reload lost datagrams" blocks of
+the transport structure in Fig. 2: the receiver tracks distinct in-order
+delivery and reports holes (NACKs); the sender re-queues NACKed sequence
+numbers ahead of new data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ReceiverWindow", "RetransmitQueue", "AckReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class AckReport:
+    """Cumulative acknowledgement state carried back to the sender."""
+
+    distinct_received: int
+    highest_seq: int
+    missing: tuple[int, ...]
+
+
+class ReceiverWindow:
+    """Tracks distinct datagram arrivals and computes NACK lists.
+
+    The receiver buffer of Fig. 2: datagrams may arrive out of order or
+    duplicated; ``in_order_prefix`` is what could be written to the data
+    sink so far.
+    """
+
+    def __init__(self, max_nack: int = 64) -> None:
+        self.max_nack = int(max_nack)
+        self._received: set[int] = set()
+        self._prefix = 0  # seqs [0, _prefix) all received
+        self.duplicates = 0
+        self.highest_seq = -1
+
+    @property
+    def distinct_received(self) -> int:
+        """Number of distinct data seqs seen."""
+        return len(self._received) + self._prefix
+
+    @property
+    def in_order_prefix(self) -> int:
+        """Length of the contiguous received prefix (write-to-sink point)."""
+        self._compact()
+        return self._prefix
+
+    def receive(self, seq: int) -> bool:
+        """Record ``seq``; returns ``False`` for a duplicate."""
+        if seq < self._prefix or seq in self._received:
+            self.duplicates += 1
+            return False
+        self._received.add(seq)
+        self.highest_seq = max(self.highest_seq, seq)
+        self._compact()
+        return True
+
+    def _compact(self) -> None:
+        while self._prefix in self._received:
+            self._received.discard(self._prefix)
+            self._prefix += 1
+
+    def missing_below_highest(self) -> list[int]:
+        """Sequence holes below the highest seq seen (bounded by max_nack)."""
+        self._compact()
+        missing: list[int] = []
+        for seq in range(self._prefix, self.highest_seq + 1):
+            if seq not in self._received:
+                missing.append(seq)
+                if len(missing) >= self.max_nack:
+                    break
+        return missing
+
+    def missing_through(self, total: int) -> list[int]:
+        """Holes through ``total - 1`` (bounded by max_nack).
+
+        Unlike :meth:`missing_below_highest`, this also reports a lost
+        *tail* — datagrams after the highest received seq — which is
+        essential to finish a finite flow whose last window was dropped.
+        """
+        self._compact()
+        missing: list[int] = []
+        for seq in range(self._prefix, total):
+            if seq not in self._received:
+                missing.append(seq)
+                if len(missing) >= self.max_nack:
+                    break
+        return missing
+
+    def report(self) -> AckReport:
+        """Snapshot ACK/NACK state for one acknowledgement packet."""
+        return AckReport(
+            distinct_received=self.distinct_received,
+            highest_seq=self.highest_seq,
+            missing=tuple(self.missing_below_highest()),
+        )
+
+
+class RetransmitQueue:
+    """Sender-side queue of sequence numbers awaiting (re)transmission."""
+
+    def __init__(self, total_seqs: int | None = None) -> None:
+        self.total_seqs = total_seqs
+        self._next_new = 0
+        self._retransmit: list[int] = []
+        self._retransmit_set: set[int] = set()
+        self.retransmissions = 0
+
+    @property
+    def next_new_seq(self) -> int:
+        """Next never-sent sequence number."""
+        return self._next_new
+
+    def nack(self, seqs: list[int] | tuple[int, ...]) -> None:
+        """Queue NACKed sequence numbers for retransmission (deduplicated)."""
+        for s in seqs:
+            if s not in self._retransmit_set and s < self._next_new:
+                self._retransmit.append(s)
+                self._retransmit_set.add(s)
+
+    def acked(self, seqs_below: int) -> None:
+        """Drop queued retransmissions already covered by the in-order prefix."""
+        if not self._retransmit:
+            return
+        self._retransmit = [s for s in self._retransmit if s >= seqs_below]
+        self._retransmit_set = set(self._retransmit)
+
+    def take(self, count: int) -> list[int]:
+        """Take up to ``count`` seqs: retransmissions first, then new data.
+
+        Returns fewer when the flow's ``total_seqs`` is exhausted.
+        """
+        out: list[int] = []
+        while self._retransmit and len(out) < count:
+            seq = self._retransmit.pop(0)
+            self._retransmit_set.discard(seq)
+            self.retransmissions += 1
+            out.append(seq)
+        while len(out) < count:
+            if self.total_seqs is not None and self._next_new >= self.total_seqs:
+                break
+            out.append(self._next_new)
+            self._next_new += 1
+        return out
+
+    def exhausted(self, delivered_distinct: int) -> bool:
+        """Whether every sequence number has been delivered (finite flows)."""
+        return self.total_seqs is not None and delivered_distinct >= self.total_seqs

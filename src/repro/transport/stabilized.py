@@ -1,0 +1,173 @@
+"""Window-based UDP transport with Robbins–Monro goodput stabilization.
+
+This is the paper's Section 3 protocol (structure of Fig. 2):
+
+* the sender emits a congestion window of ``W_c`` UDP datagrams, then
+  sleeps ``T_s(t)``;
+* the receiver tracks distinct arrivals and returns ACK/NACK reports;
+* at each epoch the sender measures goodput
+  ``g(t_n) = newly_acked_bytes / epoch_duration`` and updates the sleep
+  time via Eq. 1 (:class:`~repro.transport.ratecontrol.RobbinsMonroController`);
+* NACKed datagrams are reloaded and retransmitted ahead of new data.
+"""
+
+from __future__ import annotations
+
+from repro.des.simulator import Simulator, Trigger
+from repro.net.channel import SimPath
+from repro.net.packet import Datagram
+from repro.transport.base import FlowConfig, Transport
+from repro.transport.metrics import EpochRecord
+from repro.transport.ratecontrol import RobbinsMonroController
+from repro.transport.retransmit import ReceiverWindow, RetransmitQueue
+
+__all__ = ["StabilizedUDPTransport"]
+
+
+class StabilizedUDPTransport(Transport):
+    """UDP transport stabilized to a target goodput ``g*``.
+
+    Parameters
+    ----------
+    controller:
+        A configured Robbins–Monro controller carrying ``g*``, ``W_c``
+        and the gain schedule.  Its ``window`` is the per-epoch burst.
+    ack_every:
+        The receiver acknowledges after every ``ack_every`` data arrivals
+        (and the sender also polls states each epoch); small values give
+        the controller fresher goodput measurements at higher reverse-path
+        cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward: SimPath,
+        reverse: SimPath,
+        config: FlowConfig,
+        controller: RobbinsMonroController | None = None,
+        ack_every: int = 8,
+        goodput_smoothing: float = 0.35,
+    ) -> None:
+        super().__init__(sim, forward, reverse, config)
+        if controller is None:
+            controller = RobbinsMonroController(
+                target_goodput=2.0e6,
+                window=32,
+                datagram_size=config.datagram_size,
+            )
+        self.controller = controller
+        self.stats.target_goodput = controller.target_goodput
+        self.ack_every = max(1, int(ack_every))
+        # EWMA weight of the newest per-epoch goodput sample.  Raw
+        # per-window measurements are quantized by the ACK granularity;
+        # smoothing keeps that quantization noise out of the Robbins-
+        # Monro update (the measurement-side filtering of [26]).
+        self.goodput_smoothing = float(goodput_smoothing)
+        self._receiver = ReceiverWindow()
+        self._queue = RetransmitQueue(total_seqs=config.total_seqs)
+        self._acked_bytes = 0.0  # distinct bytes known delivered (sender view)
+        self._since_ack = 0
+
+    # -- receiver side (runs in delivery callbacks) -------------------------------
+
+    def _on_data_delivered(self, dgram: Datagram) -> None:
+        fresh = self._receiver.receive(dgram.seq)
+        if fresh:
+            self.stats.datagrams_delivered += 1
+            self.stats.bytes_delivered += dgram.size
+        else:
+            self.stats.datagrams_duplicated += 1
+        self._since_ack += 1
+        if self._since_ack >= self.ack_every:
+            self._since_ack = 0
+            self._send_ack(self._receiver.report(), self._on_ack_delivered)
+
+    def _on_ack_delivered(self, ack: Datagram) -> None:
+        report = ack.payload
+        self._acked_bytes = max(
+            self._acked_bytes, report.distinct_received * self.config.datagram_size
+        )
+        self._queue.acked(report.highest_seq + 1 - len(report.missing))
+        self._queue.nack(report.missing)
+
+    # -- sender process ---------------------------------------------------------------
+
+    def _sender(self):
+        cfg = self.config
+        ctrl = self.controller
+        start = self.sim.now
+        last_acked = 0.0
+        epoch_start = self.sim.now
+        g_smooth: float | None = None
+
+        while True:
+            # Termination checks.
+            if cfg.duration is not None and self.sim.now - start >= cfg.duration:
+                break
+            if self._queue.exhausted(self._receiver.distinct_received):
+                self.stats.completed = True
+                break
+
+            seqs = self._queue.take(ctrl.window)
+            if not seqs:
+                # Everything sent but not yet all delivered: requeue every
+                # outstanding hole (including a lost tail) and wait a beat.
+                if cfg.total_seqs is not None:
+                    self._queue.nack(self._receiver.missing_through(cfg.total_seqs))
+                elif self._receiver.highest_seq >= 0:
+                    self._queue.nack(self._receiver.missing_below_highest())
+                yield self.sim.timeout(max(ctrl.sleep_time, 0.01))
+                continue
+
+            for seq in seqs:
+                if seq < self._queue.next_new_seq and self._queue.retransmissions:
+                    self.stats.bytes_retransmitted += cfg.datagram_size
+                self._send_data(seq, self._on_data_delivered)
+
+            # Time to clock the full window out at the first hop: Tc.
+            first = self.forward.links[0]
+            tc = len(seqs) * cfg.datagram_size / first.available_bandwidth()
+            yield self.sim.timeout(tc + ctrl.sleep_time)
+
+            # Epoch accounting: goodput from newly acknowledged bytes,
+            # EWMA-smoothed before it reaches the controller.
+            now = self.sim.now
+            epoch_len = max(now - epoch_start, 1e-9)
+            newly = self._acked_bytes - last_acked
+            goodput_raw = newly / epoch_len
+            last_acked = self._acked_bytes
+            epoch_start = now
+            if g_smooth is None:
+                g_smooth = goodput_raw
+            else:
+                s = self.goodput_smoothing
+                g_smooth = s * goodput_raw + (1.0 - s) * g_smooth
+            new_ts = ctrl.update(g_smooth)
+            self.stats.record_epoch(
+                EpochRecord(
+                    time=now - start,
+                    goodput=g_smooth,
+                    sleep_time=new_ts,
+                    window=ctrl.window,
+                    sent=len(seqs),
+                    acked=int(newly / cfg.datagram_size),
+                    lost=0,
+                )
+            )
+
+        # Final flush for finite flows: wait for trailing ACKs.
+        if cfg.total_bytes is not None and not self.stats.completed:
+            for _ in range(200):
+                if self._queue.exhausted(self._receiver.distinct_received):
+                    self.stats.completed = True
+                    break
+                self._queue.nack(self._receiver.missing_through(cfg.total_seqs))
+                seqs = self._queue.take(ctrl.window)
+                for seq in seqs:
+                    self._send_data(seq, self._on_data_delivered)
+                yield self.sim.timeout(max(ctrl.sleep_time, 2.0 * self.forward.min_delay() + 1e-3))
+            else:
+                pass
+        self.stats.duration = self.sim.now - start
+        return self.stats

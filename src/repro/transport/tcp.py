@@ -1,0 +1,104 @@
+"""Epoch-level TCP Reno baseline.
+
+A round-trip-time granularity model of TCP: each epoch the sender emits
+``cwnd`` segments, observes how many arrived, and applies slow start /
+AIMD / timeout rules.  This reproduces the sawtooth dynamics whose jitter
+motivates the paper's stabilized control channel — it is a *baseline*,
+not a full TCP implementation (no SACK, no delayed ACK modelling).
+"""
+
+from __future__ import annotations
+
+from repro.des.simulator import Simulator
+from repro.net.channel import SimPath
+from repro.net.packet import Datagram
+from repro.transport.base import FlowConfig, Transport
+from repro.transport.metrics import EpochRecord
+from repro.transport.ratecontrol import AimdController
+from repro.transport.retransmit import ReceiverWindow, RetransmitQueue
+
+__all__ = ["TcpRenoTransport"]
+
+
+class TcpRenoTransport(Transport):
+    """RTT-epoch TCP Reno model over a simulated path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward: SimPath,
+        reverse: SimPath,
+        config: FlowConfig,
+        controller: AimdController | None = None,
+    ) -> None:
+        super().__init__(sim, forward, reverse, config)
+        self.controller = controller if controller is not None else AimdController()
+        self._receiver = ReceiverWindow()
+        self._queue = RetransmitQueue(total_seqs=config.total_seqs)
+        self._epoch_arrivals = 0
+
+    def _on_data_delivered(self, dgram: Datagram) -> None:
+        if self._receiver.receive(dgram.seq):
+            self.stats.datagrams_delivered += 1
+            self.stats.bytes_delivered += dgram.size
+        else:
+            self.stats.datagrams_duplicated += 1
+        self._epoch_arrivals += 1
+
+    def _sender(self):
+        cfg = self.config
+        ctrl = self.controller
+        start = self.sim.now
+
+        while True:
+            if cfg.duration is not None and self.sim.now - start >= cfg.duration:
+                break
+            if self._queue.exhausted(self._receiver.distinct_received):
+                self.stats.completed = True
+                break
+
+            cwnd = ctrl.cwnd
+            self._queue.nack(self._receiver.missing_below_highest())
+            seqs = self._queue.take(cwnd)
+            if not seqs:
+                yield self.sim.timeout(0.01)
+                continue
+
+            self._epoch_arrivals = 0
+            epoch_t0 = self.sim.now
+            for seq in seqs:
+                self._send_data(seq, self._on_data_delivered)
+
+            # One epoch = one RTT (window-per-RTT ACK clocking).  TCP does
+            # not pace at the bottleneck rate: when cwnd exceeds the
+            # bandwidth-delay product the burst overruns the drop-tail
+            # queue, producing the loss events that drive the sawtooth.
+            rtt = self.forward.min_delay() + self.reverse.min_delay()
+            yield self.sim.timeout(1.05 * rtt + 0.002)
+
+            arrived = self._epoch_arrivals
+            lost = len(seqs) - arrived
+            if arrived == 0:
+                ctrl.on_timeout()
+            elif lost > 0:
+                ctrl.on_loss()
+                ctrl.on_ack_epoch(arrived)
+            else:
+                ctrl.on_ack_epoch(arrived)
+
+            epoch_len = max(self.sim.now - epoch_t0, 1e-9)
+            goodput = arrived * cfg.datagram_size / epoch_len
+            self.stats.record_epoch(
+                EpochRecord(
+                    time=self.sim.now - start,
+                    goodput=goodput,
+                    sleep_time=0.0,
+                    window=len(seqs),
+                    sent=len(seqs),
+                    acked=arrived,
+                    lost=lost,
+                )
+            )
+
+        self.stats.duration = self.sim.now - start
+        return self.stats

@@ -1,0 +1,85 @@
+"""Constant-rate (open-loop) UDP baseline.
+
+Sends windows at a fixed configured rate with no feedback at all: when
+the configured rate exceeds what the path can carry, loss explodes and
+goodput saturates below target — the "limitations of default UDP" the
+paper contrasts against.
+"""
+
+from __future__ import annotations
+
+from repro.des.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.net.channel import SimPath
+from repro.net.packet import Datagram
+from repro.transport.base import FlowConfig, Transport
+from repro.transport.metrics import EpochRecord
+from repro.transport.retransmit import ReceiverWindow
+
+__all__ = ["ConstantRateUdpTransport"]
+
+
+class ConstantRateUdpTransport(Transport):
+    """Fixed-rate unreliable UDP blaster (no retransmission)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        forward: SimPath,
+        reverse: SimPath,
+        config: FlowConfig,
+        rate: float = 2.0e6,
+        window: int = 32,
+    ) -> None:
+        super().__init__(sim, forward, reverse, config)
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive bytes/s")
+        self.rate = float(rate)
+        self.window = max(1, int(window))
+        self.stats.target_goodput = self.rate
+        self._receiver = ReceiverWindow()
+        self._next_seq = 0
+
+    def _on_data_delivered(self, dgram: Datagram) -> None:
+        if self._receiver.receive(dgram.seq):
+            self.stats.datagrams_delivered += 1
+            self.stats.bytes_delivered += dgram.size
+
+    def _sender(self):
+        cfg = self.config
+        start = self.sim.now
+        window_bytes = self.window * cfg.datagram_size
+        interval = window_bytes / self.rate
+        total = cfg.total_seqs
+
+        while True:
+            if cfg.duration is not None and self.sim.now - start >= cfg.duration:
+                break
+            if total is not None and self._next_seq >= total:
+                break
+            epoch_t0 = self.sim.now
+            delivered_before = self.stats.datagrams_delivered
+            count = self.window if total is None else min(self.window, total - self._next_seq)
+            for _ in range(count):
+                self._send_data(self._next_seq, self._on_data_delivered)
+                self._next_seq += 1
+            yield self.sim.timeout(interval)
+            epoch_len = max(self.sim.now - epoch_t0, 1e-9)
+            arrived = self.stats.datagrams_delivered - delivered_before
+            self.stats.record_epoch(
+                EpochRecord(
+                    time=self.sim.now - start,
+                    goodput=arrived * cfg.datagram_size / epoch_len,
+                    sleep_time=interval,
+                    window=count,
+                    sent=count,
+                    acked=arrived,
+                    lost=count - arrived,
+                )
+            )
+
+        # Let in-flight datagrams land before closing the books.
+        yield self.sim.timeout(2.0 * self.forward.min_delay() + 0.1)
+        self.stats.completed = total is not None and self._receiver.distinct_received >= total
+        self.stats.duration = self.sim.now - start
+        return self.stats

@@ -1,0 +1,97 @@
+"""Byte/bandwidth/time unit helpers.
+
+The paper mixes MBytes (data sizes), Mb/s (bandwidths) and seconds
+(delays).  Keeping conversions in one place avoids the classic factor-of-8
+bugs between *bytes* and *bits* when computing bandwidth-constrained delay
+``m / b`` (Eq. 2 of the paper).
+
+Conventions used throughout the library:
+
+* data sizes are in **bytes** (int or float),
+* bandwidths are in **bytes per second**,
+* times are in **seconds**.
+
+Constructors like :func:`mbit_per_s` exist so call sites can still speak
+the units the paper uses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "kb_bytes",
+    "mb_bytes",
+    "gb_bytes",
+    "mbit_per_s",
+    "gbit_per_s",
+    "mbyte_per_s",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_seconds",
+]
+
+KB: int = 1 << 10
+MB: int = 1 << 20
+GB: int = 1 << 30
+
+
+def kb_bytes(n: float) -> float:
+    """Kilobytes (binary) to bytes."""
+    return n * KB
+
+
+def mb_bytes(n: float) -> float:
+    """Megabytes (binary) to bytes."""
+    return n * MB
+
+
+def gb_bytes(n: float) -> float:
+    """Gigabytes (binary) to bytes."""
+    return n * GB
+
+
+def mbit_per_s(n: float) -> float:
+    """Megabits per second to bytes per second."""
+    return n * 1e6 / 8.0
+
+
+def gbit_per_s(n: float) -> float:
+    """Gigabits per second to bytes per second."""
+    return n * 1e9 / 8.0
+
+
+def mbyte_per_s(n: float) -> float:
+    """Megabytes (binary) per second to bytes per second."""
+    return n * MB
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (``'64.0 MB'``)."""
+    n = float(n)
+    for unit, size in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= size:
+            return f"{n / size:.1f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable bandwidth from bytes/second (``'100.0 Mb/s'``)."""
+    bits = bps * 8.0
+    if abs(bits) >= 1e9:
+        return f"{bits / 1e9:.1f} Gb/s"
+    if abs(bits) >= 1e6:
+        return f"{bits / 1e6:.1f} Mb/s"
+    if abs(bits) >= 1e3:
+        return f"{bits / 1e3:.1f} Kb/s"
+    return f"{bits:.0f} b/s"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration (``'1.25 s'``, ``'310 ms'``)."""
+    if abs(t) >= 1.0:
+        return f"{t:.2f} s"
+    if abs(t) >= 1e-3:
+        return f"{t * 1e3:.0f} ms"
+    return f"{t * 1e6:.0f} us"

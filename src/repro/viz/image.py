@@ -1,0 +1,143 @@
+"""Framebuffer images and the fixed-size file encoding.
+
+The Ajax front end "saves the received images as fixed-size files that
+are to be delivered to the browser through the object exchange mechanism
+of XMLHttpRequest" (Section 2).  :func:`encode_fixed_size` implements
+that container: a header with the true payload length, zlib-compressed
+pixels, zero padding up to the fixed size.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataFormatError
+
+__all__ = ["Image", "encode_fixed_size", "decode_fixed_size"]
+
+_FIXED_MAGIC = b"RIMG"
+
+
+@dataclass
+class Image:
+    """RGBA framebuffer, uint8, shape (H, W, 4)."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        px = np.asarray(self.pixels)
+        if px.ndim != 3 or px.shape[2] != 4:
+            raise ConfigurationError(f"pixels must be (H, W, 4), got {px.shape}")
+        self.pixels = px.astype(np.uint8, copy=False)
+
+    @classmethod
+    def blank(cls, width: int, height: int, color=(0, 0, 0, 255)) -> "Image":
+        px = np.empty((height, width, 4), dtype=np.uint8)
+        px[:] = np.asarray(color, dtype=np.uint8)
+        return cls(px)
+
+    @classmethod
+    def from_float(cls, rgba: np.ndarray) -> "Image":
+        """From float RGBA in [0, 1]."""
+        return cls((np.clip(rgba, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8))
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.pixels.nbytes)
+
+    def nonblank_fraction(self, background=(0, 0, 0)) -> float:
+        """Fraction of pixels differing from the background colour."""
+        bg = np.asarray(background, dtype=np.uint8)
+        diff = np.any(self.pixels[:, :, :3] != bg, axis=2)
+        return float(diff.mean())
+
+    def to_ppm_bytes(self) -> bytes:
+        """Binary PPM (P6) without the alpha channel."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + self.pixels[:, :, :3].tobytes()
+
+    def to_png_bytes(self) -> bytes:
+        """Encode as a real PNG (RGBA, 8-bit) using stdlib zlib only.
+
+        Minimal but standards-compliant: IHDR + one IDAT (filter 0 per
+        scanline) + IEND, so actual browsers in the Ajax demo can render
+        the monitoring images.
+        """
+        import binascii
+
+        def chunk(tag: bytes, data: bytes) -> bytes:
+            crc = binascii.crc32(tag + data) & 0xFFFFFFFF
+            return struct.pack(">I", len(data)) + tag + data + struct.pack(">I", crc)
+
+        h, w = self.pixels.shape[0], self.pixels.shape[1]
+        ihdr = struct.pack(">IIBBBBB", w, h, 8, 6, 0, 0, 0)  # 8-bit RGBA
+        raw = b"".join(
+            b"\x00" + self.pixels[row].tobytes() for row in range(h)
+        )
+        return (
+            b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", ihdr)
+            + chunk(b"IDAT", zlib.compress(raw, 6))
+            + chunk(b"IEND", b"")
+        )
+
+    def to_png_like_bytes(self) -> bytes:
+        """zlib-compressed raw RGBA with a tiny shape header.
+
+        Not a real PNG (no external encoders offline), but a compact
+        lossless wire format the Ajax client can decode.
+        """
+        head = struct.pack("<HH", self.width, self.height)
+        return head + zlib.compress(self.pixels.tobytes(), level=6)
+
+    @classmethod
+    def from_png_like_bytes(cls, blob: bytes) -> "Image":
+        if len(blob) < 4:
+            raise DataFormatError("image blob too short")
+        w, h = struct.unpack("<HH", blob[:4])
+        try:
+            raw = zlib.decompress(blob[4:])
+        except zlib.error as exc:
+            raise DataFormatError(f"corrupt image payload: {exc}") from exc
+        expected = w * h * 4
+        if len(raw) != expected:
+            raise DataFormatError(f"image payload {len(raw)} != {expected}")
+        return cls(np.frombuffer(raw, dtype=np.uint8).reshape(h, w, 4).copy())
+
+
+def encode_fixed_size(image: Image, file_size: int = 256 * 1024) -> bytes:
+    """Encode ``image`` into an exactly ``file_size``-byte container.
+
+    Raises :class:`DataFormatError` when the compressed payload does not
+    fit (caller should raise ``file_size`` or shrink the viewport).
+    """
+    payload = image.to_png_like_bytes()
+    header = _FIXED_MAGIC + struct.pack("<I", len(payload))
+    need = len(header) + len(payload)
+    if need > file_size:
+        raise DataFormatError(
+            f"image needs {need} bytes but fixed file size is {file_size}"
+        )
+    return header + payload + b"\x00" * (file_size - need)
+
+
+def decode_fixed_size(blob: bytes) -> Image:
+    """Inverse of :func:`encode_fixed_size`."""
+    if len(blob) < 8 or blob[:4] != _FIXED_MAGIC:
+        raise DataFormatError("not a fixed-size image container")
+    (length,) = struct.unpack("<I", blob[4:8])
+    if 8 + length > len(blob):
+        raise DataFormatError("truncated fixed-size image container")
+    return Image.from_png_like_bytes(blob[8 : 8 + length])

@@ -1,0 +1,207 @@
+"""The visualization pipeline abstraction the mapper partitions (Fig. 4).
+
+A pipeline is a chain of ``n + 1`` sequential modules
+``M_1, ..., M_{n+1}`` where ``M_1`` is the data source.  Module ``M_j``
+(``j >= 2``) performs a task of complexity ``c_j`` (seconds per input
+byte on a power-1 node) on data of size ``m_{j-1}`` and emits data of
+size ``m_j``.  The DP mapper of :mod:`repro.mapping` consumes exactly
+the ``(c_j, m_j)`` arrays this class computes.
+
+Modules may optionally carry a callable so the same pipeline can be
+*executed* live (tests, examples, the steering loop), guaranteeing that
+modelled and real pipelines never drift apart structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import MappingError
+
+__all__ = ["ModuleSpec", "VisualizationPipeline", "standard_pipeline"]
+
+#: Module kinds and the node capability each requires.
+KIND_CAPABILITY = {
+    "source": "source",
+    "filter": "filter",
+    "extract": "extract",
+    "render": "render",
+    "display": "display",
+}
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One pipeline module ``M_j``.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    kind:
+        One of ``source | filter | extract | render | display``; maps to
+        the node capability required to host the module.
+    complexity:
+        ``c_j`` — seconds per input byte on a power-1 reference node
+        (0 for the source).
+    output_ratio:
+        ``m_j / m_{j-1}``; ignored when ``fixed_output`` is set.
+    fixed_output:
+        Absolute output size in bytes (e.g. a framebuffer image is a
+        constant size regardless of input).
+    fn:
+        Optional callable ``fn(data, **params) -> data`` for live runs.
+    """
+
+    name: str
+    kind: str
+    complexity: float = 0.0
+    output_ratio: float = 1.0
+    fixed_output: float | None = None
+    fn: Callable[..., Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_CAPABILITY:
+            raise MappingError(
+                f"module {self.name!r}: unknown kind {self.kind!r}; "
+                f"expected one of {sorted(KIND_CAPABILITY)}"
+            )
+        if self.complexity < 0:
+            raise MappingError(f"module {self.name!r}: negative complexity")
+        if self.output_ratio <= 0 and self.fixed_output is None:
+            raise MappingError(f"module {self.name!r}: output_ratio must be > 0")
+
+    @property
+    def required_capability(self) -> str:
+        return KIND_CAPABILITY[self.kind]
+
+    def output_size(self, input_size: float) -> float:
+        """``m_j`` given ``m_{j-1}``."""
+        if self.fixed_output is not None:
+            return float(self.fixed_output)
+        return float(input_size) * self.output_ratio
+
+
+class VisualizationPipeline:
+    """An ordered chain of modules, source first."""
+
+    def __init__(self, modules: list[ModuleSpec], source_bytes: float) -> None:
+        if len(modules) < 2:
+            raise MappingError("a pipeline needs a source plus >= 1 module")
+        if modules[0].kind != "source":
+            raise MappingError("the first module must be the data source")
+        if any(m.kind == "source" for m in modules[1:]):
+            raise MappingError("only M_1 may be a source")
+        if source_bytes <= 0:
+            raise MappingError("source_bytes must be positive")
+        self.modules = list(modules)
+        self.source_bytes = float(source_bytes)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def n_modules(self) -> int:
+        """``n + 1`` in the paper's notation."""
+        return len(self.modules)
+
+    @property
+    def n_messages(self) -> int:
+        """``n``: messages m_1 .. m_n between consecutive modules."""
+        return len(self.modules) - 1
+
+    def message_sizes(self) -> list[float]:
+        """``[m_1, ..., m_n]`` — bytes flowing between module pairs.
+
+        ``m_j`` is the output of module ``M_j``; ``m_1`` is the source's
+        dataset size.
+        """
+        sizes = [self.modules[0].output_size(self.source_bytes)]
+        for mod in self.modules[1 : self.n_modules - 1]:
+            sizes.append(mod.output_size(sizes[-1]))
+        return sizes
+
+    def complexities(self) -> list[float]:
+        """``[c_2, ..., c_{n+1}]`` — per-byte cost of each non-source module."""
+        return [m.complexity for m in self.modules[1:]]
+
+    def requirements(self) -> list[str]:
+        """Required node capability per module (incl. the source)."""
+        return [m.required_capability for m in self.modules]
+
+    def compute_time(self, module_index: int, node_power: float) -> float:
+        """``c_j * m_{j-1} / p`` for module ``M_{module_index+1}`` (0-based).
+
+        Index 0 is the source (zero cost).
+        """
+        if module_index == 0:
+            return 0.0
+        inputs = self.message_sizes()  # input of M_{j} is m_{j-1}
+        c = self.modules[module_index].complexity
+        return c * inputs[module_index - 1] / node_power
+
+    # -- live execution -----------------------------------------------------------
+
+    def execute(self, data: Any) -> tuple[Any, list[Any]]:
+        """Run every module's callable in order; returns (result, stages).
+
+        Modules without a callable pass data through unchanged.
+        """
+        stages = [data]
+        for mod in self.modules[1:]:
+            if mod.fn is not None:
+                data = mod.fn(data)
+            stages.append(data)
+        return data, stages
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = " -> ".join(m.name for m in self.modules)
+        return f"VisualizationPipeline({names}, m1={self.source_bytes:.0f}B)"
+
+
+def standard_pipeline(
+    technique: str,
+    source_bytes: float,
+    image_bytes: float = 256 * 1024,
+    geometry_ratio: float = 0.4,
+    filter_ratio: float = 1.0,
+) -> VisualizationPipeline:
+    """Generic 5-module pipeline for a named technique.
+
+    ``source -> filter -> transform -> render -> display`` with
+    representative per-byte complexities.  The experiment harness
+    replaces these complexities with calibrated cost-model values; this
+    constructor is for quick starts and structural tests.
+    """
+    if technique == "isosurface":
+        transform = ModuleSpec(
+            "isosurface-extract", "extract", complexity=4.0e-8, output_ratio=geometry_ratio
+        )
+        render = ModuleSpec(
+            "geometry-render", "render", complexity=2.0e-8, fixed_output=image_bytes
+        )
+    elif technique == "raycast":
+        transform = ModuleSpec(
+            "raycast", "extract", complexity=9.0e-8, fixed_output=image_bytes
+        )
+        render = ModuleSpec(
+            "composite", "render", complexity=5.0e-9, fixed_output=image_bytes
+        )
+    elif technique == "streamline":
+        transform = ModuleSpec(
+            "streamline-trace", "extract", complexity=2.5e-8, output_ratio=0.05
+        )
+        render = ModuleSpec(
+            "polyline-render", "render", complexity=1.0e-8, fixed_output=image_bytes
+        )
+    else:
+        raise MappingError(f"unknown technique {technique!r}")
+
+    modules = [
+        ModuleSpec("data-source", "source"),
+        ModuleSpec("filter", "filter", complexity=5.0e-9, output_ratio=filter_ratio),
+        transform,
+        render,
+        ModuleSpec("display", "display", complexity=1.0e-9, output_ratio=1.0),
+    ]
+    return VisualizationPipeline(modules, source_bytes)

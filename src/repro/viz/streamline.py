@@ -1,0 +1,127 @@
+"""Streamline generation (Section 4.4.3).
+
+Vectorized advection of seed points through a vector field using RK2 or
+RK4; the returned statistics expose ``n_seeds * n_steps`` advections for
+the Eq. 8 cost model (``t = n_seeds * n_steps * T_advection``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.grid import VectorField
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamlineResult", "trace_streamlines", "seed_grid"]
+
+
+@dataclass
+class StreamlineResult:
+    """Traced streamlines plus advection statistics.
+
+    ``paths`` has shape (n_seeds, n_steps + 1, 3); positions after a
+    streamline leaves the domain (or stalls) are NaN.
+    """
+
+    paths: np.ndarray
+    advections: int
+    terminated_early: int
+
+    @property
+    def n_seeds(self) -> int:
+        return int(self.paths.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.paths.nbytes)
+
+    def lengths(self) -> np.ndarray:
+        """Arc length of each streamline (ignoring NaN tails)."""
+        segs = np.diff(self.paths, axis=1)
+        seg_len = np.linalg.norm(segs, axis=2)
+        return np.nansum(seg_len, axis=1)
+
+
+def seed_grid(
+    field: VectorField, n_per_axis: int = 4, margin: float = 0.1
+) -> np.ndarray:
+    """Regular lattice of seed points inside the field bounds."""
+    if n_per_axis < 1:
+        raise ConfigurationError("n_per_axis must be >= 1")
+    lo, hi = field.bounds()
+    span = hi - lo
+    lo2 = lo + margin * span
+    hi2 = hi - margin * span
+    axes = [np.linspace(lo2[a], hi2[a], n_per_axis) for a in range(3)]
+    X, Y, Z = np.meshgrid(*axes, indexing="ij")
+    return np.stack([X.ravel(), Y.ravel(), Z.ravel()], axis=1)
+
+
+def trace_streamlines(
+    field: VectorField,
+    seeds: np.ndarray,
+    n_steps: int = 100,
+    h: float = 0.5,
+    method: str = "rk4",
+    min_speed: float = 1e-9,
+) -> StreamlineResult:
+    """Advect ``seeds`` through ``field`` for ``n_steps`` steps of size ``h``.
+
+    All seeds advance in lockstep (vectorized); a streamline terminates
+    when it exits the domain or the local speed drops below
+    ``min_speed``.
+    """
+    seeds = np.atleast_2d(np.asarray(seeds, dtype=np.float64))
+    if seeds.shape[1] != 3:
+        raise ConfigurationError("seeds must be (N, 3)")
+    if n_steps < 1 or h <= 0:
+        raise ConfigurationError("need n_steps >= 1 and h > 0")
+    if method not in ("rk2", "rk4"):
+        raise ConfigurationError(f"unknown integration method {method!r}")
+
+    lo, hi = field.bounds()
+    n = seeds.shape[0]
+    paths = np.full((n, n_steps + 1, 3), np.nan)
+    paths[:, 0, :] = seeds
+    pos = seeds.copy()
+    alive = np.ones(n, dtype=bool)
+    advections = 0
+
+    def vel(p: np.ndarray) -> np.ndarray:
+        return field.sample_world(p).astype(np.float64)
+
+    for step in range(1, n_steps + 1):
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        p = pos[idx]
+        k1 = vel(p)
+        if method == "rk2":
+            k2 = vel(p + 0.5 * h * k1)
+            delta = h * k2
+            advections += 2 * idx.size
+        else:
+            k2 = vel(p + 0.5 * h * k1)
+            k3 = vel(p + 0.5 * h * k2)
+            k4 = vel(p + h * k3)
+            delta = (h / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+            advections += 4 * idx.size
+
+        speed = np.linalg.norm(k1, axis=1)
+        moving = speed >= min_speed
+        new_p = p + delta
+        in_bounds = np.all((new_p >= lo) & (new_p <= hi), axis=1)
+        ok = moving & in_bounds
+
+        keep = idx[ok]
+        pos[keep] = new_p[ok]
+        paths[keep, step, :] = new_p[ok]
+        alive[idx[~ok]] = False
+
+    return StreamlineResult(
+        paths=paths,
+        advections=advections,
+        terminated_early=int(n - alive.sum()),
+    )

@@ -1,0 +1,95 @@
+"""Transfer functions for ray casting.
+
+A transfer function maps normalized scalar values to RGBA; opacity is
+defined per unit sample step and corrected for the actual step size
+(standard volume-rendering opacity correction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TransferFunction"]
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """Piecewise-linear RGBA transfer function.
+
+    ``points`` is an (N, 5) array of rows ``(value, r, g, b, a)`` sorted
+    by value; values outside the range clamp to the end points.
+    """
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 5 or pts.shape[0] < 2:
+            raise ConfigurationError("transfer function needs >= 2 (v,r,g,b,a) rows")
+        if np.any(np.diff(pts[:, 0]) < 0):
+            raise ConfigurationError("control points must be sorted by value")
+        object.__setattr__(self, "points", pts)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        """Map values (any shape) to RGBA (shape + (4,)) in [0, 1]."""
+        v = np.asarray(values, dtype=np.float64)
+        out = np.empty(v.shape + (4,), dtype=np.float64)
+        xs = self.points[:, 0]
+        for c in range(4):
+            out[..., c] = np.interp(v, xs, self.points[:, c + 1])
+        return out
+
+    def corrected_alpha(self, alpha: np.ndarray, step: float, ref_step: float = 1.0) -> np.ndarray:
+        """Opacity correction for sample spacing ``step``."""
+        return 1.0 - np.power(1.0 - np.clip(alpha, 0.0, 1.0), step / ref_step)
+
+    # -- presets -----------------------------------------------------------------
+
+    @classmethod
+    def grayscale(cls, vmin: float = 0.0, vmax: float = 1.0) -> "TransferFunction":
+        """Linear luminance ramp with linear opacity."""
+        return cls(
+            np.array(
+                [
+                    [vmin, 0.0, 0.0, 0.0, 0.0],
+                    [vmax, 1.0, 1.0, 1.0, 0.8],
+                ]
+            )
+        )
+
+    @classmethod
+    def hot_metal(cls, vmin: float = 0.0, vmax: float = 1.0) -> "TransferFunction":
+        """Black -> red -> yellow -> white ramp (combustion/pressure look)."""
+        vr = vmax - vmin
+        return cls(
+            np.array(
+                [
+                    [vmin, 0.0, 0.0, 0.0, 0.0],
+                    [vmin + 0.33 * vr, 0.8, 0.0, 0.0, 0.15],
+                    [vmin + 0.66 * vr, 1.0, 0.8, 0.0, 0.45],
+                    [vmax, 1.0, 1.0, 1.0, 0.9],
+                ]
+            )
+        )
+
+    @classmethod
+    def isolating(cls, value: float, width: float, color=(0.2, 0.6, 1.0)) -> "TransferFunction":
+        """Opacity bump around one value (highlights a shell/shock)."""
+        if width <= 0:
+            raise ConfigurationError("width must be positive")
+        r, g, b = color
+        return cls(
+            np.array(
+                [
+                    [value - 2 * width, 0.0, 0.0, 0.0, 0.0],
+                    [value - width, r * 0.5, g * 0.5, b * 0.5, 0.05],
+                    [value, r, g, b, 0.9],
+                    [value + width, r * 0.5, g * 0.5, b * 0.5, 0.05],
+                    [value + 2 * width, 0.0, 0.0, 0.0, 0.0],
+                ]
+            )
+        )

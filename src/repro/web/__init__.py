@@ -1,0 +1,24 @@
+"""The Ajax web server and client (the paper's user-facing tier).
+
+A real HTTP server (stdlib, threaded, loopback) exposing the
+XMLHttpRequest-style endpoints the 2008 GWT front end used:
+
+* ``GET /``            — the embedded single-page UI (XHR long-poll JS),
+* ``GET /api/state``   — full UI component tree,
+* ``GET /api/poll``    — long-poll partial updates (only changed
+  components travel; the data-driven model replacing click-wait-refresh),
+* ``GET /api/image``   — the latest fixed-size image file (or PNG),
+* ``POST /api/steer``  — computational steering parameters,
+* ``POST /api/view``   — visualization operations (rotate / zoom),
+* ``GET /api/sessions``— session registry.
+
+:class:`~repro.web.client.AjaxClient` is the programmatic browser used by
+tests and examples.
+"""
+
+from repro.web.ajax import UpdateHub
+from repro.web.client import AjaxClient
+from repro.web.components import Component, UIModel
+from repro.web.server import AjaxWebServer
+
+__all__ = ["AjaxClient", "AjaxWebServer", "Component", "UIModel", "UpdateHub"]

@@ -1,0 +1,46 @@
+"""Long-poll coordination for the Ajax endpoints.
+
+The asynchronous half of Ajax: a ``/api/poll`` request parks on the hub
+until the UI model (or the image store) advances past the client's last
+seen version, then returns only the changes.  Wakes are broadcast; each
+waiter re-checks its own predicate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.web.components import UIModel
+
+__all__ = ["UpdateHub"]
+
+
+class UpdateHub:
+    """Condition-variable hub tying the UI model to long-poll waiters."""
+
+    def __init__(self, model: UIModel) -> None:
+        self.model = model
+        self._cond = threading.Condition()
+
+    def publish(self, component_id: str, **props) -> int:
+        """Update the model and wake every long-poll waiter."""
+        version = self.model.set(component_id, **props)
+        with self._cond:
+            self._cond.notify_all()
+        return version
+
+    def wait_for_update(self, since: int, timeout: float = 25.0) -> dict:
+        """Block until the model passes ``since`` (or timeout); return diff.
+
+        Timeout returns an empty diff with the current version — the
+        client immediately re-polls, standard long-poll semantics.
+        """
+        deadline_hit = False
+        with self._cond:
+            if self.model.version <= since:
+                deadline_hit = not self._cond.wait_for(
+                    lambda: self.model.version > since, timeout=timeout
+                )
+        diff = self.model.diff(since)
+        diff["timeout"] = deadline_hit
+        return diff

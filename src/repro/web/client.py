@@ -1,0 +1,104 @@
+"""Programmatic Ajax client (the browser stand-in for tests/examples).
+
+Speaks exactly the protocol of the embedded page: XHR-style long polls
+against ``/api/poll``, image fetches keyed by version, steering POSTs.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import WebServerError
+from repro.viz.image import Image, decode_fixed_size
+
+__all__ = ["AjaxClient"]
+
+
+class AjaxClient:
+    """Minimal synchronous Ajax client over urllib."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.since = 0
+        self.updates_received = 0
+
+    # -- HTTP helpers ------------------------------------------------------------
+
+    def _get(self, path: str, timeout: float | None = None) -> bytes:
+        try:
+            with urllib.request.urlopen(
+                self.base_url + path, timeout=timeout or self.timeout
+            ) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            raise WebServerError(f"GET {path}: HTTP {exc.code}") from exc
+        except urllib.error.URLError as exc:
+            raise WebServerError(f"GET {path}: {exc.reason}") from exc
+
+    def _get_json(self, path: str, timeout: float | None = None) -> dict:
+        return json.loads(self._get(path, timeout=timeout).decode("utf-8"))
+
+    def _post_json(self, path: str, body: dict) -> dict:
+        data = json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise WebServerError(f"POST {path}: HTTP {exc.code}") from exc
+
+    # -- the Ajax protocol ----------------------------------------------------------
+
+    def index_page(self) -> str:
+        """The HTML page (sanity check that the UI is served)."""
+        return self._get("/").decode("utf-8")
+
+    def state(self) -> dict:
+        """Full component tree."""
+        return self._get_json("/api/state")
+
+    def poll(self, timeout: float = 5.0) -> dict:
+        """One long poll; advances the client's version cursor."""
+        diff = self._get_json(
+            f"/api/poll?since={self.since}&timeout={timeout}",
+            timeout=timeout + 5.0,
+        )
+        self.since = diff["version"]
+        self.updates_received += len(diff.get("components", []))
+        return diff
+
+    def wait_for_component(
+        self, component_id: str, polls: int = 20, timeout: float = 3.0
+    ) -> dict:
+        """Poll until a diff includes ``component_id``; returns its props."""
+        for _ in range(polls):
+            diff = self.poll(timeout=timeout)
+            for comp in diff.get("components", []):
+                if comp["id"] == component_id:
+                    return comp["props"]
+        raise WebServerError(f"component {component_id!r} never updated")
+
+    def fetch_image(self) -> Image:
+        """Download and decode the latest fixed-size image file."""
+        return decode_fixed_size(self._get("/api/image"))
+
+    def fetch_png(self) -> bytes:
+        """Download the browser-format PNG."""
+        return self._get("/api/image.png")
+
+    def steer(self, **params) -> dict:
+        return self._post_json("/api/steer", params)
+
+    def view(self, **ops) -> dict:
+        return self._post_json("/api/view", ops)
+
+    def sessions(self) -> dict:
+        return self._get_json("/api/sessions")

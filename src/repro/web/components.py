@@ -1,0 +1,80 @@
+"""Server-side UI component tree with versioned diffs.
+
+"Using Ajax, only user interface elements that contain new information
+are updated with data received from a server" — the mechanism behind
+that sentence: every component carries the version at which it last
+changed, and a poll since version ``v`` returns only components newer
+than ``v`` (the partial screen update).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Component", "UIModel"]
+
+
+@dataclass
+class Component:
+    """One UI element: an id, free-form props and a change version."""
+
+    id: str
+    props: dict[str, Any] = field(default_factory=dict)
+    version: int = 0
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "props": self.props, "version": self.version}
+
+
+class UIModel:
+    """Thread-safe component registry with monotonically growing version."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+        self._version = 0
+        self._lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def set(self, component_id: str, **props: Any) -> int:
+        """Create/update a component; only *changed* props bump the version."""
+        with self._lock:
+            comp = self._components.get(component_id)
+            if comp is None:
+                self._version += 1
+                self._components[component_id] = Component(
+                    component_id, dict(props), self._version
+                )
+                return self._version
+            changed = {k: v for k, v in props.items() if comp.props.get(k) != v}
+            if not changed:
+                return self._version
+            self._version += 1
+            comp.props.update(changed)
+            comp.version = self._version
+            return self._version
+
+    def get(self, component_id: str) -> Component | None:
+        with self._lock:
+            return self._components.get(component_id)
+
+    def snapshot(self) -> dict:
+        """Full tree (initial page load)."""
+        with self._lock:
+            return {
+                "version": self._version,
+                "components": [c.to_dict() for c in self._components.values()],
+            }
+
+    def diff(self, since: int) -> dict:
+        """Components changed after version ``since`` (the partial update)."""
+        with self._lock:
+            changed = [
+                c.to_dict() for c in self._components.values() if c.version > since
+            ]
+            return {"version": self._version, "components": changed}

@@ -1,0 +1,215 @@
+"""The Ajax web server.
+
+A threaded stdlib HTTP server bound to loopback that fronts a steering
+session: long-poll partial updates, fixed-size image file delivery (or
+browser-friendly PNG), steering and viewing POSTs.  It bridges the
+front-end image store into the UI component model so every new image
+becomes exactly one component diff.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import WebServerError
+from repro.steering.client import SteeringClient
+from repro.viz.image import decode_fixed_size
+from repro.web.ajax import UpdateHub
+from repro.web.components import UIModel
+from repro.web.static import INDEX_HTML
+
+__all__ = ["AjaxWebServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "RICSA/1.0"
+    app: "AjaxWebServer"  # set on the subclass at server construction
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if self.app.verbose:  # pragma: no cover - debug aid
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, body: bytes, ctype: str = "application/json") -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+    def _send_json(self, obj, code: int = 200) -> None:
+        self._send(code, json.dumps(obj).encode("utf-8"))
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0:
+            return {}
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise WebServerError("malformed JSON body")
+
+    # -- routes -----------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parsed = urllib.parse.urlparse(self.path)
+        query = urllib.parse.parse_qs(parsed.query)
+        route = parsed.path
+        try:
+            if route == "/":
+                self._send(200, INDEX_HTML.encode("utf-8"), "text/html; charset=utf-8")
+            elif route == "/api/state":
+                self._send_json(self.app.model.snapshot())
+            elif route == "/api/poll":
+                since = int(query.get("since", ["0"])[0])
+                timeout = min(float(query.get("timeout", ["20"])[0]), 30.0)
+                self._send_json(self.app.hub.wait_for_update(since, timeout=timeout))
+            elif route == "/api/image":
+                blob = self.app.latest_image_blob()
+                self._send(200, blob, "application/octet-stream")
+            elif route == "/api/image.png":
+                png = self.app.latest_image_png()
+                self._send(200, png, "image/png")
+            elif route == "/api/sessions":
+                self._send_json(self.app.client.frontend.sessions())
+            else:
+                self._send_json({"error": f"no route {route}"}, code=404)
+        except WebServerError as exc:
+            self._send_json({"error": str(exc)}, code=404)
+        except Exception as exc:  # defensive: never kill the handler thread
+            self._send_json({"error": f"internal: {exc}"}, code=500)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urllib.parse.urlparse(self.path)
+        route = parsed.path
+        try:
+            body = self._read_json()
+            if route == "/api/steer":
+                self.app.client.steer(**body)
+                self.app.hub.publish("params", **{k: v for k, v in body.items()})
+                self._send_json({"ok": True, "staged": body})
+            elif route == "/api/view":
+                self.app.apply_view_ops(body)
+                self._send_json({"ok": True})
+            elif route == "/api/stop":
+                self.app.client.stop()
+                self._send_json({"ok": True})
+            else:
+                self._send_json({"error": f"no route {route}"}, code=404)
+        except WebServerError as exc:
+            self._send_json({"error": str(exc)}, code=400)
+        except Exception as exc:
+            self._send_json({"error": f"internal: {exc}"}, code=500)
+
+
+class AjaxWebServer:
+    """Bind a steering client to HTTP on 127.0.0.1.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, client: SteeringClient, port: int = 0, verbose: bool = False) -> None:
+        self.client = client
+        self.model = UIModel()
+        self.hub = UpdateHub(self.model)
+        self.verbose = verbose
+        handler = type("BoundHandler", (_Handler,), {"app": self})
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._thread: threading.Thread | None = None
+        self._watcher: threading.Thread | None = None
+        self._stop_watch = threading.Event()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "AjaxWebServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        self._watcher = threading.Thread(target=self._watch_images, daemon=True)
+        self._watcher.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop_watch.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "AjaxWebServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- image bridge --------------------------------------------------------------------
+
+    def _session_store(self):
+        session = self.client.session
+        if session is None:
+            raise WebServerError("no active steering session")
+        return session.store
+
+    def _watch_images(self) -> None:
+        """Bridge: every new stored image becomes one component update."""
+        seen = 0
+        while not self._stop_watch.is_set():
+            session = self.client.session
+            if session is None:
+                self._stop_watch.wait(0.05)
+                continue
+            entry = session.store.wait_newer(seen, timeout=0.25)
+            if entry is None:
+                continue
+            seen = entry.version
+            self.hub.publish(
+                "image",
+                version=entry.version,
+                cycle=entry.cycle,
+                **{k: v for k, v in entry.meta.items()},
+            )
+            meta = self.client.frontend.sessions().get(session.session_id, {})
+            self.hub.publish("session", **meta)
+
+    def latest_image_blob(self) -> bytes:
+        entry = self._session_store().latest()
+        if entry is None:
+            raise WebServerError("no image yet")
+        return entry.blob
+
+    def latest_image_png(self) -> bytes:
+        entry = self._session_store().latest()
+        if entry is None:
+            raise WebServerError("no image yet")
+        return decode_fixed_size(entry.blob).to_png_bytes()
+
+    # -- view operations -------------------------------------------------------------------
+
+    def apply_view_ops(self, ops: dict) -> None:
+        """Rotate/zoom the session camera (mouse interactions)."""
+        session = self.client.session
+        if session is None:
+            raise WebServerError("no active steering session")
+        if "rotate_azimuth" in ops or "rotate_elevation" in ops:
+            cam = session._camera
+            session.set_camera(
+                azimuth=cam.azimuth + float(ops.get("rotate_azimuth", 0.0)),
+                elevation=cam.elevation + float(ops.get("rotate_elevation", 0.0)),
+            )
+        if "zoom" in ops:
+            session.set_camera(zoom=session._camera.zoom * float(ops["zoom"]))

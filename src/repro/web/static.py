@@ -1,0 +1,115 @@
+"""The embedded single-page UI, faithful to 2008-era Ajax.
+
+Plain ``XMLHttpRequest`` long-polling (no fetch, no frameworks —
+deliberately period-appropriate): the page polls ``/api/poll`` and
+patches only the components that changed; the monitoring image reloads
+only when its version advances.  Steering controls POST to
+``/api/steer`` and ``/api/view``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INDEX_HTML"]
+
+INDEX_HTML = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>RICSA - Remote Intelligent Computational Steering using Ajax</title>
+<style>
+  body { font-family: sans-serif; background: #10131a; color: #dde; margin: 1em; }
+  #frame { display: flex; gap: 1.5em; }
+  #image { border: 1px solid #445; image-rendering: pixelated; width: 384px; height: 384px; }
+  .panel { background: #1a1f2a; padding: 1em; border-radius: 6px; min-width: 22em; }
+  .row { margin: 0.4em 0; }
+  label { display: inline-block; width: 11em; }
+  input[type=number] { width: 7em; }
+  #status, #loop { font-size: 0.85em; color: #8aa; }
+  h1 { font-size: 1.2em; }
+</style>
+</head>
+<body>
+<h1>RICSA computational monitoring &amp; steering</h1>
+<div id="frame">
+  <div>
+    <img id="image" src="/api/image.png" alt="monitored field">
+    <div id="status">waiting for updates...</div>
+    <div id="loop"></div>
+  </div>
+  <div class="panel">
+    <h3>Computation steering</h3>
+    <div id="params"></div>
+    <div class="row">
+      <label for="pname">parameter</label>
+      <input id="pname" type="text" placeholder="e.g. source_x">
+      <input id="pvalue" type="number" step="0.05" value="0.5">
+      <button onclick="steer()">steer</button>
+    </div>
+    <h3>Visualization operations</h3>
+    <div class="row">
+      <button onclick="view({rotate_azimuth: -15})">&#8634; rotate</button>
+      <button onclick="view({rotate_azimuth: 15})">rotate &#8635;</button>
+      <button onclick="view({zoom: 1.25})">zoom +</button>
+      <button onclick="view({zoom: 0.8})">zoom -</button>
+    </div>
+  </div>
+</div>
+<script>
+var since = 0;
+var imageVersion = -1;
+
+function poll() {
+  var xhr = new XMLHttpRequest();
+  xhr.open("GET", "/api/poll?since=" + since + "&timeout=20", true);
+  xhr.onreadystatechange = function () {
+    if (xhr.readyState !== 4) return;
+    if (xhr.status === 200) {
+      try { apply(JSON.parse(xhr.responseText)); } catch (e) {}
+    }
+    setTimeout(poll, 50);  // immediately re-arm the long poll
+  };
+  xhr.send();
+}
+
+function apply(diff) {
+  since = diff.version;
+  for (var i = 0; i < diff.components.length; i++) {
+    var c = diff.components[i];
+    if (c.id === "image" && c.props.version !== imageVersion) {
+      imageVersion = c.props.version;
+      document.getElementById("image").src = "/api/image.png?v=" + imageVersion;
+      document.getElementById("status").textContent =
+        "cycle " + c.props.cycle + " | delay " +
+        (c.props.total_delay || 0).toFixed(3) + " s (image v" + imageVersion + ")";
+    }
+    if (c.id === "session") {
+      document.getElementById("loop").textContent =
+        "loop: " + (c.props.loop || "?") + " | simulator: " + (c.props.simulator || "?");
+    }
+    if (c.id === "params") {
+      document.getElementById("params").textContent =
+        JSON.stringify(c.props);
+    }
+  }
+}
+
+function post(url, body) {
+  var xhr = new XMLHttpRequest();
+  xhr.open("POST", url, true);
+  xhr.setRequestHeader("Content-Type", "application/json");
+  xhr.send(JSON.stringify(body));
+}
+
+function steer() {
+  var name = document.getElementById("pname").value;
+  var value = parseFloat(document.getElementById("pvalue").value);
+  if (name) { var b = {}; b[name] = value; post("/api/steer", b); }
+}
+
+function view(ops) { post("/api/view", ops); }
+
+poll();
+</script>
+</body>
+</html>
+"""

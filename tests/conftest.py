@@ -1,0 +1,47 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.net import LinkSpec, NodeSpec, Topology
+from repro.net.channel import SimPath, build_sim_path
+from repro.units import mbit_per_s
+
+
+def make_two_node_topology(
+    bandwidth: float = mbit_per_s(80),
+    prop_delay: float = 0.01,
+    loss_rate: float = 0.0,
+    jitter: float = 0.0,
+    cross: str = "none",
+) -> Topology:
+    """Minimal A--B topology used by transport tests."""
+    return Topology.from_specs(
+        [NodeSpec("A"), NodeSpec("B")],
+        [LinkSpec("A", "B", bandwidth, prop_delay, loss_rate, jitter, cross)],
+    )
+
+
+def make_paths(
+    sim: Simulator,
+    topo: Topology,
+    route: list[str],
+    seed: int = 1,
+    max_queue_delay: float = 0.5,
+) -> tuple[SimPath, SimPath]:
+    """Forward and reverse SimPaths along ``route``."""
+    rng_f = np.random.default_rng(seed)
+    rng_r = np.random.default_rng(seed + 1)
+    fwd = build_sim_path(sim, topo, route, rng=rng_f, max_queue_delay=max_queue_delay)
+    rev = build_sim_path(
+        sim, topo, list(reversed(route)), rng=rng_r, max_queue_delay=max_queue_delay
+    )
+    return fwd, rev
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()

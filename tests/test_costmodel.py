@@ -1,0 +1,199 @@
+"""Tests for the Eq. 4-8 cost models and their calibration."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    DatasetStats,
+    IsosurfaceCostModel,
+    RaycastCostModel,
+    StreamlineCostModel,
+    build_calibrated_pipeline,
+    calibrate_isosurface,
+    calibrate_raycast,
+    calibrate_streamline,
+    compute_dataset_stats,
+    default_calibration,
+)
+from repro.data import build_blocks, make_jet, make_rage
+from repro.errors import CalibrationError, ConfigurationError
+from repro.viz import OrthoCamera, extract_blocks
+from repro.viz.mc_tables import N_MC_CLASSES
+from repro.viz.raycast import raycast
+from repro.viz.streamline import seed_grid, trace_streamlines
+
+from tests.test_data_grid import sphere_grid
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return default_calibration(seed=0)
+
+
+class TestDatasetStats:
+    def test_probability_vector(self):
+        g = sphere_grid(24)
+        stats = compute_dataset_stats(g, 0.6, block_cells=8)
+        assert stats.p_case.sum() == pytest.approx(1.0)
+        assert stats.n_blocks > 0
+        assert stats.s_block > 0
+
+    def test_degenerate_isovalue(self):
+        g = sphere_grid(16)
+        stats = compute_dataset_stats(g, 99.0)
+        assert stats.n_blocks == 0
+        assert stats.p_case[0] == 1.0
+
+    def test_extrapolation_to_full_size(self):
+        g = make_rage(scale=0.1)
+        iso = 0.5 * (g.vmin + g.vmax)
+        small = compute_dataset_stats(g, iso, block_cells=8)
+        full = compute_dataset_stats(
+            g, iso, block_cells=8, full_nbytes=64 * 2**20
+        )
+        assert full.nbytes == 64 * 2**20
+        ratio = full.nbytes / small.nbytes
+        assert full.n_blocks == pytest.approx(small.n_blocks * ratio, rel=0.01)
+        np.testing.assert_allclose(full.p_case, small.p_case)
+
+    def test_invalid_p_case_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetStats(1.0, 1, 1, 1, np.ones(15), 0.5)  # sums to 15
+
+
+class TestIsosurfaceCalibration:
+    def test_t_case_shape_and_sign(self, calib):
+        model = calib.isosurface
+        assert model.t_case.shape == (N_MC_CLASSES,)
+        assert np.all(model.t_case >= 0)
+        assert model.t_case.max() > 0
+
+    def test_prediction_accuracy_on_unseen_dataset(self, calib):
+        """Eq. 4/5 must predict real extraction time within ~2.5x."""
+        g = make_jet(scale=0.18, seed=9)  # not a calibration grid
+        iso = 0.4 * (g.vmin + g.vmax)
+        stats = compute_dataset_stats(g, iso, block_cells=8)
+        predicted = calib.isosurface.extraction_seconds(stats)
+
+        blocks = build_blocks(g, block_cells=8)
+        t0 = time.perf_counter()
+        extract_blocks(g, blocks, iso)
+        measured = time.perf_counter() - t0
+        assert predicted == pytest.approx(measured, rel=1.5)
+
+    def test_triangle_estimate_close_to_actual(self, calib):
+        g = sphere_grid(24)
+        iso = 0.6
+        stats = compute_dataset_stats(g, iso, block_cells=8)
+        blocks = build_blocks(g, block_cells=8)
+        mesh, _ = extract_blocks(g, blocks, iso)
+        est = calib.isosurface.triangle_estimate(stats)
+        assert est == pytest.approx(mesh.n_triangles, rel=0.05)
+
+    def test_extraction_scales_with_power(self, calib):
+        g = sphere_grid(20)
+        stats = compute_dataset_stats(g, 0.6)
+        t1 = calib.isosurface.extraction_seconds(stats, power=1.0)
+        t4 = calib.isosurface.extraction_seconds(stats, power=4.0)
+        assert t1 == pytest.approx(4 * t4)
+
+    def test_rendering_seconds(self, calib):
+        g = sphere_grid(20)
+        stats = compute_dataset_stats(g, 0.6)
+        tris = calib.isosurface.triangle_estimate(stats)
+        assert calib.isosurface.rendering_seconds(stats, 1e6) == pytest.approx(tris / 1e6)
+
+    def test_too_few_samples_raise(self):
+        g = sphere_grid(6)
+        with pytest.raises(CalibrationError):
+            calibrate_isosurface([g], isovalues_per_grid=1, block_cells=16)
+
+    def test_serialization_roundtrip(self, calib):
+        d = calib.isosurface.to_dict()
+        back = IsosurfaceCostModel.from_dict(d)
+        np.testing.assert_allclose(back.t_case, calib.isosurface.t_case)
+
+
+class TestRaycastModel:
+    def test_eq7_formula(self):
+        m = RaycastCostModel(t_sample=2e-7)
+        assert m.seconds(100, 50, n_blocks=3) == pytest.approx(3 * 100 * 50 * 2e-7)
+
+    def test_camera_derivation(self):
+        m = RaycastCostModel(t_sample=1e-7)
+        cam = OrthoCamera(width=64, height=64, extent=10.0)
+        t = m.seconds_for_camera(cam, volume_diag=10.0, step=1.0)
+        assert t == pytest.approx(64 * 64 * 30 * 1e-7)
+
+    def test_prediction_within_factor_two(self, calib):
+        g = sphere_grid(24)
+        cam = OrthoCamera.framing(*g.bounds(), width=48, height=48)
+        step = 1.0
+        t0 = time.perf_counter()
+        res = raycast(g, camera=cam, step=step, early_termination=1.1)
+        measured = time.perf_counter() - t0
+        predicted = calib.raycast.seconds(res.n_rays, res.n_samples_per_ray)
+        # the model ignores out-of-volume skips, so allow generous slack
+        assert 0.2 < predicted / max(measured, 1e-9) < 5.0
+
+    def test_rejects_bad_t_sample(self):
+        with pytest.raises(ConfigurationError):
+            RaycastCostModel(t_sample=0.0)
+
+
+class TestStreamlineModel:
+    def test_eq8_formula(self):
+        m = StreamlineCostModel(t_advection=1e-6)
+        assert m.seconds(10, 100, method="rk4") == pytest.approx(10 * 100 * 4 * 1e-6)
+        assert m.seconds(10, 100, method="rk2") == pytest.approx(10 * 100 * 2 * 1e-6)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConfigurationError):
+            StreamlineCostModel(1e-6).seconds(1, 1, method="euler")
+
+    def test_prediction_within_factor_three(self, calib):
+        g = make_jet(scale=0.12, seed=4)
+        f = g.gradient()
+        seeds = seed_grid(f, n_per_axis=3)
+        t0 = time.perf_counter()
+        res = trace_streamlines(f, seeds, n_steps=60, h=0.25)
+        measured = time.perf_counter() - t0
+        predicted = calib.streamline.t_advection * res.advections
+        assert 0.2 < predicted / max(measured, 1e-9) < 5.0
+
+
+class TestPipelineBuilder:
+    @pytest.mark.parametrize("tech", ["isosurface", "raycast", "streamline"])
+    def test_builds_valid_pipeline(self, calib, tech):
+        g = sphere_grid(24)
+        stats = compute_dataset_stats(g, 0.6)
+        p = build_calibrated_pipeline(tech, stats, calib)
+        assert p.n_modules == 5
+        assert all(c >= 0 for c in p.complexities())
+        assert all(m > 0 for m in p.message_sizes())
+
+    def test_isosurface_geometry_size_realistic(self, calib):
+        g = sphere_grid(24)
+        stats = compute_dataset_stats(g, 0.6, block_cells=8)
+        p = build_calibrated_pipeline("isosurface", stats, calib)
+        sizes = p.message_sizes()
+        blocks = build_blocks(g, block_cells=8)
+        mesh, _ = extract_blocks(g, blocks, 0.6)
+        assert sizes[2] == pytest.approx(mesh.nbytes, rel=0.10)
+
+    def test_unknown_technique(self, calib):
+        g = sphere_grid(12)
+        stats = compute_dataset_stats(g, 0.6)
+        with pytest.raises(ConfigurationError):
+            build_calibrated_pipeline("fog", stats, calib)
+
+    def test_filter_ratio_shrinks_messages(self, calib):
+        g = sphere_grid(24)
+        stats = compute_dataset_stats(g, 0.6)
+        full = build_calibrated_pipeline("isosurface", stats, calib, filter_ratio=1.0)
+        sub = build_calibrated_pipeline("isosurface", stats, calib, filter_ratio=0.125)
+        assert sub.message_sizes()[1] == pytest.approx(full.message_sizes()[1] / 8)

@@ -1,0 +1,49 @@
+"""Tests for per-link EPB profiling feeding the mapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import bandwidth_table, profile_links
+from repro.mapping import map_pipeline
+from repro.net import LinkSpec, NodeSpec, Topology, build_paper_testbed
+from repro.units import mbit_per_s
+
+from tests.test_mapping_model import simple_pipeline
+
+
+class TestProfileLinks:
+    def test_profiles_every_link(self):
+        topo, _ = build_paper_testbed(with_cross_traffic=False)
+        est = profile_links(topo, repeats=1, no_cross_traffic=True)
+        assert len(est) == topo.num_links
+        for key, e in est.items():
+            raw = topo.bandwidth(*key)
+            assert e.epb == pytest.approx(raw, rel=0.2)
+            assert e.r2 > 0.95
+
+    def test_cross_traffic_lowers_epb(self):
+        caps = frozenset({"source", "extract", "render", "display", "filter"})
+        topo = Topology.from_specs(
+            [NodeSpec("a", capabilities=caps), NodeSpec("b", capabilities=caps)],
+            [LinkSpec("a", "b", mbit_per_s(100), 0.01, 0.0, 0.0, "heavy")],
+        )
+        clean = profile_links(topo, repeats=1, no_cross_traffic=True)
+        loaded = profile_links(topo, repeats=1, no_cross_traffic=False)
+        key = ("a", "b")
+        assert loaded[key].epb < clean[key].epb
+
+    def test_bandwidth_table_flattens(self):
+        topo, _ = build_paper_testbed(with_cross_traffic=False)
+        est = profile_links(topo, repeats=1, no_cross_traffic=True)
+        table = bandwidth_table(est)
+        assert set(table) == set(est)
+        assert all(v > 0 for v in table.values())
+
+    def test_measured_bandwidths_usable_by_dp(self):
+        topo, _ = build_paper_testbed(with_cross_traffic=False)
+        table = bandwidth_table(profile_links(topo, repeats=1, no_cross_traffic=True))
+        p = simple_pipeline(source_bytes=16 * 2**20)
+        res = map_pipeline(p, topo, "GaTech", "ORNL", bandwidths=table)
+        assert res.delay > 0
+        assert res.mapping.path[-1] == "ORNL"

@@ -1,0 +1,89 @@
+"""Tests for the synthetic Jet/Rage/VisibleWoman dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DATASET_REGISTRY, make_dataset, make_jet, make_rage, make_viswoman
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+class TestRegistry:
+    def test_three_paper_datasets(self):
+        assert set(DATASET_REGISTRY) == {"jet", "rage", "viswoman"}
+
+    def test_full_sizes_match_paper(self):
+        """At scale=1.0 the float32 volumes are exactly 16/64/108 MB."""
+        for name, mb in (("jet", 16), ("rage", 64), ("viswoman", 108)):
+            info, _ = DATASET_REGISTRY[name]
+            nbytes = int(np.prod(info.full_shape)) * 4
+            assert nbytes == mb * MB, name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("enron")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", ["jet", "rage", "viswoman"])
+    def test_scaled_generation_deterministic(self, name):
+        a = make_dataset(name, scale=0.1, seed=3)
+        b = make_dataset(name, scale=0.1, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize("name", ["jet", "rage", "viswoman"])
+    def test_different_seed_different_data(self, name):
+        a = make_dataset(name, scale=0.1, seed=1)
+        b = make_dataset(name, scale=0.1, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    @pytest.mark.parametrize("name", ["jet", "rage", "viswoman"])
+    def test_values_finite_nonnegative(self, name):
+        g = make_dataset(name, scale=0.08)
+        assert np.all(np.isfinite(g.values))
+        assert g.vmin >= 0.0
+
+    @pytest.mark.parametrize("name", ["jet", "rage", "viswoman"])
+    def test_has_extractable_structure(self, name):
+        """Mid-range isovalues must intersect real structure."""
+        g = make_dataset(name, scale=0.1)
+        iso = 0.5 * (g.vmin + g.vmax)
+        inside = np.count_nonzero(g.values > iso)
+        assert 0 < inside < g.n_samples
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_jet(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            make_rage(scale=1.5)
+
+    def test_jet_is_axial(self):
+        """Jet intensity must be concentrated near the y/z axis center."""
+        g = make_jet(scale=0.12)
+        nx, ny, nz = g.shape
+        core = g.values[:, ny // 2, nz // 2].mean()
+        edge = g.values[:, 0, 0].mean()
+        assert core > 5 * edge
+
+    def test_rage_shell_is_radial(self):
+        """Rage has a bright shell away from the centre."""
+        g = make_rage(scale=0.12)
+        nx, ny, nz = g.shape
+        center_val = g.values[nx // 2, ny // 2, nz // 2]
+        # sample along +x axis; the shell peak should beat the centre
+        axis_vals = g.values[nx // 2 :, ny // 2, nz // 2]
+        assert axis_vals.max() > center_val
+
+    def test_viswoman_has_density_layers(self):
+        g = make_viswoman(scale=0.1)
+        vals = g.values
+        # air, tissue and bone-like densities must all be present
+        assert np.count_nonzero(vals < 0.2) > 0
+        assert np.count_nonzero((vals > 0.3) & (vals < 0.6)) > 0
+        assert np.count_nonzero(vals > 0.8) > 0
+
+    def test_small_scale_min_shape(self):
+        g = make_rage(scale=0.01)
+        assert min(g.shape) >= 8

@@ -1,0 +1,76 @@
+"""Tests for the RICB binary container."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data import StructuredGrid, load_grid, save_grid
+from repro.data.formats import FORMAT_VERSION, MAGIC
+from repro.errors import DataFormatError
+
+from tests.test_data_grid import sphere_grid
+
+
+class TestRoundtrip:
+    def test_values_and_metadata_survive(self, tmp_path):
+        g = sphere_grid(12, spacing=(0.5, 1.0, 2.0))
+        p = tmp_path / "g.ricb"
+        size = save_grid(p, g, attrs={"cycle": 7})
+        assert p.stat().st_size == size
+        back = load_grid(p)
+        np.testing.assert_array_equal(back.values, g.values)
+        assert back.spacing == (0.5, 1.0, 2.0)
+        assert back.name == "r"
+
+    def test_origin_preserved(self, tmp_path):
+        g = StructuredGrid(np.zeros((4, 4, 4)), origin=(1.0, 2.0, 3.0))
+        p = tmp_path / "o.ricb"
+        save_grid(p, g)
+        assert load_grid(p).origin == (1.0, 2.0, 3.0)
+
+
+class TestCorruption:
+    def _write(self, tmp_path, blob: bytes):
+        p = tmp_path / "bad.ricb"
+        p.write_bytes(blob)
+        return p
+
+    def test_bad_magic(self, tmp_path):
+        p = self._write(tmp_path, b"NOPE" + b"\x00" * 100)
+        with pytest.raises(DataFormatError, match="not a RICB"):
+            load_grid(p)
+
+    def test_too_short(self, tmp_path):
+        p = self._write(tmp_path, MAGIC)
+        with pytest.raises(DataFormatError):
+            load_grid(p)
+
+    def test_bad_version(self, tmp_path):
+        blob = MAGIC + struct.pack("<II", FORMAT_VERSION + 9, 2) + b"{}"
+        p = self._write(tmp_path, blob)
+        with pytest.raises(DataFormatError, match="version"):
+            load_grid(p)
+
+    def test_truncated_metadata(self, tmp_path):
+        blob = MAGIC + struct.pack("<II", FORMAT_VERSION, 100) + b"{}"
+        p = self._write(tmp_path, blob)
+        with pytest.raises(DataFormatError, match="truncated"):
+            load_grid(p)
+
+    def test_corrupt_json(self, tmp_path):
+        bad = b"not json!!"
+        blob = MAGIC + struct.pack("<II", FORMAT_VERSION, len(bad)) + bad
+        p = self._write(tmp_path, blob)
+        with pytest.raises(DataFormatError, match="corrupt metadata"):
+            load_grid(p)
+
+    def test_payload_size_mismatch(self, tmp_path):
+        g = sphere_grid(6)
+        p = tmp_path / "t.ricb"
+        save_grid(p, g)
+        p.write_bytes(p.read_bytes()[:-8])  # chop payload
+        with pytest.raises(DataFormatError, match="payload"):
+            load_grid(p)

@@ -1,0 +1,104 @@
+"""Tests for block tiling and octree decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import StructuredGrid, build_blocks
+from repro.data.octree import Octree
+from repro.errors import ConfigurationError
+
+from tests.test_data_grid import sphere_grid
+
+
+class TestBuildBlocks:
+    def test_blocks_tile_all_cells(self):
+        g = sphere_grid(17)  # 16 cells per axis
+        blocks = build_blocks(g, block_cells=8)
+        assert len(blocks) == 8
+        assert sum(b.n_cells for b in blocks) == g.n_cells
+
+    def test_uneven_tiling(self):
+        g = sphere_grid(13)  # 12 cells per axis, blocks of 8 -> 8 + 4
+        blocks = build_blocks(g, block_cells=8)
+        assert sum(b.n_cells for b in blocks) == g.n_cells
+        shapes = {b.shape for b in blocks}
+        assert (9, 9, 9) in shapes and (5, 5, 5) in shapes
+
+    def test_blocks_share_sample_planes(self):
+        g = sphere_grid(17)
+        blocks = build_blocks(g, block_cells=8)
+        b0 = next(b for b in blocks if b.offset == (0, 0, 0))
+        b1 = next(b for b in blocks if b.offset == (8, 0, 0))
+        # last sample plane of b0 == first of b1
+        assert b0.offset[0] + b0.shape[0] - 1 == b1.offset[0]
+
+    def test_minmax_correct(self):
+        g = sphere_grid(17)
+        for b in build_blocks(g, block_cells=8):
+            sub = g.values[b.slices()]
+            assert b.vmin == pytest.approx(float(sub.min()))
+            assert b.vmax == pytest.approx(float(sub.max()))
+
+    def test_extract_block_grid(self):
+        g = sphere_grid(17)
+        b = build_blocks(g, block_cells=8)[0]
+        sub = b.extract(g)
+        assert sub.shape == b.shape
+        np.testing.assert_array_equal(sub.values, g.values[b.slices()])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ConfigurationError):
+            build_blocks(StructuredGrid(np.zeros((1, 4, 4))), 4)
+
+    def test_rejects_bad_block_cells(self):
+        with pytest.raises(ConfigurationError):
+            build_blocks(sphere_grid(), 0)
+
+
+class TestOctree:
+    def test_leaves_tile_cells(self):
+        g = sphere_grid(33)
+        tree = Octree(g, leaf_cells=8)
+        assert sum(b.n_cells for b in tree.leaves()) == g.n_cells
+
+    def test_active_blocks_bracket_isovalue(self):
+        g = sphere_grid(33)
+        iso = 0.5
+        active = tree_active = Octree(g, leaf_cells=8).active_blocks(iso)
+        for b in active:
+            assert b.vmin <= iso <= b.vmax
+
+    def test_active_blocks_match_linear_scan(self):
+        g = sphere_grid(33)
+        tree = Octree(g, leaf_cells=8)
+        iso = 0.5
+        linear = {b.offset for b in tree.leaves() if b.contains_isovalue(iso)}
+        pruned = {b.offset for b in tree.active_blocks(iso)}
+        assert linear == pruned
+
+    def test_pruning_visits_fewer_nodes(self):
+        g = sphere_grid(65)
+        tree = Octree(g, leaf_cells=8)
+        # isovalue near zero -> only central blocks active
+        assert tree.nodes_visited(0.1) < tree.nodes_visited(0.9)
+
+    def test_out_of_range_iso_prunes_everything(self):
+        g = sphere_grid(33)
+        tree = Octree(g, leaf_cells=8)
+        assert tree.active_blocks(99.0) == []
+        assert tree.nodes_visited(99.0) == 1  # root only
+
+    def test_leaf_count_property(self):
+        g = sphere_grid(33)
+        tree = Octree(g, leaf_cells=8)
+        assert tree.n_leaves == len(list(tree.leaves()))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=5, max_value=24), leaf=st.integers(min_value=2, max_value=16))
+    def test_cell_conservation_property(self, n, leaf):
+        g = sphere_grid(n)
+        tree = Octree(g, leaf_cells=leaf)
+        assert sum(b.n_cells for b in tree.leaves()) == g.n_cells

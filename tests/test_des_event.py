@@ -1,0 +1,111 @@
+"""Unit tests for the DES event heap and triggerable events."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.event import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, order.append, ("c",))
+        q.push(1.0, order.append, ("a",))
+        q.push(2.0, order.append, ("b",))
+        while (item := q.pop()) is not None:
+            item.fn(*item.args)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        seen = []
+        for tag in ("first", "second", "third"):
+            q.push(1.0, seen.append, (tag,))
+        while (item := q.pop()) is not None:
+            item.fn(*item.args)
+        assert seen == ["first", "second", "third"]
+
+    def test_priority_beats_insertion_order(self):
+        q = EventQueue()
+        seen = []
+        q.push(1.0, seen.append, ("low",), priority=5)
+        q.push(1.0, seen.append, ("high",), priority=-5)
+        while (item := q.pop()) is not None:
+            item.fn(*item.args)
+        assert seen == ["high", "low"]
+
+    def test_cancelled_entries_are_skipped(self):
+        q = EventQueue()
+        seen = []
+        handle = q.push(1.0, seen.append, ("cancelled",))
+        q.push(2.0, seen.append, ("kept",))
+        handle.cancel()
+        while (item := q.pop()) is not None:
+            item.fn(*item.args)
+        assert seen == ["kept"]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        h1.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        h.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+        assert EventQueue().peek_time() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while (item := q.pop()) is not None:
+            popped.append(item.time)
+        assert popped == sorted(times)
+
+
+class TestEvent:
+    def test_trigger_delivers_value_to_subscribers(self):
+        ev = Event()
+        got = []
+        ev.subscribe(got.append)
+        ev.trigger(42)
+        assert got == [42]
+        assert ev.triggered and ev.value == 42
+
+    def test_late_subscriber_fires_immediately(self):
+        ev = Event()
+        ev.trigger("x")
+        got = []
+        ev.subscribe(got.append)
+        assert got == ["x"]
+
+    def test_double_trigger_is_ignored(self):
+        ev = Event()
+        got = []
+        ev.subscribe(got.append)
+        ev.trigger(1)
+        ev.trigger(2)
+        assert got == [1]
+        assert ev.value == 1
+
+    def test_multiple_subscribers_fire_in_order(self):
+        ev = Event()
+        got = []
+        ev.subscribe(lambda v: got.append(("a", v)))
+        ev.subscribe(lambda v: got.append(("b", v)))
+        ev.trigger(7)
+        assert got == [("a", 7), ("b", 7)]

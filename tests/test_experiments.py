@@ -1,0 +1,136 @@
+"""Tests for the experiment drivers and reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.paraview import ParaViewModel
+from repro.baselines.static_loops import FIG9_LOOPS, evaluate_loop
+from repro.costmodel.calibration import default_calibration
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    format_series,
+    format_table,
+    run_dp_optimality,
+    run_dp_scaling,
+    run_fig9,
+    run_fig10,
+    run_greedy_gap,
+    run_transport_comparison,
+)
+from repro.experiments.reporting import sparkline
+from repro.net import build_paper_testbed
+from repro.viz.pipeline import standard_pipeline
+
+
+@pytest.fixture(scope="module")
+def calib():
+    return default_calibration(0)
+
+
+@pytest.fixture(scope="module")
+def fig9(calib):
+    return run_fig9(calibration=calib, scale=0.2)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 22.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in out and "22.25" in out
+        # header rule present
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_format_series(self):
+        s = format_series("g", [1, 2], [0.5, 0.25], unit="s")
+        assert "1=0.5s" in s and "2=0.25s" in s
+
+    def test_sparkline_bounds(self):
+        s = sparkline([0.0, 0.5, 1.0] * 50, width=30)
+        assert 0 < len(s) <= 40
+        assert sparkline([]) == ""
+
+
+class TestFig9Driver:
+    def test_rows_cover_all_loops_and_datasets(self, fig9):
+        assert len(fig9.rows) == 6 * 3
+        assert len(fig9.loops()) == 6
+
+    def test_breakdown_sums_to_total(self, fig9):
+        for r in fig9.rows:
+            assert r.delay == pytest.approx(
+                r.compute + r.transport + r.overhead, rel=1e-9
+            )
+
+    def test_table_renders_all_loops(self, fig9):
+        table = fig9.to_table()
+        for loop in FIG9_LOOPS:
+            assert loop.name in table
+
+    def test_unknown_mode_rejected(self, calib):
+        with pytest.raises(ConfigurationError):
+            run_fig9(mode="quantum", calibration=calib)
+
+    def test_live_mode_runs(self, calib):
+        live = run_fig9(mode="live", scale=0.08, calibration=calib)
+        assert len(live.rows) == 18
+        assert all(r.delay > 0 for r in live.rows)
+
+    def test_loop_definitions_match_paper_routes(self):
+        names = [l.loop_name() for l in FIG9_LOOPS]
+        assert names[0] == "ORNL-LSU-GaTech-UT-ORNL"
+        assert names[4] == "ORNL-GaTech-ORNL"
+
+    def test_static_loops_are_feasible_on_testbed(self):
+        topo, _ = build_paper_testbed(with_cross_traffic=False)
+        p = standard_pipeline("isosurface", 1e6)
+        for loop in FIG9_LOOPS:
+            bd = evaluate_loop(loop, p, topo)
+            assert bd.total > 0
+
+
+class TestFig10Driver:
+    def test_paraview_always_slower_with_default_overheads(self, calib):
+        res = run_fig10(calibration=calib, scale=0.2)
+        for row in res.rows:
+            assert row.paraview_delay > row.ricsa_delay
+
+    def test_zero_extra_overhead_collapses_gap(self, calib):
+        pv = ParaViewModel(1.0, 1.0, 0.0)
+        res = run_fig10(calibration=calib, scale=0.2, paraview=pv)
+        for row in res.rows:
+            assert row.paraview_delay == pytest.approx(row.ricsa_delay)
+
+    def test_invalid_overheads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParaViewModel(compute_overhead=0.9)
+
+
+class TestTransportDriver:
+    def test_three_protocol_rows(self):
+        res = run_transport_comparison(duration=30.0)
+        assert {r.protocol for r in res.rows} == {
+            "stabilized-udp (RM)", "tcp-reno", "udp-constant"
+        }
+        assert "stabilization" in res.to_table()
+
+
+class TestDpDrivers:
+    def test_optimality_driver(self):
+        trials, gap = run_dp_optimality(trials=5, seed=4)
+        assert trials == 5
+        assert gap < 1e-9
+
+    def test_scaling_driver_linear(self):
+        points, r2 = run_dp_scaling(
+            module_counts=(4, 8), node_counts=(8, 16), seed=1
+        )
+        assert len(points) == 4
+        assert r2 > 0.9
+
+    def test_greedy_gap_at_least_one(self):
+        mean_ratio, max_ratio = run_greedy_gap(trials=8, seed=2)
+        assert mean_ratio >= 1.0 - 1e-12
+        assert max_ratio >= mean_ratio

@@ -1,0 +1,154 @@
+"""Tests for the Eq. 2 delay model and Mapping validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfeasibleMappingError, MappingError
+from repro.mapping import Mapping, evaluate_mapping
+from repro.net import LinkSpec, NodeSpec, Topology
+from repro.viz.pipeline import ModuleSpec, VisualizationPipeline
+
+
+def chain_topology(powers=(1.0, 2.0, 1.0), bandwidth=1e6) -> Topology:
+    names = [f"n{i}" for i in range(len(powers))]
+    caps = frozenset({"source", "filter", "extract", "render", "display"})
+    nodes = [NodeSpec(nm, power=p, capabilities=caps) for nm, p in zip(names, powers)]
+    links = [
+        LinkSpec(names[i], names[i + 1], bandwidth, 0.01)
+        for i in range(len(names) - 1)
+    ]
+    return Topology.from_specs(nodes, links)
+
+
+def simple_pipeline(source_bytes=1e6) -> VisualizationPipeline:
+    return VisualizationPipeline(
+        [
+            ModuleSpec("src", "source"),
+            ModuleSpec("f", "filter", complexity=1e-7, output_ratio=0.5),
+            ModuleSpec("x", "extract", complexity=4e-7, output_ratio=0.4),
+            ModuleSpec("r", "render", complexity=2e-7, fixed_output=1e4),
+            ModuleSpec("d", "display", complexity=0.0),
+        ],
+        source_bytes,
+    )
+
+
+class TestMappingValidation:
+    def test_valid(self):
+        m = Mapping(("a", "b"), ((0, 1), (2,)))
+        assert m.q == 2 and m.n_modules == 3
+        assert m.node_of_module(2) == "b"
+
+    def test_rejects_gap(self):
+        with pytest.raises(MappingError):
+            Mapping(("a", "b"), ((0,), (2,)))
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(MappingError):
+            Mapping(("a", "b"), ((1,), (0,)))
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(MappingError):
+            Mapping(("a", "b"), ((0, 1), ()))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(MappingError):
+            Mapping(("a",), ((0,), (1,)))
+
+    def test_describe(self):
+        m = Mapping(("a", "b"), ((0,), (1, 2)))
+        assert m.describe() == "a[0] -> b[1,2]"
+
+
+class TestEvaluateMapping:
+    def test_hand_computed_two_node_delay(self):
+        topo = chain_topology(powers=(1.0, 2.0), bandwidth=1e6)
+        p = simple_pipeline(1e6)
+        # group 1 = {src, filter} at n0; group 2 = {extract, render,
+        # display} at n1. m(g1) = 0.5e6 crosses the link.
+        m = Mapping(("n0", "n1"), ((0, 1), (2, 3, 4)))
+        bd = evaluate_mapping(p, topo, m)
+        # compute: filter 1e-7*1e6/1 = 0.1 ; extract 4e-7*0.5e6/2 = 0.1 ;
+        # render 2e-7*0.2e6/2 = 0.02 ; display 0
+        assert bd.compute == pytest.approx(0.1 + 0.1 + 0.02)
+        # transport: 0.5e6 / 1e6 = 0.5
+        assert bd.transport == pytest.approx(0.5)
+        assert bd.total == pytest.approx(0.72)
+
+    def test_all_local_has_no_transport(self):
+        topo = chain_topology()
+        p = simple_pipeline()
+        m = Mapping(("n0",), ((0, 1, 2, 3, 4),))
+        bd = evaluate_mapping(p, topo, m)
+        assert bd.transport == 0.0
+        assert bd.total == pytest.approx(bd.compute)
+
+    def test_min_delay_inclusion(self):
+        topo = chain_topology()
+        p = simple_pipeline()
+        m = Mapping(("n0", "n1"), ((0, 1), (2, 3, 4)))
+        base = evaluate_mapping(p, topo, m, include_min_delay=False)
+        with_d = evaluate_mapping(p, topo, m, include_min_delay=True)
+        assert with_d.total == pytest.approx(base.total + 0.01)
+
+    def test_power_scales_compute(self):
+        p = simple_pipeline()
+        m = Mapping(("n0", "n1"), ((0, 1), (2, 3, 4)))
+        slow = evaluate_mapping(p, chain_topology(powers=(1.0, 1.0)), m)
+        fast = evaluate_mapping(p, chain_topology(powers=(1.0, 4.0)), m)
+        assert fast.per_group_compute[1] == pytest.approx(
+            slow.per_group_compute[1] / 4.0
+        )
+
+    def test_capability_violation_raises(self):
+        caps_no_render = frozenset({"source", "filter", "extract", "display"})
+        topo = Topology.from_specs(
+            [
+                NodeSpec("a", capabilities=frozenset({"source", "filter"})),
+                NodeSpec("b", capabilities=caps_no_render),
+            ],
+            [LinkSpec("a", "b", 1e6)],
+        )
+        p = simple_pipeline()
+        m = Mapping(("a", "b"), ((0, 1), (2, 3, 4)))
+        with pytest.raises(InfeasibleMappingError, match="render"):
+            evaluate_mapping(p, topo, m)
+
+    def test_missing_link_raises(self):
+        topo = chain_topology()  # n0-n1-n2, no n0-n2 link
+        p = simple_pipeline()
+        m = Mapping(("n0", "n2"), ((0, 1), (2, 3, 4)))
+        with pytest.raises(InfeasibleMappingError, match="no link"):
+            evaluate_mapping(p, topo, m)
+
+    def test_cluster_overhead_charged_on_arrival(self):
+        caps = frozenset({"source", "filter", "extract", "render", "display"})
+        topo = Topology.from_specs(
+            [
+                NodeSpec("a", capabilities=caps),
+                NodeSpec("c", power=4.0, capabilities=caps, cluster_size=8,
+                         parallel_overhead=1.5),
+            ],
+            [LinkSpec("a", "c", 1e6)],
+        )
+        p = simple_pipeline()
+        m = Mapping(("a", "c"), ((0, 1), (2, 3, 4)))
+        with_oh = evaluate_mapping(p, topo, m, include_parallel_overhead=True)
+        without = evaluate_mapping(p, topo, m, include_parallel_overhead=False)
+        assert with_oh.total == pytest.approx(without.total + 1.5)
+        assert with_oh.overhead == 1.5
+
+    def test_bandwidth_override(self):
+        topo = chain_topology(bandwidth=1e6)
+        p = simple_pipeline()
+        m = Mapping(("n0", "n1"), ((0, 1), (2, 3, 4)))
+        bd = evaluate_mapping(p, topo, m, bandwidths={("n0", "n1"): 5e5})
+        assert bd.transport == pytest.approx(1.0)  # 0.5e6 / 5e5
+
+    def test_module_count_mismatch(self):
+        topo = chain_topology()
+        p = simple_pipeline()
+        m = Mapping(("n0", "n1"), ((0,), (1, 2)))
+        with pytest.raises(MappingError, match="covers 3"):
+            evaluate_mapping(p, topo, m)

@@ -1,0 +1,140 @@
+"""Unit tests for simulated links and multi-hop paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.net import Datagram, LinkSpec, NodeSpec, Topology
+from repro.net.channel import SimLink, SimPath, build_sim_path
+from repro.net.crosstraffic import ConstantCrossTraffic
+from repro.net.packet import PacketKind
+from repro.units import mbit_per_s
+
+from tests.conftest import make_two_node_topology
+
+
+def make_link(sim, bandwidth=1e6, prop=0.05, loss=0.0, jitter=0.0, **kw) -> SimLink:
+    spec = LinkSpec("a", "b", bandwidth, prop, loss, jitter)
+    return SimLink(sim, spec, cross_traffic=ConstantCrossTraffic(0.0),
+                   rng=np.random.default_rng(0), **kw)
+
+
+def dgram(seq=0, size=1000.0) -> Datagram:
+    return Datagram(flow="f", seq=seq, size=size)
+
+
+class TestSimLink:
+    def test_delivery_time_is_transmission_plus_propagation(self, sim):
+        link = make_link(sim, bandwidth=1e6, prop=0.05)
+        arrived = []
+        link.send(dgram(size=1e5), lambda d: arrived.append(sim.now))
+        sim.run()
+        assert arrived == [pytest.approx(0.1 + 0.05)]
+
+    def test_serialization_queues_back_to_back_sends(self, sim):
+        link = make_link(sim, bandwidth=1e6, prop=0.0)
+        arrivals = []
+        for i in range(3):
+            link.send(dgram(seq=i, size=1e5), lambda d: arrivals.append((d.seq, sim.now)))
+        sim.run()
+        times = [t for _, t in sorted(arrivals)]
+        assert times == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_queue_overflow_drops(self, sim):
+        link = make_link(sim, bandwidth=1e6, prop=0.0, max_queue_delay=0.15)
+        delivered = []
+        for i in range(5):  # each datagram takes 0.1 s to serialize
+            link.send(dgram(seq=i, size=1e5), lambda d: delivered.append(d.seq))
+        sim.run()
+        assert link.stats.dropped_queue == 3
+        assert sorted(delivered) == [0, 1]
+
+    def test_random_loss_statistics(self, sim):
+        link = make_link(sim, bandwidth=1e9, prop=0.0, loss=0.3)
+        delivered = []
+        n = 2000
+        for i in range(n):
+            link.send(dgram(seq=i, size=100.0), lambda d: delivered.append(d.seq))
+        sim.run()
+        frac = link.stats.dropped_random / n
+        assert 0.25 < frac < 0.35
+        assert len(delivered) + link.stats.dropped_random == n
+
+    def test_cross_traffic_reduces_bandwidth(self, sim):
+        spec = LinkSpec("a", "b", 1e6, 0.0)
+        link = SimLink(sim, spec, cross_traffic=ConstantCrossTraffic(0.5),
+                       rng=np.random.default_rng(0))
+        assert link.available_bandwidth(0.0) == pytest.approx(5e5)
+        assert link.transmission_delay(5e5) == pytest.approx(1.0)
+
+    def test_stats_accounting(self, sim):
+        link = make_link(sim, bandwidth=1e6)
+        link.send(dgram(size=500.0), None)
+        sim.run()
+        assert link.stats.sent == 1
+        assert link.stats.delivered == 1
+        assert link.stats.bytes_delivered == 500.0
+        assert link.stats.loss_fraction == 0.0
+
+    def test_jitter_perturbs_latency(self, sim):
+        link = make_link(sim, bandwidth=1e9, prop=0.1, jitter=0.4)
+        times = []
+        for i in range(50):
+            link.send(dgram(seq=i, size=10.0), lambda d: times.append(sim.now))
+        sim.run()
+        deltas = np.diff(sorted(times))
+        assert np.std(deltas) > 0  # arrivals are not perfectly regular
+
+
+class TestSimPath:
+    def test_multi_hop_delivery(self, sim):
+        topo = Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [LinkSpec("a", "b", 1e6, 0.01), LinkSpec("b", "c", 2e6, 0.02)],
+        )
+        path = build_sim_path(sim, topo, ["a", "b", "c"], rng=np.random.default_rng(0))
+        arrived = []
+        path.send(dgram(size=1e5), lambda d: arrived.append(sim.now))
+        sim.run()
+        # 0.1 s + 0.01 s on hop 1, then 0.05 s + 0.02 s on hop 2.
+        assert arrived == [pytest.approx(0.18)]
+
+    def test_bottleneck_bandwidth(self, sim):
+        topo = Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [LinkSpec("a", "b", 5e6, 0.0), LinkSpec("b", "c", 2e6, 0.0)],
+        )
+        path = build_sim_path(sim, topo, ["a", "b", "c"], no_cross_traffic=True)
+        assert path.bottleneck_bandwidth() == pytest.approx(2e6)
+
+    def test_min_delay_sums_hops(self, sim):
+        topo = Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [LinkSpec("a", "b", 1e6, 0.03), LinkSpec("b", "c", 1e6, 0.04)],
+        )
+        path = build_sim_path(sim, topo, ["a", "b", "c"], no_cross_traffic=True)
+        assert path.min_delay() == pytest.approx(0.07)
+
+    def test_drop_on_middle_hop_never_delivers(self, sim):
+        topo = Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [LinkSpec("a", "b", 1e6, 0.0), LinkSpec("b", "c", 1e6, 0.0, loss_rate=0.999)],
+        )
+        path = build_sim_path(sim, topo, ["a", "b", "c"], rng=np.random.default_rng(0))
+        arrived = []
+        for i in range(20):
+            path.send(dgram(seq=i, size=10.0), lambda d: arrived.append(d.seq))
+        sim.run()
+        assert len(arrived) <= 1
+        assert path.links[1].stats.dropped_random >= 19
+
+    def test_two_node_helper_path(self, sim):
+        topo = make_two_node_topology()
+        path = build_sim_path(sim, topo, ["A", "B"], no_cross_traffic=True)
+        got = []
+        path.send(dgram(size=1000.0), lambda d: got.append(d))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].kind is PacketKind.DATA

@@ -1,0 +1,94 @@
+"""Unit and property tests for cross-traffic models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.crosstraffic import (
+    CompositeCrossTraffic,
+    ConstantCrossTraffic,
+    OnOffCrossTraffic,
+    SinusoidalCrossTraffic,
+    make_cross_traffic,
+)
+
+ALL_KINDS = ["none", "light", "moderate", "heavy", "bursty", "diurnal"]
+
+
+class TestConstant:
+    def test_level(self):
+        assert ConstantCrossTraffic(0.3).utilization(12.0) == 0.3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ConstantCrossTraffic(0.99)
+        with pytest.raises(ConfigurationError):
+            ConstantCrossTraffic(-0.1)
+
+
+class TestSinusoidal:
+    def test_oscillates_about_mean(self):
+        m = SinusoidalCrossTraffic(mean=0.4, amplitude=0.2, period=10.0)
+        ts = np.linspace(0, 20, 500)
+        us = np.array([m.utilization(t) for t in ts])
+        assert us.min() >= 0.2 - 1e-9
+        assert us.max() <= 0.6 + 1e-9
+        assert abs(us.mean() - 0.4) < 0.02
+
+    def test_rejects_amplitude_overflow(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidalCrossTraffic(mean=0.9, amplitude=0.2)
+
+
+class TestOnOff:
+    def test_only_two_levels(self):
+        m = OnOffCrossTraffic(0.6, 0.1, rng=np.random.default_rng(7))
+        levels = {m.utilization(t) for t in np.linspace(0, 200, 1000)}
+        assert levels <= {0.6, 0.1}
+        assert len(levels) == 2  # both states visited over 200 s
+
+    def test_deterministic_given_seed(self):
+        a = OnOffCrossTraffic(rng=np.random.default_rng(5))
+        b = OnOffCrossTraffic(rng=np.random.default_rng(5))
+        ts = np.linspace(0, 100, 300)
+        assert [a.utilization(t) for t in ts] == [b.utilization(t) for t in ts]
+
+    def test_query_order_does_not_matter(self):
+        a = OnOffCrossTraffic(rng=np.random.default_rng(3))
+        b = OnOffCrossTraffic(rng=np.random.default_rng(3))
+        forward = [a.utilization(t) for t in (1.0, 50.0, 99.0)]
+        backward = [b.utilization(t) for t in (99.0, 50.0, 1.0)]
+        assert forward == list(reversed(backward))
+
+
+class TestComposite:
+    def test_sums_and_clips(self):
+        m = CompositeCrossTraffic([ConstantCrossTraffic(0.5), ConstantCrossTraffic(0.7)])
+        assert m.utilization(0.0) == pytest.approx(0.95)
+
+    def test_requires_components(self):
+        with pytest.raises(ConfigurationError):
+            CompositeCrossTraffic([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_known_kinds(self, kind):
+        m = make_cross_traffic(kind, np.random.default_rng(0))
+        u = m.utilization(10.0)
+        assert 0.0 <= u <= 0.95
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_cross_traffic("tsunami")
+
+    @given(
+        kind=st.sampled_from(ALL_KINDS),
+        t=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    )
+    def test_utilization_always_in_bounds(self, kind, t):
+        m = make_cross_traffic(kind, np.random.default_rng(11))
+        assert 0.0 <= m.utilization(t) <= 0.95

@@ -1,0 +1,101 @@
+"""Tests for active EPB measurement and the regression estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.errors import CalibrationError
+from repro.net import LinkSpec, NodeSpec, Topology
+from repro.net.channel import build_sim_path
+from repro.net.measurement import (
+    DEFAULT_PROBE_SIZES,
+    estimate_path_bandwidth,
+    measure_path,
+)
+from repro.units import mbit_per_s
+
+
+class TestRegression:
+    def test_recovers_exact_linear_model(self):
+        epb, dmin = 2.5e6, 0.04
+        sizes = np.array([1e5, 5e5, 1e6, 5e6])
+        delays = sizes / epb + dmin
+        est = estimate_path_bandwidth(sizes, delays)
+        assert est.epb == pytest.approx(epb, rel=1e-9)
+        assert est.d_min == pytest.approx(dmin, rel=1e-9)
+        assert est.r2 == pytest.approx(1.0)
+
+    def test_noisy_samples_still_close(self):
+        rng = np.random.default_rng(0)
+        epb, dmin = 1e7, 0.02
+        sizes = np.tile([1e5, 1e6, 4e6, 8e6], 5)
+        delays = sizes / epb + dmin + rng.normal(0, 0.005, sizes.size)
+        est = estimate_path_bandwidth(sizes, delays)
+        assert est.epb == pytest.approx(epb, rel=0.15)
+        assert est.r2 > 0.95
+
+    def test_transport_time_prediction(self):
+        est = estimate_path_bandwidth([1e5, 1e6], [1e5 / 1e6 + 0.01, 1e6 / 1e6 + 0.01])
+        assert est.transport_time(2e6) == pytest.approx(2.0 + 0.01, rel=1e-6)
+
+    def test_rejects_insufficient_samples(self):
+        with pytest.raises(CalibrationError):
+            estimate_path_bandwidth([1e5], [0.1])
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(CalibrationError):
+            estimate_path_bandwidth([1e5, 1e5], [0.1, 0.2])
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(CalibrationError):
+            estimate_path_bandwidth([1e5, 1e6], [1.0, 0.1])
+
+
+class TestActiveMeasurement:
+    def _topo(self, bw, loss=0.0):
+        return Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b")],
+            [LinkSpec("a", "b", bw, 0.02, loss, 0.0, "none")],
+        )
+
+    def test_estimates_clean_link_bandwidth(self):
+        sim = Simulator()
+        bw = mbit_per_s(100)
+        path = build_sim_path(sim, self._topo(bw), ["a", "b"], no_cross_traffic=True)
+        est = measure_path(path, repeats=2)
+        assert est.epb == pytest.approx(bw, rel=0.1)
+        assert est.r2 > 0.99
+
+    def test_estimates_bottleneck_of_two_hops(self):
+        sim = Simulator()
+        topo = Topology.from_specs(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [
+                LinkSpec("a", "b", mbit_per_s(200), 0.01, 0.0, 0.0, "none"),
+                LinkSpec("b", "c", mbit_per_s(50), 0.01, 0.0, 0.0, "none"),
+            ],
+        )
+        path = build_sim_path(sim, topo, ["a", "b", "c"], no_cross_traffic=True)
+        est = measure_path(path, repeats=2)
+        # Store-and-forward over two hops: EPB is dominated by the 50 Mb/s hop.
+        assert est.epb <= mbit_per_s(60)
+        assert est.epb >= mbit_per_s(30)
+
+    def test_lossy_link_completes_and_underestimates(self):
+        sim = Simulator()
+        bw = mbit_per_s(100)
+        path = build_sim_path(
+            sim,
+            self._topo(bw, loss=0.05),
+            ["a", "b"],
+            rng=np.random.default_rng(3),
+        )
+        est = measure_path(path, repeats=2)
+        # Retransmissions make the *effective* bandwidth lower than raw.
+        assert est.epb < bw
+        assert est.epb > 0.3 * bw
+
+    def test_default_probe_sizes_span_two_decades(self):
+        assert max(DEFAULT_PROBE_SIZES) / min(DEFAULT_PROBE_SIZES) >= 100

@@ -1,0 +1,83 @@
+"""Tests for the paper's six-site testbed construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import PAPER_SITES, build_paper_testbed
+from repro.units import mbit_per_s
+
+
+class TestPaperTestbed:
+    def test_all_sites_present(self):
+        topo, roles = build_paper_testbed()
+        for site in PAPER_SITES:
+            assert site in topo
+
+    def test_roles_match_paper(self):
+        _, roles = build_paper_testbed()
+        assert roles.client == "ORNL"
+        assert roles.central_manager == "LSU"
+        assert set(roles.data_sources) == {"GaTech", "OSU"}
+        assert set(roles.computing_services) == {"UT", "NCState"}
+
+    def test_clusters_have_aggregate_power_and_overhead(self):
+        topo, _ = build_paper_testbed()
+        for cs in ("UT", "NCState"):
+            spec = topo.node(cs)
+            assert spec.cluster_size == 8
+            assert spec.power > 2.0
+            assert spec.parallel_overhead > 0.0
+
+    def test_data_source_pcs_cannot_render(self):
+        topo, _ = build_paper_testbed()
+        for ds in ("GaTech", "OSU"):
+            assert not topo.node(ds).can("render")
+            assert topo.node(ds).can("extract")
+
+    def test_cm_node_is_control_only(self):
+        topo, _ = build_paper_testbed()
+        lsu = topo.node("LSU")
+        assert lsu.can("control")
+        assert not lsu.can("extract")
+
+    def test_client_can_display_and_render(self):
+        topo, _ = build_paper_testbed()
+        ornl = topo.node("ORNL")
+        assert ornl.can("display") and ornl.can("render")
+
+    def test_paper_loops_are_routable(self):
+        """Every loop of Fig. 9 must exist edge-by-edge in the topology."""
+        topo, _ = build_paper_testbed()
+        loops = [
+            ["ORNL", "LSU", "GaTech", "UT", "ORNL"],
+            ["ORNL", "LSU", "GaTech", "NCState", "ORNL"],
+            ["ORNL", "LSU", "OSU", "NCState", "ORNL"],
+            ["ORNL", "LSU", "OSU", "UT", "ORNL"],
+            ["ORNL", "GaTech", "ORNL"],
+            ["ORNL", "OSU", "ORNL"],
+        ]
+        for loop in loops:
+            for u, v in zip(loop[:-1], loop[1:]):
+                assert topo.has_link(u, v), f"missing link {u}-{v}"
+
+    def test_optimal_data_route_has_highest_bandwidth(self):
+        """GaTech->UT->ORNL must dominate the alternative data routes."""
+        topo, _ = build_paper_testbed()
+        best = min(topo.bandwidth("GaTech", "UT"), topo.bandwidth("UT", "ORNL"))
+        alts = [
+            min(topo.bandwidth("GaTech", "NCState"), topo.bandwidth("NCState", "ORNL")),
+            min(topo.bandwidth("OSU", "UT"), topo.bandwidth("UT", "ORNL")),
+            min(topo.bandwidth("OSU", "NCState"), topo.bandwidth("NCState", "ORNL")),
+            topo.bandwidth("ORNL", "GaTech"),
+            topo.bandwidth("ORNL", "OSU"),
+        ]
+        assert all(best > a for a in alts)
+
+    def test_no_cross_traffic_flag(self):
+        topo, _ = build_paper_testbed(with_cross_traffic=False)
+        assert all(l.cross_traffic == "none" for l in topo.links())
+
+    def test_control_links_are_modest_bandwidth(self):
+        topo, _ = build_paper_testbed()
+        assert topo.bandwidth("ORNL", "LSU") <= mbit_per_s(100)

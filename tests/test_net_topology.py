@@ -1,0 +1,109 @@
+"""Unit tests for topology specs and the overlay graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net import LinkSpec, NodeSpec, Topology
+from repro.units import mbit_per_s
+
+
+def small_topo() -> Topology:
+    return Topology.from_specs(
+        [
+            NodeSpec("a", power=1.0),
+            NodeSpec("b", power=2.0),
+            NodeSpec("c", power=0.5, capabilities=frozenset({"render"})),
+        ],
+        [
+            LinkSpec("a", "b", mbit_per_s(100), 0.01),
+            LinkSpec("b", "c", mbit_per_s(50), 0.02),
+        ],
+    )
+
+
+class TestNodeSpec:
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(TopologyError):
+            NodeSpec("x", power=0.0)
+
+    def test_rejects_bad_cluster_size(self):
+        with pytest.raises(TopologyError):
+            NodeSpec("x", cluster_size=0)
+
+    def test_can_checks_capability(self):
+        n = NodeSpec("x", capabilities=frozenset({"render", "extract"}))
+        assert n.can("render") and not n.can("display")
+
+
+class TestLinkSpec:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(TopologyError):
+            LinkSpec("a", "b", 0.0)
+
+    def test_rejects_invalid_loss(self):
+        with pytest.raises(TopologyError):
+            LinkSpec("a", "b", 1.0, loss_rate=1.0)
+
+    def test_key_is_sorted(self):
+        assert LinkSpec("z", "a", 1.0).key == ("a", "z")
+
+
+class TestTopology:
+    def test_node_and_link_lookup(self):
+        topo = small_topo()
+        assert topo.node("b").power == 2.0
+        assert topo.link("c", "b").bandwidth == mbit_per_s(50)
+        assert topo.bandwidth("a", "b") == mbit_per_s(100)
+        assert topo.prop_delay("b", "c") == 0.02
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            small_topo().node("zz")
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(TopologyError):
+            small_topo().link("a", "c")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec("a"))
+        with pytest.raises(TopologyError):
+            topo.add_link(LinkSpec("a", "ghost", 1.0))
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_node(NodeSpec("a"))
+        with pytest.raises(TopologyError):
+            topo.add_link(LinkSpec("a", "a", 1.0))
+
+    def test_neighbors(self):
+        topo = small_topo()
+        assert set(topo.neighbors("b")) == {"a", "c"}
+        assert topo.neighbors("a") == ["b"]
+
+    def test_counts(self):
+        topo = small_topo()
+        assert topo.num_nodes == 3
+        assert topo.num_links == 2
+
+    def test_path_links_validates_adjacency(self):
+        topo = small_topo()
+        specs = topo.path_links(["a", "b", "c"])
+        assert [s.key for s in specs] == [("a", "b"), ("b", "c")]
+        with pytest.raises(TopologyError):
+            topo.path_links(["a", "c"])
+
+    def test_simple_paths(self):
+        topo = small_topo()
+        paths = topo.simple_paths("a", "c")
+        assert paths == [["a", "b", "c"]]
+
+    def test_dict_roundtrip(self):
+        topo = small_topo()
+        clone = Topology.from_dict(topo.to_dict())
+        assert clone.num_nodes == topo.num_nodes
+        assert clone.num_links == topo.num_links
+        assert clone.node("c").capabilities == frozenset({"render"})
+        assert clone.bandwidth("a", "b") == topo.bandwidth("a", "b")

@@ -1,0 +1,138 @@
+"""Tests for the VH1-style 3-D solver, bow shock and heat demo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sims import (
+    BowShockSimulation,
+    HeatDiffusionSimulation,
+    VH1Simulation,
+    available_simulations,
+    create_simulation,
+    sod_exact_solution,
+)
+
+
+class TestVH1:
+    def test_planar_sod_matches_1d_exact(self):
+        """A 3-D planar shock tube must track the 1-D exact solution."""
+        sim = VH1Simulation(shape=(128, 4, 4), setup="sod")
+        while sim.time < 0.15:
+            sim.step()
+        rho = sim.get_field("density").values[:, 2, 2].astype(float)
+        x = (np.arange(128) + 0.5) * sim.dx
+        rho_ex, _, _ = sod_exact_solution(x, sim.time, x0=0.5)
+        l1 = np.abs(rho - rho_ex).mean() / np.abs(rho_ex).mean()
+        assert l1 < 0.06  # first-order scheme, coarse grid
+
+    def test_planar_solution_uniform_transverse(self):
+        sim = VH1Simulation(shape=(32, 8, 8), setup="sod")
+        sim.run(20)
+        rho = sim.get_field("density").values
+        # get_field casts to float32, so allow f32 epsilon-scale noise
+        assert float(rho.std(axis=(1, 2)).max()) < 1e-6
+
+    def test_mass_conservation_before_outflow(self):
+        sim = VH1Simulation(shape=(48, 8, 8), setup="sod")
+        m0 = float(sim.U[0].sum())
+        sim.run(10)
+        assert float(sim.U[0].sum()) == pytest.approx(m0, rel=1e-9)
+
+    def test_uniform_state_is_steady(self):
+        sim = VH1Simulation(shape=(16, 16, 16), setup="uniform")
+        rho0 = sim.get_field("density").values.copy()
+        sim.run(5)
+        np.testing.assert_allclose(sim.get_field("density").values, rho0, rtol=1e-10)
+
+    def test_all_variables_available(self):
+        sim = VH1Simulation(shape=(8, 8, 8))
+        for var in sim.variables():
+            g = sim.get_field(var)
+            assert g.shape == (8, 8, 8)
+            assert np.all(np.isfinite(g.values))
+
+    def test_positivity_long_run(self):
+        sim = VH1Simulation(shape=(32, 8, 8), setup="sod")
+        sim.run(150)
+        assert sim.get_field("density").values.min() > 0
+        assert sim.get_field("pressure").values.min() > 0
+
+    def test_bad_setup_rejected(self):
+        with pytest.raises(SimulationError):
+            VH1Simulation(shape=(8, 8, 8), setup="warp-drive")
+
+
+class TestBowShock:
+    def test_bow_shock_forms_upstream(self):
+        sim = BowShockSimulation(shape=(48, 24, 24))
+        sim.run(60)
+        p = sim.get_field("pressure").values
+        ny, nz = p.shape[1] // 2, p.shape[2] // 2
+        ambient = sim.params["p_r"]
+        # pressure along the stagnation line upstream of the obstacle
+        upstream = p[4 : int(0.45 * 48), ny, nz]
+        assert upstream.max() > 2.0 * ambient
+
+    def test_wind_speed_steering_strengthens_shock(self):
+        def peak_pressure(speed):
+            sim = BowShockSimulation(shape=(40, 20, 20))
+            sim.apply_steering({"wind_speed": speed})
+            sim.run(50)
+            p = sim.get_field("pressure").values
+            return float(p[: int(0.45 * 40)].max())
+
+        assert peak_pressure(3.0) > 1.3 * peak_pressure(1.0)
+
+    def test_obstacle_density_pinned(self):
+        sim = BowShockSimulation(shape=(32, 16, 16))
+        sim.run(10)
+        rho = sim.get_field("density").values
+        assert rho.max() == pytest.approx(sim.params["obstacle_density"], rel=1e-6)
+
+    def test_obstacle_radius_steerable(self):
+        sim = BowShockSimulation(shape=(32, 16, 16))
+        n_before = int(sim._mask.sum())
+        sim.apply_steering({"obstacle_radius": 0.25})
+        sim.step()
+        assert int(sim._mask.sum()) > n_before
+
+
+class TestHeat:
+    def test_source_heats_center(self):
+        sim = HeatDiffusionSimulation(shape=(24, 24, 24))
+        sim.run(30)
+        u = sim.get_field("temperature").values
+        assert u[12, 12, 12] > 0.01
+        assert u[1, 1, 1] < u[12, 12, 12]
+
+    def test_moving_source_moves_hotspot(self):
+        sim = HeatDiffusionSimulation(shape=(24, 24, 24))
+        sim.apply_steering({"source_x": 0.25})
+        sim.run(40)
+        u = sim.get_field("temperature").values
+        x_hot = np.unravel_index(np.argmax(u), u.shape)[0]
+        assert x_hot < 12
+
+    def test_walls_stay_cold(self):
+        sim = HeatDiffusionSimulation(shape=(16, 16, 16))
+        sim.run(25)
+        u = sim.get_field("temperature").values
+        assert u[0].max() == 0.0 and u[-1].max() == 0.0
+
+
+class TestRegistry:
+    def test_paper_codes_registered(self):
+        names = available_simulations()
+        for required in ("sod", "vh1-sod", "bowshock", "heat"):
+            assert required in names
+
+    def test_create_by_name(self):
+        sim = create_simulation("heat", shape=(8, 8, 8))
+        assert sim.name == "heat"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            create_simulation("galaxy-merger")

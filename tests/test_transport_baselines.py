@@ -1,0 +1,116 @@
+"""Tests for the TCP Reno and constant-rate UDP baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.transport import (
+    ConstantRateUdpTransport,
+    FlowConfig,
+    RobbinsMonroController,
+    StabilizedUDPTransport,
+    TcpRenoTransport,
+)
+from repro.units import mbit_per_s
+
+from tests.conftest import make_paths, make_two_node_topology
+
+
+def run_tcp(nbytes=None, duration=None, loss=0.0, bandwidth=mbit_per_s(80), seed=3):
+    sim = Simulator()
+    topo = make_two_node_topology(bandwidth=bandwidth, loss_rate=loss)
+    fwd, rev = make_paths(sim, topo, ["A", "B"], seed=seed)
+    cfg = FlowConfig(flow="tcp", total_bytes=nbytes, duration=duration)
+    t = TcpRenoTransport(sim, fwd, rev, cfg)
+    return t, t.run_to_completion()
+
+
+class TestTcpReno:
+    def test_completes_clean_transfer(self):
+        t, stats = run_tcp(nbytes=1 << 20)
+        assert stats.completed
+        assert stats.bytes_delivered == pytest.approx(1 << 20, rel=0.01)
+
+    def test_completes_lossy_transfer(self):
+        t, stats = run_tcp(nbytes=256 * 1024, loss=0.05)
+        assert stats.completed
+
+    def test_window_grows_from_slow_start(self):
+        t, stats = run_tcp(nbytes=1 << 20)
+        windows = [e.window for e in stats.epochs]
+        assert windows[0] <= 4
+        assert max(windows) > 16
+
+    def test_sawtooth_on_congested_link(self):
+        # Duration mode on a slow link: TCP keeps growing until drops occur.
+        t, stats = run_tcp(duration=60.0, bandwidth=mbit_per_s(8), seed=5)
+        windows = np.array([e.window for e in stats.epochs])
+        # there must be at least one multiplicative decrease event
+        drops = np.sum(windows[1:] < windows[:-1] * 0.7)
+        assert drops >= 1
+
+    def test_goodput_jitter_exceeds_stabilized_udp(self):
+        """The paper's core transport claim: stabilized UDP has lower
+        goodput variation than TCP on the same stochastic channel."""
+        bw = mbit_per_s(16)
+        target = 1.0e6
+
+        sim1 = Simulator()
+        topo1 = make_two_node_topology(bandwidth=bw, loss_rate=0.02, cross="moderate")
+        fwd1, rev1 = make_paths(sim1, topo1, ["A", "B"], seed=7)
+        tcp = TcpRenoTransport(sim1, fwd1, rev1, FlowConfig(flow="t", duration=90.0))
+        tcp_stats = tcp.run_to_completion()
+
+        sim2 = Simulator()
+        topo2 = make_two_node_topology(bandwidth=bw, loss_rate=0.02, cross="moderate")
+        fwd2, rev2 = make_paths(sim2, topo2, ["A", "B"], seed=7)
+        ctrl = RobbinsMonroController(target_goodput=target, window=32, ts_init=0.2)
+        stab = StabilizedUDPTransport(
+            sim2, fwd2, rev2, FlowConfig(flow="s", duration=90.0), controller=ctrl
+        )
+        stab_stats = stab.run_to_completion()
+
+        assert stab_stats.jitter_coefficient(0.5) < tcp_stats.jitter_coefficient(0.5)
+
+
+class TestConstantRateUdp:
+    def _run(self, rate, bandwidth=mbit_per_s(8), duration=30.0, seed=4):
+        sim = Simulator()
+        topo = make_two_node_topology(bandwidth=bandwidth)
+        fwd, rev = make_paths(sim, topo, ["A", "B"], seed=seed)
+        t = ConstantRateUdpTransport(
+            sim, fwd, rev, FlowConfig(flow="u", duration=duration), rate=rate
+        )
+        return t, t.run_to_completion()
+
+    def test_underload_delivers_at_configured_rate(self):
+        t, stats = self._run(rate=0.5e6)
+        assert stats.mean_goodput(0.2) == pytest.approx(0.5e6, rel=0.15)
+        assert stats.loss_fraction < 0.01
+
+    def test_overload_saturates_and_loses(self):
+        # 1 MB/s link, 3 MB/s offered -> heavy queue drops, goodput ~ capacity.
+        t, stats = self._run(rate=3e6)
+        assert stats.loss_fraction > 0.3
+        assert stats.mean_goodput(0.2) < 1.4e6
+
+    def test_no_retransmission_no_completion_guarantee(self):
+        sim = Simulator()
+        topo = make_two_node_topology(bandwidth=mbit_per_s(80), loss_rate=0.2)
+        fwd, rev = make_paths(sim, topo, ["A", "B"], seed=9)
+        t = ConstantRateUdpTransport(
+            sim, fwd, rev, FlowConfig(flow="u", total_bytes=128 * 1024), rate=1e6
+        )
+        stats = t.run_to_completion()
+        assert not stats.completed  # 20% loss, nothing retransmitted
+
+    def test_rejects_bad_rate(self):
+        sim = Simulator()
+        topo = make_two_node_topology()
+        fwd, rev = make_paths(sim, topo, ["A", "B"])
+        with pytest.raises(Exception):
+            ConstantRateUdpTransport(
+                sim, fwd, rev, FlowConfig(flow="u", duration=1.0), rate=-5.0
+            )

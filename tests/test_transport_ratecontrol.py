@@ -1,0 +1,152 @@
+"""Tests for the Robbins–Monro and AIMD rate controllers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.transport import AimdController, RobbinsMonroController
+
+
+def make_ctrl(**kw) -> RobbinsMonroController:
+    defaults = dict(target_goodput=1e6, window=32, datagram_size=1024.0)
+    defaults.update(kw)
+    return RobbinsMonroController(**defaults)
+
+
+class TestRobbinsMonroController:
+    def test_overshoot_increases_sleep_time(self):
+        c = make_ctrl()
+        ts0 = c.sleep_time
+        c.update(goodput=2e6)  # above target -> slow down
+        assert c.sleep_time > ts0
+
+    def test_undershoot_decreases_sleep_time(self):
+        c = make_ctrl()
+        ts0 = c.sleep_time
+        c.update(goodput=0.2e6)  # below target -> speed up
+        assert c.sleep_time < ts0
+
+    def test_on_target_is_fixed_point(self):
+        c = make_ctrl()
+        ts0 = c.sleep_time
+        c.update(goodput=1e6)
+        assert c.sleep_time == pytest.approx(ts0)
+
+    def test_gain_decays_per_robbins_monro(self):
+        c = make_ctrl(alpha=0.8)
+        gains = [c.gain(n) for n in (1, 10, 100)]
+        assert gains[0] > gains[1] > gains[2]
+        # sum of gains diverges, sum of squares converges (alpha in (0.5, 1])
+        n = np.arange(1, 10000)
+        g = c.a / (c.window * n**c.alpha)
+        assert g.sum() > 100 * (g**2).sum()
+
+    def test_sleep_time_respects_clamps(self):
+        c = make_ctrl(ts_min=1e-3, ts_max=0.5)
+        for _ in range(50):
+            c.update(goodput=0.0)  # drive rate up hard
+        assert c.sleep_time >= 1e-3
+        for _ in range(500):
+            c.update(goodput=1e9)  # drive rate down hard
+        assert c.sleep_time <= 0.5
+
+    def test_alpha_outside_rm_conditions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ctrl(alpha=0.5)
+        with pytest.raises(ConfigurationError):
+            make_ctrl(alpha=1.2)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ctrl(target_goodput=-1.0)
+
+    def test_source_rate_formula(self):
+        c = make_ctrl()
+        c.sleep_time = 0.1
+        assert c.source_rate(tc=0.1) == pytest.approx(32 * 1024.0 / 0.2)
+
+    def test_reset_restarts_gain_schedule(self):
+        c = make_ctrl()
+        c.update(2e6)
+        c.update(2e6)
+        assert c.step_count == 2
+        c.reset(ts_init=0.05)
+        assert c.step_count == 0
+        assert c.sleep_time == pytest.approx(0.05)
+
+    def test_converges_on_analytic_channel(self):
+        """Closed loop vs a deterministic channel g = min(rate, capacity)."""
+        target = 1.5e6
+        capacity = 4e6
+        c = make_ctrl(target_goodput=target, ts_init=0.5)
+        window_bytes = c.window * c.datagram_size
+        g = 0.0
+        for _ in range(4000):
+            rate = window_bytes / c.sleep_time
+            g = min(rate, capacity)
+            c.update(g)
+        assert g == pytest.approx(target, rel=0.05)
+
+    def test_converges_under_multiplicative_noise(self):
+        rng = np.random.default_rng(2)
+        target = 1.0e6
+        c = make_ctrl(target_goodput=target, ts_init=0.3)
+        window_bytes = c.window * c.datagram_size
+        gs = []
+        for _ in range(6000):
+            rate = window_bytes / c.sleep_time
+            g = min(rate, 5e6) * rng.uniform(0.85, 1.0)  # random loss
+            gs.append(g)
+            c.update(g)
+        tail = np.array(gs[-500:])
+        assert abs(tail.mean() - target) / target < 0.1
+
+    @given(goodput=st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_update_never_leaves_bounds(self, goodput):
+        c = make_ctrl(ts_min=1e-4, ts_max=5.0)
+        for _ in range(3):
+            ts = c.update(goodput)
+            assert 1e-4 <= ts <= 5.0
+
+
+class TestAimdController:
+    def test_slow_start_doubles(self):
+        c = AimdController(init_window=2, ssthresh=64)
+        c.on_ack_epoch(2)
+        assert c.cwnd == 4
+        c.on_ack_epoch(4)
+        assert c.cwnd == 8
+
+    def test_congestion_avoidance_linear(self):
+        c = AimdController(init_window=100, ssthresh=10)
+        c.on_ack_epoch(100)
+        assert c.cwnd == 101
+
+    def test_loss_halves(self):
+        c = AimdController(init_window=100, ssthresh=10)
+        c.on_loss()
+        assert c.cwnd == 50
+
+    def test_timeout_collapses_to_one(self):
+        c = AimdController(init_window=100)
+        c.on_timeout()
+        assert c.cwnd == 1
+
+    def test_window_never_below_one(self):
+        c = AimdController(init_window=1)
+        for _ in range(10):
+            c.on_loss()
+        assert c.cwnd == 1
+
+    def test_max_window_cap(self):
+        c = AimdController(init_window=2, max_window=16, ssthresh=1000)
+        for _ in range(20):
+            c.on_ack_epoch(c.cwnd)
+        assert c.cwnd == 16
+
+    def test_invalid_decrease_factor(self):
+        with pytest.raises(ConfigurationError):
+            AimdController(decrease_factor=1.5)

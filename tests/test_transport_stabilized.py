@@ -1,0 +1,116 @@
+"""Integration tests for the stabilized UDP transport (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des import Simulator
+from repro.transport import FlowConfig, RobbinsMonroController, StabilizedUDPTransport
+from repro.units import mbit_per_s
+
+from tests.conftest import make_paths, make_two_node_topology
+
+
+def run_stream(
+    target: float,
+    duration: float = 60.0,
+    loss: float = 0.0,
+    bandwidth: float = mbit_per_s(80),
+    cross: str = "none",
+    seed: int = 1,
+    ts_init: float = 0.5,
+):
+    sim = Simulator()
+    topo = make_two_node_topology(bandwidth=bandwidth, loss_rate=loss, cross=cross)
+    fwd, rev = make_paths(sim, topo, ["A", "B"], seed=seed)
+    ctrl = RobbinsMonroController(
+        target_goodput=target, window=32, datagram_size=1024.0, ts_init=ts_init
+    )
+    t = StabilizedUDPTransport(
+        sim, fwd, rev, FlowConfig(flow="ctl", duration=duration), controller=ctrl
+    )
+    return t.run_to_completion()
+
+
+class TestStreamStabilization:
+    def test_goodput_converges_to_target_on_clean_channel(self):
+        target = 2.0e6
+        stats = run_stream(target)
+        assert stats.mean_goodput(after_fraction=0.6) == pytest.approx(target, rel=0.10)
+
+    def test_goodput_converges_under_random_loss(self):
+        target = 1.5e6
+        stats = run_stream(target, loss=0.05, duration=90.0)
+        assert stats.mean_goodput(after_fraction=0.6) == pytest.approx(target, rel=0.15)
+
+    def test_goodput_converges_under_cross_traffic(self):
+        target = 1.0e6
+        stats = run_stream(target, cross="moderate", duration=90.0)
+        assert stats.mean_goodput(after_fraction=0.6) == pytest.approx(target, rel=0.15)
+
+    def test_tail_jitter_is_small_on_clean_channel(self):
+        stats = run_stream(2.0e6)
+        assert stats.jitter_coefficient(after_fraction=0.6) < 0.15
+
+    def test_tracking_error_reported(self):
+        stats = run_stream(2.0e6)
+        assert stats.tracking_error(after_fraction=0.6) < 0.15
+
+    def test_convergence_time_detected(self):
+        stats = run_stream(2.0e6, duration=80.0)
+        t = stats.convergence_time(tolerance=0.15)
+        assert t is not None
+        assert t < 60.0
+
+    def test_unreachable_target_saturates_below(self):
+        # Target above channel capacity: goodput must plateau near capacity.
+        bw = mbit_per_s(8)  # 1 MB/s raw
+        stats = run_stream(target=5e6, bandwidth=bw, duration=60.0)
+        tail = stats.mean_goodput(after_fraction=0.7)
+        assert tail < 1.3e6
+
+    def test_epochs_recorded(self):
+        stats = run_stream(1e6, duration=10.0)
+        assert len(stats.epochs) > 10
+        assert stats.goodput_series().shape[1] == 2
+
+
+class TestReliableTransfer:
+    def _run_transfer(self, nbytes: float, loss: float, seed: int = 2):
+        sim = Simulator()
+        topo = make_two_node_topology(
+            bandwidth=mbit_per_s(80), loss_rate=loss, cross="none"
+        )
+        fwd, rev = make_paths(sim, topo, ["A", "B"], seed=seed)
+        ctrl = RobbinsMonroController(
+            target_goodput=4e6, window=32, datagram_size=1024.0, ts_init=0.02
+        )
+        t = StabilizedUDPTransport(
+            sim, fwd, rev, FlowConfig(flow="data", total_bytes=nbytes), controller=ctrl
+        )
+        stats = t.run_to_completion()
+        return t, stats
+
+    def test_finite_flow_completes_without_loss(self):
+        _, stats = self._run_transfer(512 * 1024, loss=0.0)
+        assert stats.completed
+        assert stats.bytes_delivered == pytest.approx(512 * 1024, rel=0.01)
+
+    def test_finite_flow_completes_under_loss(self):
+        t, stats = self._run_transfer(256 * 1024, loss=0.10)
+        assert stats.completed
+        # Every distinct datagram made it despite 10% loss.
+        assert t._receiver.distinct_received == t.config.total_seqs
+
+    def test_retransmissions_happen_under_loss(self):
+        t, stats = self._run_transfer(256 * 1024, loss=0.10)
+        assert t._queue.retransmissions > 0
+
+    def test_no_duplicate_inflation_of_goodput(self):
+        t, stats = self._run_transfer(256 * 1024, loss=0.10)
+        assert stats.bytes_delivered <= 256 * 1024 * 1.01
+
+    def test_conservation_sent_ge_delivered(self):
+        _, stats = self._run_transfer(512 * 1024, loss=0.05)
+        assert stats.bytes_sent >= stats.bytes_delivered

@@ -1,0 +1,109 @@
+"""Tests for unit helpers, RNG management and the error hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.errors as errors
+from repro.rng import RngFactory, derive_rng
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+    gbit_per_s,
+    mb_bytes,
+    mbit_per_s,
+    mbyte_per_s,
+)
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert KB == 1024 and MB == 1024**2 and GB == 1024**3
+
+    def test_bandwidth_conversions(self):
+        assert mbit_per_s(8) == pytest.approx(1e6)  # 8 Mb/s = 1 MB/s (decimal)
+        assert gbit_per_s(1) == pytest.approx(1.25e8)
+        assert mbyte_per_s(1) == MB
+
+    def test_mb_bytes(self):
+        assert mb_bytes(16) == 16 * MB
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(64 * MB) == "64.0 MB"
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2 * GB) == "2.0 GB"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(mbit_per_s(100)) == "100.0 Mb/s"
+        assert fmt_rate(gbit_per_s(2)) == "2.0 Gb/s"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(1.25) == "1.25 s"
+        assert fmt_seconds(0.31) == "310 ms"
+        assert fmt_seconds(5e-5) == "50 us"
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(42).derive("loss")
+        b = RngFactory(42).derive("loss")
+        np.testing.assert_array_equal(a.random(10), b.random(10))
+
+    def test_different_labels_independent(self):
+        f = RngFactory(42)
+        a = f.derive("loss").random(10)
+        b = f.derive("traffic").random(10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_child_factory_namespacing(self):
+        f = RngFactory(7)
+        c1 = f.child("net").derive("loss").random(5)
+        c2 = f.derive("loss").random(5)
+        assert not np.allclose(c1, c2)
+
+    def test_none_seed_is_zero(self):
+        assert RngFactory(None).seed == 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), label=st.text(min_size=1, max_size=20))
+    def test_derivation_deterministic_property(self, seed, label):
+        x = derive_rng(seed, label).random()
+        y = derive_rng(seed, label).random()
+        assert x == y
+
+
+class TestErrorHierarchy:
+    ALL = [
+        errors.ConfigurationError,
+        errors.TopologyError,
+        errors.TransportError,
+        errors.MappingError,
+        errors.InfeasibleMappingError,
+        errors.SimulationError,
+        errors.ProtocolError,
+        errors.DataFormatError,
+        errors.CalibrationError,
+        errors.SteeringError,
+        errors.WebServerError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_infeasible_is_a_mapping_error(self):
+        assert issubclass(errors.InfeasibleMappingError, errors.MappingError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CalibrationError("x")

@@ -1,0 +1,134 @@
+"""Tests for the generated marching-cubes case machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.viz.mc_tables import (
+    CLASS_REPRESENTATIVES,
+    CUBE_ROTATIONS,
+    CUBE_VERTICES,
+    MC_CASE_CLASS,
+    N_MC_CLASSES,
+    TET_CASE_TRIS,
+    TET_DECOMPOSITION,
+    TRIANGLES_PER_CLASS,
+    TRIANGLES_PER_CONFIG,
+    _apply_perm,
+)
+
+
+class TestRotationGroup:
+    def test_24_rotations(self):
+        assert CUBE_ROTATIONS.shape == (24, 8)
+
+    def test_rotations_are_permutations(self):
+        for perm in CUBE_ROTATIONS:
+            assert sorted(perm) == list(range(8))
+
+    def test_identity_present(self):
+        assert any(np.array_equal(p, np.arange(8)) for p in CUBE_ROTATIONS)
+
+    def test_rotations_preserve_adjacency(self):
+        """Vertices at distance 1 must stay at distance 1."""
+        for perm in CUBE_ROTATIONS:
+            for i in range(8):
+                for j in range(8):
+                    d_before = np.abs(CUBE_VERTICES[i] - CUBE_VERTICES[j]).sum()
+                    d_after = np.abs(
+                        CUBE_VERTICES[perm[i]] - CUBE_VERTICES[perm[j]]
+                    ).sum()
+                    assert d_before == d_after
+
+    def test_group_closure(self):
+        perms = {tuple(p) for p in CUBE_ROTATIONS}
+        for a in CUBE_ROTATIONS:
+            for b in CUBE_ROTATIONS:
+                composed = tuple(int(a[b[i]]) for i in range(8))
+                assert composed in perms
+
+
+class TestClassMap:
+    def test_fifteen_classes(self):
+        assert N_MC_CLASSES == 15
+        assert len(CLASS_REPRESENTATIVES) == 15
+
+    def test_empty_and_full_are_class_zero(self):
+        assert MC_CASE_CLASS[0] == 0
+        assert MC_CASE_CLASS[255] == 0
+
+    def test_single_vertex_configs_share_a_class(self):
+        classes = {int(MC_CASE_CLASS[1 << v]) for v in range(8)}
+        assert len(classes) == 1
+
+    def test_complement_invariance(self):
+        for config in range(256):
+            assert MC_CASE_CLASS[config] == MC_CASE_CLASS[config ^ 0xFF]
+
+    @given(config=st.integers(min_value=0, max_value=255))
+    def test_rotation_invariance(self, config):
+        base = MC_CASE_CLASS[config]
+        for perm in CUBE_ROTATIONS[::5]:
+            assert MC_CASE_CLASS[_apply_perm(config, perm)] == base
+
+    def test_every_class_inhabited(self):
+        assert set(int(c) for c in MC_CASE_CLASS) == set(range(15))
+
+
+class TestTetDecomposition:
+    def test_six_tets_cover_cube_volume(self):
+        total = 0.0
+        verts = CUBE_VERTICES.astype(float)
+        for tet in TET_DECOMPOSITION:
+            a, b, c, d = (verts[int(i)] for i in tet)
+            vol = abs(np.dot(b - a, np.cross(c - a, d - a))) / 6.0
+            assert vol > 0
+            total += vol
+        assert total == pytest.approx(1.0)
+
+    def test_all_tets_share_main_diagonal(self):
+        for tet in TET_DECOMPOSITION:
+            assert 0 in tet and 6 in tet
+
+
+class TestTetCaseTable:
+    def test_empty_cases(self):
+        assert TET_CASE_TRIS[0] == []
+        assert TET_CASE_TRIS[15] == []
+
+    def test_triangle_counts_by_popcount(self):
+        for mask in range(1, 15):
+            pop = bin(mask).count("1")
+            expected = 2 if pop == 2 else 1
+            assert len(TET_CASE_TRIS[mask]) == expected
+
+    def test_edges_cross_the_surface(self):
+        """Every listed edge must join an inside vertex to an outside one."""
+        for mask in range(1, 15):
+            for tri in TET_CASE_TRIS[mask]:
+                for (a, b) in tri:
+                    ia = (mask >> a) & 1
+                    ib = (mask >> b) & 1
+                    assert ia != ib
+
+
+class TestTriangleCounts:
+    def test_bounds(self):
+        assert TRIANGLES_PER_CONFIG.min() == 0
+        assert TRIANGLES_PER_CONFIG.max() <= 12
+
+    def test_complement_symmetric(self):
+        for c in range(256):
+            assert TRIANGLES_PER_CONFIG[c] == TRIANGLES_PER_CONFIG[c ^ 0xFF]
+
+    def test_single_corner_cases(self):
+        # One inside corner clips between 1 tet (an off-diagonal corner)
+        # and all 6 tets (v0/v6 sit on the shared main diagonal).
+        for v in range(8):
+            assert 1 <= TRIANGLES_PER_CONFIG[1 << v] <= 6
+
+    def test_class_zero_has_no_triangles(self):
+        assert TRIANGLES_PER_CLASS[0] == 0.0
+        assert all(TRIANGLES_PER_CLASS[1:] > 0)

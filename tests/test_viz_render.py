@@ -1,0 +1,218 @@
+"""Tests for the camera, rasterizer, ray caster and streamlines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import StructuredGrid, VectorField
+from repro.errors import ConfigurationError
+from repro.viz import OrthoCamera, TransferFunction, raycast, render_mesh, trace_streamlines
+from repro.viz.isosurface import extract_isosurface
+from repro.viz.render import render_points
+from repro.viz.streamline import seed_grid
+
+from tests.test_data_grid import sphere_grid
+
+
+class TestCamera:
+    def test_axes_orthonormal(self):
+        cam = OrthoCamera(azimuth=33.0, elevation=21.0)
+        r, u, f = cam.axes()
+        for v in (r, u, f):
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+        assert np.dot(r, u) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(r, f) == pytest.approx(0.0, abs=1e-12)
+        assert np.dot(u, f) == pytest.approx(0.0, abs=1e-12)
+
+    def test_center_projects_to_viewport_center(self):
+        cam = OrthoCamera(center=(1.0, 2.0, 3.0), width=100, height=80)
+        px = cam.project(np.array([[1.0, 2.0, 3.0]]))[0]
+        assert px[0] == pytest.approx(49.5)
+        assert px[1] == pytest.approx(39.5)
+
+    def test_zoom_magnifies(self):
+        cam1 = OrthoCamera(zoom=1.0, width=101, height=101)
+        cam2 = cam1.zoomed(2.0)
+        p = np.array([[0.3, 0.1, 0.0]])
+        d1 = cam1.project(p)[0][:2] - 50.0
+        d2 = cam2.project(p)[0][:2] - 50.0
+        assert np.linalg.norm(d2) == pytest.approx(2 * np.linalg.norm(d1), rel=1e-6)
+
+    def test_rotation_steering(self):
+        cam = OrthoCamera(azimuth=10.0, elevation=0.0)
+        cam2 = cam.rotated(20.0, 5.0)
+        assert cam2.azimuth == pytest.approx(30.0)
+        assert cam2.elevation == pytest.approx(5.0)
+        assert cam2.rotated(0, 100).elevation == 89.0  # clamped
+
+    def test_framing_covers_bounds(self):
+        lo, hi = np.zeros(3), np.array([4.0, 2.0, 1.0])
+        cam = OrthoCamera.framing(lo, hi, width=64, height=64)
+        corners = np.array([[0, 0, 0], [4, 2, 1], [4, 0, 0], [0, 2, 1]], dtype=float)
+        screen = cam.project(corners)
+        assert screen[:, 0].min() >= 0 and screen[:, 0].max() <= 63
+        assert screen[:, 1].min() >= 0 and screen[:, 1].max() <= 63
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OrthoCamera(zoom=0.0)
+        with pytest.raises(ConfigurationError):
+            OrthoCamera(width=0)
+
+
+class TestRenderMesh:
+    def test_sphere_renders_disk(self):
+        g = sphere_grid(16)
+        mesh = extract_isosurface(g, 0.6)
+        cam = OrthoCamera.framing(*g.bounds(), width=96, height=96)
+        img = render_mesh(mesh, cam)
+        frac = img.nonblank_fraction(background=(10, 10, 20))
+        # projected sphere of radius ~0.6*extent/2 -> covered area fraction
+        assert 0.05 < frac < 0.6
+
+    def test_empty_mesh_is_background(self):
+        from repro.viz.isosurface import TriangleMesh
+
+        img = render_mesh(TriangleMesh(np.zeros((0, 3, 3))), OrthoCamera(width=32, height=32))
+        assert img.nonblank_fraction(background=(10, 10, 20)) == 0.0
+
+    def test_depth_occlusion(self):
+        """The triangle nearer the viewer must hide the farther one."""
+        from repro.viz.isosurface import TriangleMesh
+
+        big = 4.0
+        tri_lo = [[-big, -big, -1.0], [big, -big, -1.0], [0.0, big, -1.0]]
+        tri_hi = [[-big, -big, 1.0], [big, -big, 1.0], [0.0, big, 1.0]]
+        mesh = TriangleMesh(np.array([tri_lo, tri_hi], dtype=np.float32))
+        cam = OrthoCamera(azimuth=0.0, elevation=90.0, width=64, height=64, extent=8.0)
+        # The camera looks *along* +z (forward ~ +z), so the z=-1 plane has
+        # the smaller view depth and occludes the z=+1 plane.
+        img_both = render_mesh(mesh, cam, color=(1.0, 0.0, 0.0))
+        only_near = render_mesh(
+            TriangleMesh(np.array([tri_lo], dtype=np.float32)), cam, color=(1.0, 0.0, 0.0)
+        )
+        np.testing.assert_array_equal(img_both.pixels, only_near.pixels)
+
+    def test_max_triangles_subsampling(self):
+        g = sphere_grid(16)
+        mesh = extract_isosurface(g, 0.6)
+        img = render_mesh(mesh, max_triangles=50)
+        assert img.nonblank_fraction(background=(10, 10, 20)) > 0.0
+
+    def test_render_points(self):
+        cam = OrthoCamera(width=32, height=32, extent=4.0)
+        pts = np.array([[0.0, 0.0, 0.0], [np.nan, 0, 0]])
+        img = render_points(pts, cam)
+        assert img.pixels[:, :, 0].max() == 255
+
+
+class TestRaycast:
+    def test_empty_volume_is_background(self):
+        g = StructuredGrid(np.zeros((8, 8, 8), dtype=np.float32))
+        tf = TransferFunction.grayscale(0.0, 1.0)
+        res = raycast(g, transfer=tf, step=1.0)
+        assert res.image.nonblank_fraction() == 0.0
+
+    def test_dense_center_lights_center_pixels(self):
+        g = sphere_grid(16)
+        # invert: bright blob in the middle
+        inv = StructuredGrid(g.vmax - g.values, g.spacing, g.origin, "blob")
+        cam = OrthoCamera.framing(*inv.bounds(), width=48, height=48)
+        res = raycast(inv, camera=cam, step=0.5)
+        px = res.image.pixels
+        center_lum = px[20:28, 20:28, :3].mean()
+        corner_lum = px[:4, :4, :3].mean()
+        assert center_lum > corner_lum + 10
+
+    def test_sampling_statistics(self):
+        g = sphere_grid(12)
+        res = raycast(g, step=1.0)
+        assert res.n_rays == 256 * 256
+        assert res.n_samples_total > 0
+        assert res.n_samples_per_ray >= 2
+
+    def test_isolating_transfer_highlights_shell(self):
+        g = sphere_grid(20)
+        tf = TransferFunction.isolating(0.6, 0.05)
+        cam = OrthoCamera.framing(*g.bounds(), width=40, height=40)
+        res = raycast(g, camera=cam, transfer=tf, step=0.5)
+        assert res.image.nonblank_fraction() > 0.05
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            raycast(sphere_grid(8), step=0.0)
+
+
+class TestStreamlines:
+    def _uniform_field(self, n=8):
+        shape = (n, n, n)
+        return VectorField(
+            np.full(shape, 1.0, dtype=np.float32),
+            np.zeros(shape, dtype=np.float32),
+            np.zeros(shape, dtype=np.float32),
+        )
+
+    def test_straight_advection_in_uniform_field(self):
+        f = self._uniform_field()
+        seeds = np.array([[1.0, 3.0, 3.0]])
+        res = trace_streamlines(f, seeds, n_steps=4, h=0.5)
+        path = res.paths[0]
+        np.testing.assert_allclose(path[:, 1], 3.0, atol=1e-9)
+        np.testing.assert_allclose(
+            path[:, 0], [1.0, 1.5, 2.0, 2.5, 3.0], atol=1e-9
+        )
+
+    def test_terminates_at_boundary(self):
+        f = self._uniform_field(8)
+        seeds = np.array([[6.5, 3.0, 3.0]])
+        res = trace_streamlines(f, seeds, n_steps=10, h=0.5)
+        assert res.terminated_early == 1
+        assert np.isnan(res.paths[0, -1]).all()
+
+    def test_zero_field_stalls(self):
+        shape = (6, 6, 6)
+        f = VectorField(np.zeros(shape), np.zeros(shape), np.zeros(shape))
+        res = trace_streamlines(f, np.array([[3.0, 3.0, 3.0]]), n_steps=5, h=1.0)
+        assert res.terminated_early == 1
+
+    def test_advection_counts(self):
+        f = self._uniform_field()
+        seeds = seed_grid(f, n_per_axis=2)
+        res = trace_streamlines(f, seeds, n_steps=3, h=0.1, method="rk4")
+        assert res.advections == 8 * 3 * 4  # seeds * steps * rk4 stages
+
+    def test_rk2_vs_rk4_agree_on_linear_field(self):
+        f = self._uniform_field()
+        seeds = np.array([[1.0, 3.0, 3.0]])
+        p2 = trace_streamlines(f, seeds, n_steps=5, h=0.3, method="rk2").paths
+        p4 = trace_streamlines(f, seeds, n_steps=5, h=0.3, method="rk4").paths
+        np.testing.assert_allclose(p2, p4, atol=1e-9)
+
+    def test_circular_field_stays_on_circle(self):
+        """v = (-y, x, 0) around the domain center: radius is conserved."""
+        n = 17
+        ax = np.arange(n, dtype=np.float32) - 8.0
+        X, Y, _ = np.meshgrid(ax, ax, ax, indexing="ij")
+        f = VectorField(-Y, X, np.zeros_like(X))
+        # field origin is at index space; center world = (8, 8, 8)
+        seeds = np.array([[11.0, 8.0, 8.0]])  # radius 3 from center
+        res = trace_streamlines(f, seeds, n_steps=60, h=0.02, method="rk4")
+        path = res.paths[0]
+        good = ~np.isnan(path[:, 0])
+        radii = np.linalg.norm(path[good][:, :2] - 8.0, axis=1)
+        np.testing.assert_allclose(radii, 3.0, rtol=0.02)
+
+    def test_lengths_reported(self):
+        f = self._uniform_field()
+        res = trace_streamlines(f, np.array([[1.0, 3.0, 3.0]]), n_steps=4, h=0.5)
+        assert res.lengths()[0] == pytest.approx(2.0)
+
+    def test_invalid_args(self):
+        f = self._uniform_field()
+        with pytest.raises(ConfigurationError):
+            trace_streamlines(f, np.zeros((1, 2)), 5, 0.5)
+        with pytest.raises(ConfigurationError):
+            trace_streamlines(f, np.zeros((1, 3)), 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            trace_streamlines(f, np.zeros((1, 3)), 5, 0.5, method="euler5")

@@ -1,0 +1,185 @@
+"""End-to-end tests for the Ajax web server over real loopback HTTP."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.costmodel.calibration import default_calibration
+from repro.net import build_paper_testbed
+from repro.steering import CentralManager, FrontEnd, SteeringClient
+from repro.viz.image import Image
+from repro.web import AjaxClient, AjaxWebServer, UIModel
+from repro.web.ajax import UpdateHub
+
+
+@pytest.fixture(scope="module")
+def cm():
+    topo, roles = build_paper_testbed(with_cross_traffic=False)
+    return CentralManager(topo, roles, calibration=default_calibration())
+
+
+@pytest.fixture()
+def running_server(cm):
+    """A steering session on the heat demo behind a live HTTP server."""
+    client = SteeringClient(cm, FrontEnd())
+    server = AjaxWebServer(client, port=0)
+    server.start()
+    client.start(
+        simulator="heat",
+        technique="isosurface",
+        n_cycles=200,
+        background=True,
+        sim_kwargs={"shape": (12, 12, 12)},
+        push_every=2,
+    )
+    yield server, client
+    try:
+        client.stop()
+    finally:
+        server.stop()
+
+
+class TestUIModel:
+    def test_set_bumps_version_only_on_change(self):
+        m = UIModel()
+        v1 = m.set("image", version=1)
+        v2 = m.set("image", version=1)  # no change
+        v3 = m.set("image", version=2)
+        assert v1 == 1 and v2 == 1 and v3 == 2
+
+    def test_diff_returns_only_newer(self):
+        m = UIModel()
+        m.set("a", x=1)
+        v = m.version
+        m.set("b", y=2)
+        diff = m.diff(v)
+        ids = [c["id"] for c in diff["components"]]
+        assert ids == ["b"]
+
+    def test_snapshot_contains_everything(self):
+        m = UIModel()
+        m.set("a", x=1)
+        m.set("b", y=2)
+        snap = m.snapshot()
+        assert len(snap["components"]) == 2
+
+
+class TestUpdateHub:
+    def test_waiter_wakes_on_publish(self):
+        hub = UpdateHub(UIModel())
+        results = []
+
+        def waiter():
+            results.append(hub.wait_for_update(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        hub.publish("image", version=1)
+        t.join(timeout=5.0)
+        assert results and not results[0]["timeout"]
+        assert results[0]["components"][0]["id"] == "image"
+
+    def test_timeout_returns_empty_diff(self):
+        hub = UpdateHub(UIModel())
+        diff = hub.wait_for_update(0, timeout=0.05)
+        assert diff["timeout"] is True
+        assert diff["components"] == []
+
+
+class TestHttpEndpoints:
+    def test_index_page_is_ajax(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        html = ajax.index_page()
+        assert "XMLHttpRequest" in html
+        assert "/api/poll" in html
+
+    def test_long_poll_delivers_image_updates(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        props = ajax.wait_for_component("image", polls=30, timeout=2.0)
+        assert props["version"] >= 1
+        assert "total_delay" in props
+
+    def test_partial_updates_only_changed_components(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        diff = ajax.poll(timeout=2.0)
+        # every delivered component must be strictly newer than our cursor
+        for comp in diff["components"]:
+            assert comp["version"] > 0
+
+    def test_image_download_fixed_size_and_png(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        img = ajax.fetch_image()
+        assert isinstance(img, Image)
+        assert img.width > 0
+        png = ajax.fetch_png()
+        assert png[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_steering_round_trip_over_http(self, running_server):
+        server, client = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        resp = ajax.steer(source_x=0.2)
+        assert resp["ok"]
+        # the steering update must reach the running simulation
+        sim = client.session.simulation
+        for _ in range(100):
+            if sim.params["source_x"] == pytest.approx(0.2):
+                break
+            ajax.poll(timeout=0.2)
+        assert sim.params["source_x"] == pytest.approx(0.2)
+
+    def test_view_operations_change_camera(self, running_server):
+        server, client = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        az_before = client.session._camera.azimuth
+        ajax.view(rotate_azimuth=30.0)
+        assert client.session._camera.azimuth == pytest.approx(
+            (az_before + 30.0) % 360.0
+        )
+        zoom_before = client.session._camera.zoom
+        ajax.view(zoom=2.0)
+        assert client.session._camera.zoom == pytest.approx(zoom_before * 2.0)
+
+    def test_sessions_endpoint(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        sessions = ajax.sessions()
+        assert "session0" in sessions
+        assert sessions["session0"]["simulator"] == "heat"
+
+    def test_unknown_route_404(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        with pytest.raises(Exception):
+            ajax._get_json("/api/flux-capacitor")
+
+
+class TestSteeringChangesImages:
+    def test_steered_run_produces_different_images(self, cm):
+        """Monitor, steer, observe: the whole point of the system."""
+        client = SteeringClient(cm, FrontEnd())
+        client.start(
+            simulator="heat",
+            n_cycles=30,
+            background=True,
+            sim_kwargs={"shape": (12, 12, 12)},
+        )
+        first = client.wait_for_image(since=0, timeout=20.0)
+        client.steer(source_x=0.15, source_strength=60.0)
+        later = client.wait_for_image(since=first.version + 5, timeout=30.0)
+        client.stop()
+        from repro.viz.image import decode_fixed_size
+
+        img_a = decode_fixed_size(first.blob).pixels
+        img_b = decode_fixed_size(later.blob).pixels
+        assert not np.array_equal(img_a, img_b)
