@@ -1,0 +1,86 @@
+"""Benchmark: web-tier long-poll concurrency (throughput + p99 wake latency).
+
+The acceptance demo for the multi-session refactor: 1/10/100 concurrent
+polling clients across 1/4 concurrent sessions against the live
+non-blocking server.  Asserts the two structural properties the refactor
+exists for — server thread count bounded by a constant (not O(parked
+polls)) and each image encoded exactly once per version — and records the
+throughput/latency table plus a ``BENCH_web_concurrency.json`` artifact.
+
+Set ``RICSA_BENCH_QUICK=1`` (CI) for a reduced grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.reporting import format_series
+from repro.experiments.web_concurrency import run_web_concurrency
+
+from benchmarks.conftest import record_report
+
+QUICK = os.environ.get("RICSA_BENCH_QUICK", "") not in ("", "0")
+SESSION_COUNTS = (1, 2) if QUICK else (1, 4)
+CLIENT_COUNTS = (1, 10) if QUICK else (1, 10, 100)
+DURATION = 0.5 if QUICK else 1.0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_web_concurrency(
+        session_counts=SESSION_COUNTS,
+        client_counts=CLIENT_COUNTS,
+        duration=DURATION,
+    )
+
+
+class TestBenchWebConcurrency:
+    def test_bench_concurrency_sweep(self, benchmark, sweep):
+        result = benchmark.pedantic(
+            lambda: run_web_concurrency(
+                session_counts=SESSION_COUNTS,
+                client_counts=(CLIENT_COUNTS[-1],),
+                duration=DURATION,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        record_report(sweep.to_table())
+        artifact = Path(__file__).resolve().parent.parent / "BENCH_web_concurrency.json"
+        artifact.write_text(json.dumps(sweep.to_dict(), indent=2) + "\n")
+        assert result.cells
+
+    def test_server_threads_bounded_by_constant(self, benchmark, sweep):
+        """Thread count must not scale with parked polls (the tentpole)."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        threads = {c.server_threads for c in sweep.cells}
+        assert threads == {1}, f"server thread count varied: {threads}"
+
+    def test_images_encoded_exactly_once_per_version(self, benchmark, sweep):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for cell in sweep.cells:
+            assert cell.images_published > 0
+            assert cell.encodes_per_version == pytest.approx(1.0)
+
+    def test_all_cells_delivered_events_without_errors(self, benchmark, sweep):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for cell in sweep.cells:
+            assert cell.events_delivered > 0, cell
+            assert cell.errors == 0, cell
+            assert cell.polls > 0
+
+    def test_latency_stays_bounded_at_scale(self, benchmark, sweep):
+        """p99 wake latency at the largest client count stays sub-second."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        clients = [c.clients for c in sweep.cells]
+        p99 = [c.wake_p99_ms for c in sweep.cells]
+        record_report(
+            "Ablation - wake latency vs concurrent clients\n"
+            + format_series("  clients", [float(c) for c in clients], p99)
+        )
+        biggest = max(sweep.cells, key=lambda c: (c.clients, c.sessions))
+        assert biggest.wake_p99_ms < 1000.0

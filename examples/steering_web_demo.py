@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Monitor and steer a stellar-wind bow shock through the Ajax web server.
+"""Monitor and steer concurrent simulations through the Ajax web server.
 
-Reproduces the Fig. 6 scenario: a VH1-style hydrodynamics run (bow shock)
-is monitored in a browser and steered mid-flight — here the wind speed is
-raised, visibly strengthening the shock.
+Reproduces the Fig. 6 scenario and goes one step further: a VH1-style
+bow-shock run AND a heat-diffusion run are served *simultaneously* by one
+multi-session server — each browser (or programmatic Ajax client) picks
+its session with ``/?session=<name>`` and long-polls
+``/api/<name>/poll``.  The bow shock is steered mid-flight — the wind
+speed is raised, visibly strengthening the shock.
 
 Two modes:
 
 * ``python examples/steering_web_demo.py``            — headless: a
-  programmatic Ajax client drives the session and saves before/after
+  programmatic Ajax client drives the sessions and saves before/after
   PNGs next to this script.
 * ``python examples/steering_web_demo.py --serve 60`` — keeps the server
   alive for N extra seconds so you can open the printed URL in a real
@@ -23,7 +26,7 @@ from pathlib import Path
 
 from repro.costmodel import default_calibration
 from repro.net import build_paper_testbed
-from repro.steering import CentralManager, FrontEnd, SteeringClient
+from repro.steering import CentralManager, SteeringClient
 from repro.web import AjaxClient, AjaxWebServer
 
 
@@ -36,29 +39,45 @@ def main() -> None:
     topology, roles = build_paper_testbed(with_cross_traffic=False)
     print("calibrating cost models ...")
     cm = CentralManager(topology, roles, calibration=default_calibration(0))
-    client = SteeringClient(cm, FrontEnd())
+    client = SteeringClient(cm)
 
     with AjaxWebServer(client, port=0) as server:
         print(f"Ajax web server listening on {server.url}")
         print("starting bow-shock simulation (VH1 sweeps + RICSA hooks) ...")
-        client.start(
+        bowshock = client.start(
             simulator="bowshock",
             variable="pressure",
             technique="isosurface",
             n_cycles=120,
             background=True,
+            session_id="bowshock",
             sim_kwargs={"shape": (40, 24, 24)},
             push_every=4,
         )
-        session = client.session
-        print(f"configured loop: {session.decision.vrt.loop_description()}")
+        print("starting a second concurrent session (heat diffusion) ...")
+        client.start(
+            simulator="heat",
+            technique="isosurface",
+            n_cycles=120,
+            background=True,
+            session_id="heat",
+            sim_kwargs={"shape": (16, 16, 16)},
+            push_every=4,
+        )
+        print(f"configured loop: {bowshock.decision.vrt.loop_description()}")
+        print(f"sessions: {sorted(client.manager.sessions())}")
 
-        ajax = AjaxClient(server.url)
+        ajax = AjaxClient(server.url, session="bowshock")
         props = ajax.wait_for_component("image", polls=60, timeout=3.0)
         print(f"first frame: cycle {props['cycle']}, "
               f"loop delay {props['total_delay']:.3f}s")
         before = ajax.fetch_png()
         Path(__file__).with_name("bowshock_before.png").write_bytes(before)
+
+        heat_ajax = AjaxClient(server.url, session="heat")
+        heat_props = heat_ajax.wait_for_component("image", polls=60, timeout=3.0)
+        print(f"heat session alive too: cycle {heat_props['cycle']} "
+              f"(served by the same {server.io_thread_count()} IO thread)")
 
         print("steering: wind_speed 2.0 -> 5.0 (watch the shock strengthen)")
         ajax.steer(wind_speed=5.0)
@@ -74,10 +93,11 @@ def main() -> None:
         print("saved bowshock_before.png / bowshock_after.png")
 
         if serve_extra > 0:
-            print(f"\nopen {server.url} in a browser; serving for {serve_extra:.0f}s ...")
+            print(f"\nopen {server.url} in a browser (pick a session at the top);")
+            print(f"serving for {serve_extra:.0f}s ...")
             time.sleep(serve_extra)
 
-        client.stop()
+        client.stop_all()
     print("done.")
 
 

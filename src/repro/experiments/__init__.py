@@ -8,6 +8,8 @@ One module per paper artifact (see DESIGN.md §4):
   stabilization (plus the α-gain ablation),
 * :mod:`~repro.experiments.dp_scaling` — Section 4.5 optimality and
   ``O(n |E|)`` scaling (plus the greedy-quality ablation),
+* :mod:`~repro.experiments.web_concurrency` — web-tier scaling: long-poll
+  throughput and wake latency across sessions x clients,
 * :mod:`~repro.experiments.reporting` — ASCII tables in the paper's
   row/series format.
 """
@@ -17,10 +19,17 @@ from repro.experiments.fig9 import Fig9Result, run_fig9
 from repro.experiments.fig10 import Fig10Result, run_fig10
 from repro.experiments.reporting import format_series, format_table
 from repro.experiments.transport_exp import run_alpha_sweep, run_transport_comparison
+from repro.experiments.web_concurrency import (
+    ConcurrencyCell,
+    WebConcurrencyResult,
+    run_web_concurrency,
+)
 
 __all__ = [
+    "ConcurrencyCell",
     "Fig9Result",
     "Fig10Result",
+    "WebConcurrencyResult",
     "format_series",
     "format_table",
     "run_alpha_sweep",
@@ -30,4 +39,5 @@ __all__ = [
     "run_fig10",
     "run_greedy_gap",
     "run_transport_comparison",
+    "run_web_concurrency",
 ]

@@ -1,0 +1,251 @@
+"""Web-tier concurrency experiment: poll throughput and wake latency.
+
+Drives the real serving spine — SessionManager + event-sequence stores
+behind the non-blocking Ajax web server — with S concurrent sessions and
+N concurrent long-polling HTTP clients (persistent keep-alive
+connections), while per-session publishers push images at a fixed rate.
+Each cell of the (sessions x clients) grid reports:
+
+* poll throughput (completed long polls per second),
+* wake latency (publish -> poll response observed), p50/p99,
+* the server-side thread count (must stay 1 — the IO loop — however
+  many polls are parked),
+* encodes per image version (must stay 1.0 — shared-encode caching).
+
+This is the scaling story the ROADMAP asks the web tier to tell: client
+count decoupled from server threads, images encoded once for everyone.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.costmodel.calibration import default_calibration
+from repro.net.testbed import build_paper_testbed
+from repro.steering.central_manager import CentralManager
+from repro.steering.client import SteeringClient
+from repro.viz.image import Image
+from repro.web.server import AjaxWebServer
+
+__all__ = ["ConcurrencyCell", "WebConcurrencyResult", "run_web_concurrency"]
+
+
+@dataclass
+class ConcurrencyCell:
+    """One (sessions, clients) grid point."""
+
+    sessions: int
+    clients: int
+    duration: float
+    polls: int
+    events_delivered: int
+    poll_rate: float
+    wake_p50_ms: float
+    wake_p99_ms: float
+    server_threads: int
+    images_published: int
+    encodes_per_version: float
+    dropped: int
+    errors: int
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class WebConcurrencyResult:
+    session_counts: tuple
+    client_counts: tuple
+    cells: list[ConcurrencyCell] = field(default_factory=list)
+
+    def cell(self, sessions: int, clients: int) -> ConcurrencyCell:
+        for c in self.cells:
+            if c.sessions == sessions and c.clients == clients:
+                return c
+        raise KeyError((sessions, clients))
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "web_concurrency",
+            "session_counts": list(self.session_counts),
+            "client_counts": list(self.client_counts),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def to_table(self) -> str:
+        lines = [
+            "Web-tier concurrency - long-poll throughput and wake latency",
+            f"  {'sessions':>8} {'clients':>8} {'polls/s':>10} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'threads':>8} {'enc/ver':>8}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"  {c.sessions:>8} {c.clients:>8} {c.poll_rate:>10.1f} "
+                f"{c.wake_p50_ms:>8.2f} {c.wake_p99_ms:>8.2f} "
+                f"{c.server_threads:>8} {c.encodes_per_version:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def _tiny_image(shade: int, size: int = 24) -> Image:
+    px = np.full((size, size, 4), shade % 256, dtype=np.uint8)
+    px[:, :, 3] = 255
+    return Image(px)
+
+
+class _PollClient(threading.Thread):
+    """One persistent-connection long-polling browser stand-in."""
+
+    def __init__(self, port: int, sid: str, stop: threading.Event,
+                 start_gate: threading.Barrier) -> None:
+        super().__init__(daemon=True, name=f"bench-client-{sid}")
+        self.port = port
+        self.sid = sid
+        self.stop_event = stop
+        self.start_gate = start_gate
+        self.polls = 0
+        self.events = 0
+        self.dropped = 0
+        self.errors = 0
+        self.latencies: list[float] = []
+
+    def run(self) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10.0)
+        since = 0
+        self.start_gate.wait()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    conn.request(
+                        "GET", f"/api/{self.sid}/poll?since={since}&timeout=0.5"
+                    )
+                    resp = conn.getresponse()
+                    delta = json.loads(resp.read().decode("utf-8"))
+                except Exception:
+                    self.errors += 1
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", self.port, timeout=10.0
+                    )
+                    continue
+                now = time.monotonic()
+                self.polls += 1
+                since = delta.get("version", since)
+                self.dropped += delta.get("dropped", 0)
+                for comp in delta.get("components", []):
+                    self.events += 1
+                    t_pub = comp.get("props", {}).get("t_pub")
+                    if t_pub is not None:
+                        self.latencies.append(now - t_pub)
+        finally:
+            conn.close()
+
+
+def _run_cell(
+    cm: CentralManager,
+    n_sessions: int,
+    n_clients: int,
+    duration: float,
+    publish_hz: float,
+) -> ConcurrencyCell:
+    client = SteeringClient(cm)
+    with AjaxWebServer(client, port=0, housekeeping_interval=5.0) as server:
+        stores = [
+            client.manager.open_monitor(f"bench{i}") for i in range(n_sessions)
+        ]
+        stop = threading.Event()
+        gate = threading.Barrier(n_clients + n_sessions + 1)
+        published = [0] * n_sessions
+
+        def publisher(idx: int) -> None:
+            store = stores[idx]
+            interval = 1.0 / publish_hz
+            gate.wait()
+            deadline = time.monotonic() + duration
+            shade = 0
+            while time.monotonic() < deadline:
+                shade += 1
+                store.publish_image(
+                    _tiny_image(shade), cycle=shade,
+                    meta={"t_pub": time.monotonic()},
+                )
+                published[idx] += 1
+                time.sleep(interval)
+
+        publishers = [
+            threading.Thread(target=publisher, args=(i,), daemon=True,
+                             name=f"bench-pub-{i}")
+            for i in range(n_sessions)
+        ]
+        clients = [
+            _PollClient(server.port, f"bench{i % n_sessions}", stop, gate)
+            for i in range(n_clients)
+        ]
+        for t in publishers + clients:
+            t.start()
+        gate.wait()
+        t0 = time.monotonic()
+        for t in publishers:
+            t.join(timeout=duration + 30.0)
+        # let clients drain the tail of the event stream, then stop them
+        time.sleep(0.3)
+        stop.set()
+        for t in clients:
+            t.join(timeout=30.0)
+        elapsed = time.monotonic() - t0
+
+        server_threads = sum(
+            1 for t in threading.enumerate() if t.name.startswith("ricsa-web")
+        )
+        latencies = sorted(x for c in clients for x in c.latencies)
+        total_polls = sum(c.polls for c in clients)
+        total_images = sum(published)
+        encodes = sum(s.encode_count for s in stores)
+        return ConcurrencyCell(
+            sessions=n_sessions,
+            clients=n_clients,
+            duration=round(elapsed, 3),
+            polls=total_polls,
+            events_delivered=sum(c.events for c in clients),
+            poll_rate=round(total_polls / max(elapsed, 1e-9), 1),
+            wake_p50_ms=round(1e3 * _quantile(latencies, 0.50), 3),
+            wake_p99_ms=round(1e3 * _quantile(latencies, 0.99), 3),
+            server_threads=server_threads,
+            images_published=total_images,
+            encodes_per_version=round(encodes / max(total_images, 1), 3),
+            dropped=sum(c.dropped for c in clients),
+            errors=sum(c.errors for c in clients),
+        )
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_web_concurrency(
+    session_counts: tuple = (1, 4),
+    client_counts: tuple = (1, 10, 100),
+    duration: float = 1.0,
+    publish_hz: float = 25.0,
+    cm: CentralManager | None = None,
+) -> WebConcurrencyResult:
+    """Sweep the (sessions x clients) grid against a live server."""
+    if cm is None:
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+    result = WebConcurrencyResult(tuple(session_counts), tuple(client_counts))
+    for n_sessions in session_counts:
+        for n_clients in client_counts:
+            result.cells.append(
+                _run_cell(cm, n_sessions, n_clients, duration, publish_hz)
+            )
+    return result

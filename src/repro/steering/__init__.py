@@ -11,9 +11,13 @@ implementation.  The pieces:
 * :mod:`~repro.steering.api` — the six ``RICSA_*`` calls of Fig. 7 that
   instrument a simulation code,
 * :mod:`~repro.steering.central_manager` — CM node: profiling + DP
-  mapping -> VRT,
-* :mod:`~repro.steering.frontend` — Ajax front end: fixed-size image
-  store with versioned updates,
+  mapping -> VRT (thread-safe, per-session decision history),
+* :mod:`~repro.steering.events` — per-session monotonic event-sequence
+  store (images, status, steering) with shared-encode caching,
+* :mod:`~repro.steering.manager` — SessionManager: many named sessions
+  with create/attach/detach, idle eviction and capped capacity,
+* :mod:`~repro.steering.frontend` — legacy Ajax front end: fixed-size
+  image store with versioned updates (superseded by the event store),
 * :mod:`~repro.steering.loop` — executes a visualization loop (live
   module execution + modelled WAN transport),
 * :mod:`~repro.steering.client` — the steering/monitoring client,
@@ -26,8 +30,10 @@ from repro.steering.central_manager import CentralManager, VizRequest
 from repro.steering.client import SteeringClient
 from repro.steering.computing_service import ComputingServiceNode
 from repro.steering.data_source import DataSourceNode
+from repro.steering.events import EventSequenceStore, SessionEvent
 from repro.steering.frontend import FrontEnd, ImageStore
 from repro.steering.loop import LoopResult, VisualizationLoopRunner
+from repro.steering.manager import ManagedSession, SessionManager
 from repro.steering.messages import Message, MessageKind
 from repro.steering.protocol import SessionState, SessionStateMachine
 from repro.steering.session import SteeringSession
@@ -36,13 +42,17 @@ __all__ = [
     "CentralManager",
     "ComputingServiceNode",
     "DataSourceNode",
+    "EventSequenceStore",
     "FrontEnd",
     "ImageStore",
     "LoopResult",
     "Mailbox",
+    "ManagedSession",
     "Message",
     "MessageBus",
     "MessageKind",
+    "SessionEvent",
+    "SessionManager",
     "SessionState",
     "SessionStateMachine",
     "SteeringClient",

@@ -10,6 +10,8 @@ routing table.
 
 from __future__ import annotations
 
+import threading
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.costmodel.base import DatasetStats
@@ -36,7 +38,7 @@ class VizRequest:
     isovalue: float = 0.5
     octant: int = -1
     image_bytes: float = 256 * 1024
-    session: str = "session0"
+    session: str = "default"
 
 
 @dataclass
@@ -51,7 +53,12 @@ class ConfigurationDecision:
 
 
 class CentralManager:
-    """Holds global knowledge: topology, roles, calibration, bandwidths."""
+    """Holds global knowledge: topology, roles, calibration, bandwidths.
+
+    One CM serves every session concurrently, so configuration is
+    serialised by an internal lock and decisions are kept both globally
+    (in arrival order) and keyed by session id.
+    """
 
     def __init__(
         self,
@@ -65,6 +72,14 @@ class CentralManager:
         self.calibration = calibration if calibration is not None else default_calibration()
         self.bandwidths = bandwidths
         self.decisions: list[ConfigurationDecision] = []
+        self.decisions_by_session: dict[str, list[ConfigurationDecision]] = defaultdict(list)
+        self._lock = threading.Lock()
+
+    def session_decision(self, session: str) -> ConfigurationDecision | None:
+        """Most recent decision taken for ``session`` (None if never seen)."""
+        with self._lock:
+            history = self.decisions_by_session.get(session)
+            return history[-1] if history else None
 
     def choose_source(self, request: VizRequest) -> str:
         """Pick the data-source node (request override or first DS)."""
@@ -82,29 +97,31 @@ class CentralManager:
         stats: DatasetStats,
     ) -> ConfigurationDecision:
         """Run the full CM decision: pipeline -> DP -> VRT."""
-        source = self.choose_source(request)
-        destination = self.roles.client
-        filter_ratio = 0.125 if request.octant >= 0 else 1.0
-        pipeline = build_calibrated_pipeline(
-            request.technique,
-            stats,
-            self.calibration,
-            image_bytes=request.image_bytes,
-            filter_ratio=filter_ratio,
-        )
-        dp = map_pipeline(
-            pipeline,
-            self.topology,
-            source,
-            destination,
-            bandwidths=self.bandwidths,
-        )
-        control_path = (destination, self.roles.central_manager, source)
-        vrt = VisualizationRoutingTable.from_mapping(
-            pipeline, dp.mapping, control_path=control_path, expected_delay=dp.delay
-        )
-        decision = ConfigurationDecision(
-            vrt=vrt, pipeline=pipeline, dp=dp, source=source, destination=destination
-        )
-        self.decisions.append(decision)
-        return decision
+        with self._lock:
+            source = self.choose_source(request)
+            destination = self.roles.client
+            filter_ratio = 0.125 if request.octant >= 0 else 1.0
+            pipeline = build_calibrated_pipeline(
+                request.technique,
+                stats,
+                self.calibration,
+                image_bytes=request.image_bytes,
+                filter_ratio=filter_ratio,
+            )
+            dp = map_pipeline(
+                pipeline,
+                self.topology,
+                source,
+                destination,
+                bandwidths=self.bandwidths,
+            )
+            control_path = (destination, self.roles.central_manager, source)
+            vrt = VisualizationRoutingTable.from_mapping(
+                pipeline, dp.mapping, control_path=control_path, expected_delay=dp.delay
+            )
+            decision = ConfigurationDecision(
+                vrt=vrt, pipeline=pipeline, dp=dp, source=source, destination=destination
+            )
+            self.decisions.append(decision)
+            self.decisions_by_session[request.session].append(decision)
+            return decision

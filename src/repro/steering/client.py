@@ -1,29 +1,32 @@
 """The steering/monitoring client (programmatic Ajax-client equivalent).
 
-Wraps a :class:`~repro.steering.session.SteeringSession` with the calls a
-GUI exposes: pick a simulation, watch images arrive, steer parameters,
-rotate/zoom, stop.  The web package's HTTP handlers delegate to exactly
-this object, so browser actions and test actions share one code path.
+Drives sessions owned by a :class:`~repro.steering.manager.SessionManager`
+with the calls a GUI exposes: pick a simulation, watch images arrive,
+steer parameters, rotate/zoom, stop.  The web package's HTTP handlers
+delegate to exactly this object, so browser actions and test actions
+share one code path.  Unlike the seed's single-session client, one
+client can start and address many named sessions; ``session_id=None``
+on the per-session calls means "the session started most recently".
 """
 
 from __future__ import annotations
 
 from repro.errors import SteeringError
 from repro.steering.central_manager import CentralManager
-from repro.steering.frontend import FrontEnd, StoredImage
+from repro.steering.manager import SessionManager
 from repro.steering.session import SteeringSession
-from repro.viz.image import Image, decode_fixed_size
+from repro.viz.image import decode_fixed_size
 
 __all__ = ["SteeringClient"]
 
 
 class SteeringClient:
-    """High-level driver for one steering session."""
+    """High-level driver for one or more steering sessions."""
 
-    def __init__(self, cm: CentralManager, frontend: FrontEnd | None = None) -> None:
+    def __init__(self, cm: CentralManager, manager: SessionManager | None = None) -> None:
         self.cm = cm
-        self.frontend = frontend if frontend is not None else FrontEnd()
-        self.session: SteeringSession | None = None
+        self.manager = manager if manager is not None else SessionManager(cm)
+        self.session: SteeringSession | None = None  # most recently started
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -34,66 +37,80 @@ class SteeringClient:
         variable: str | None = None,
         n_cycles: int = 20,
         background: bool = True,
-        session_id: str = "session0",
+        session_id: str | None = None,
         initial_params: dict | None = None,
         sim_kwargs: dict | None = None,
         push_every: int = 1,
     ) -> SteeringSession:
-        """Begin a monitored run of ``simulator``."""
-        self.session = SteeringSession(
-            self.cm,
-            self.frontend,
-            session_id=session_id,
+        """Begin a monitored run of ``simulator`` in a new named session."""
+        session = self.manager.create(
+            session_id,
+            configure=True,
+            initial_params=initial_params,
             simulator=simulator,
             technique=technique,
             variable=variable,
             sim_kwargs=sim_kwargs,
             push_every=push_every,
         )
-        self.session.configure(initial_params=initial_params)
+        self.session = session
         if background:
-            self.session.start_background(n_cycles)
+            session.start_background(n_cycles)
         else:
-            self.session.run(n_cycles)
-        return self.session
+            session.run(n_cycles)
+        return session
 
-    def _require_session(self) -> SteeringSession:
+    def _resolve(self, session_id: str | None = None) -> SteeringSession:
+        if session_id is not None:
+            return self.manager.get(session_id)
         if self.session is None:
             raise SteeringError("no active session; call start() first")
         return self.session
 
     # -- monitoring ------------------------------------------------------------------
 
-    def latest_image(self) -> tuple[Image, StoredImage] | None:
+    def latest_image(self, session_id: str | None = None):
         """Decode the most recent image, if any."""
-        s = self._require_session()
-        entry = s.store.latest()
-        if entry is None:
+        s = self._resolve(session_id)
+        record = s.events.latest_image()
+        if record is None:
             return None
-        return decode_fixed_size(entry.blob), entry
+        return decode_fixed_size(record.blob), record
 
-    def wait_for_image(self, since: int = 0, timeout: float = 10.0) -> StoredImage:
-        """Block until an image newer than ``since`` arrives."""
-        s = self._require_session()
-        entry = s.store.wait_newer(since, timeout=timeout)
-        if entry is None:
+    def wait_for_image(self, since: int = 0, timeout: float = 10.0,
+                       session_id: str | None = None):
+        """Block until an image event newer than seq ``since`` arrives."""
+        s = self._resolve(session_id)
+        record = s.events.wait_image(since, timeout=timeout)
+        if record is None:
             raise SteeringError(f"no image newer than v{since} within {timeout}s")
-        return entry
+        return record
+
+    def poll(self, since: int = 0, timeout: float = 5.0,
+             session_id: str | None = None) -> dict:
+        """One long poll against a session's event sequence."""
+        return self._resolve(session_id).events.wait_delta(since, timeout=timeout)
 
     # -- steering --------------------------------------------------------------------
 
-    def steer(self, **params) -> None:
+    def steer(self, session_id: str | None = None, **params) -> None:
         """Adjust simulation parameters mid-run."""
-        self._require_session().steer(params)
+        self._resolve(session_id).steer(params)
 
-    def rotate(self, azimuth: float, elevation: float | None = None) -> None:
-        self._require_session().set_camera(azimuth=azimuth, elevation=elevation)
+    def rotate(self, azimuth: float, elevation: float | None = None,
+               session_id: str | None = None) -> None:
+        self._resolve(session_id).set_camera(azimuth=azimuth, elevation=elevation)
 
-    def zoom(self, factor: float) -> None:
-        s = self._require_session()
+    def zoom(self, factor: float, session_id: str | None = None) -> None:
+        s = self._resolve(session_id)
         s.set_camera(zoom=s._camera.zoom * factor)
 
-    def stop(self) -> None:
-        s = self._require_session()
+    def stop(self, session_id: str | None = None) -> None:
+        s = self._resolve(session_id)
         s.request_shutdown()
         s.join_background(timeout=30.0)
+
+    def stop_all(self) -> None:
+        """Stop every session the manager still owns."""
+        self.manager.close_all()
+        self.session = None

@@ -1,0 +1,265 @@
+"""Per-session monotonic event-sequence store.
+
+This unifies the two versioning schemes the seed grew in parallel — the
+front end's :class:`~repro.steering.frontend.ImageStore` ring and the web
+tier's :class:`~repro.web.components.UIModel` diffs — into one store per
+session.  Every observable change (a new image, a status/meta update, a
+steering action) is appended as a :class:`SessionEvent` with a single
+monotonically increasing sequence number, and a poll returns the delta of
+events past a client's cursor.
+
+Two properties matter at scale:
+
+* **Shared-encode caching** — an image is encoded into its fixed-size
+  container exactly once, at publish time; the cached blob (and a lazily
+  cached PNG) is then served to every client that asks for that version.
+  ``encode_count`` / ``png_encode_count`` make the once-per-version
+  guarantee testable.
+* **Gap detection** — the event log is a bounded ring.  A slow poller
+  whose cursor has fallen off the tail receives ``dropped`` (the number
+  of events it can never see) instead of a silent gap, and can resync
+  from :meth:`snapshot`.
+
+Publish never blocks on pollers: waiters are woken through the store's
+condition variable and through registered listeners (the web tier's
+long-poll scheduler), both O(1) amortised per publish.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WebServerError
+from repro.viz.image import Image, decode_fixed_size, encode_fixed_size
+
+__all__ = ["SessionEvent", "EventSequenceStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionEvent:
+    """One entry in a session's event sequence."""
+
+    seq: int
+    kind: str  # "image" | "status" | "steering"
+    component: str  # UI component the event maps onto ("image", "session", ...)
+    cycle: int = 0
+    props: dict = field(default_factory=dict)
+
+    def to_component(self) -> dict:
+        """The partial-update shape the Ajax page consumes."""
+        return {"id": self.component, "props": dict(self.props), "version": self.seq}
+
+
+class _ImageRecord:
+    """Cached encodings for one published image version."""
+
+    __slots__ = ("seq", "cycle", "blob", "meta", "_png", "_png_lock")
+
+    def __init__(self, seq: int, cycle: int, blob: bytes, meta: dict) -> None:
+        self.seq = seq
+        self.cycle = cycle
+        self.blob = blob
+        self.meta = meta
+        self._png: bytes | None = None
+        self._png_lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """Image versions ARE event sequence numbers (the unified scheme)."""
+        return self.seq
+
+
+class EventSequenceStore:
+    """Thread-safe bounded event log with one monotonic sequence number."""
+
+    def __init__(
+        self,
+        file_size: int = 256 * 1024,
+        capacity: int = 256,
+        image_capacity: int = 8,
+    ) -> None:
+        if capacity < 1 or image_capacity < 1:
+            raise WebServerError("event store capacities must be >= 1")
+        self.file_size = int(file_size)
+        self.capacity = int(capacity)
+        self.image_capacity = int(image_capacity)
+        self._cond = threading.Condition()
+        self._seq = 0
+        self._events: deque[SessionEvent] = deque()
+        self._images: deque[_ImageRecord] = deque()
+        self._components: dict[str, dict] = {}
+        self._component_seq: dict[str, int] = {}
+        self._listeners: list[Callable[[int], None]] = []
+        self.encode_count = 0
+        self.png_encode_count = 0
+        self.dropped_events = 0
+        self.dropped_images = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        with self._cond:
+            return self._seq
+
+    # ``version`` kept as an alias so event seq numbers read like the old
+    # per-store image versions at call sites and in poll responses.
+    version = seq
+
+    def first_retained_seq(self) -> int:
+        """Sequence number of the oldest event still in the ring."""
+        with self._cond:
+            return self._events[0].seq if self._events else self._seq + 1
+
+    def add_listener(self, fn: Callable[[int], None]) -> None:
+        """Call ``fn(seq)`` after every publish (outside the store lock)."""
+        with self._cond:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[int], None]) -> None:
+        with self._cond:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
+
+    # -- publishing --------------------------------------------------------------
+
+    def _append_locked(self, kind: str, component: str, cycle: int, props: dict) -> int:
+        # Caller holds self._cond; returns the new seq.  Single home for
+        # the append invariant (seq, ring trim, merged component view).
+        self._seq += 1
+        event = SessionEvent(self._seq, kind, component, cycle, props)
+        self._events.append(event)
+        while len(self._events) > self.capacity:
+            self._events.popleft()
+            self.dropped_events += 1
+        merged = self._components.setdefault(component, {})
+        merged.update(props)
+        self._component_seq[component] = self._seq
+        return self._seq
+
+    def _append(self, kind: str, component: str, cycle: int, props: dict) -> int:
+        # Caller must NOT hold self._cond.
+        with self._cond:
+            seq = self._append_locked(kind, component, cycle, props)
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for fn in listeners:
+            fn(seq)
+        return seq
+
+    def publish_image(self, image: Image, cycle: int = 0, meta: dict | None = None) -> int:
+        """Encode ``image`` once, cache the blob, append an image event."""
+        blob = encode_fixed_size(image, self.file_size)  # outside the lock
+        meta = dict(meta or {})
+        # Append the image record under the same lock as the event so the
+        # blob for version v exists before any poller can learn about v.
+        with self._cond:
+            self.encode_count += 1
+            seq = self._seq + 1  # the seq _append_locked is about to assign
+            record = _ImageRecord(seq, cycle, blob, meta)
+            self._images.append(record)
+            while len(self._images) > self.image_capacity:
+                self._images.popleft()
+                self.dropped_images += 1
+            self._append_locked(
+                "image", "image", cycle, {"version": seq, "cycle": cycle, **meta}
+            )
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for fn in listeners:
+            fn(seq)
+        return seq
+
+    def publish_status(self, component: str = "session", cycle: int = 0, **props: Any) -> int:
+        """Append a status/meta event (session config, loop description...)."""
+        return self._append("status", component, cycle, dict(props))
+
+    def publish_steering(self, params: dict, cycle: int = 0) -> int:
+        """Record a steering action so every monitor sees the new params."""
+        return self._append("steering", "params", cycle, dict(params))
+
+    # -- polling -----------------------------------------------------------------
+
+    def _delta_locked(self, since: int) -> dict:
+        first = self._events[0].seq if self._events else self._seq + 1
+        dropped = max(0, min(first - 1, self._seq) - since)
+        components = [e.to_component() for e in self._events if e.seq > since]
+        return {
+            "version": self._seq,
+            "components": components,
+            "dropped": dropped,
+            "timeout": self._seq <= since,
+        }
+
+    def delta(self, since: int) -> dict:
+        """Events past ``since`` (non-blocking), with gap accounting."""
+        with self._cond:
+            return self._delta_locked(since)
+
+    def wait_delta(self, since: int, timeout: float | None = None) -> dict:
+        """Long-poll: block until the sequence passes ``since`` or timeout.
+
+        The delta — including the ``timeout`` flag — is computed while the
+        condition lock is still held, so a publish racing the wakeup can
+        never produce a "timed out" response that carries events, nor a
+        fresh response whose version window misses the racing publish.
+        """
+        with self._cond:
+            if self._seq <= since:
+                self._cond.wait_for(lambda: self._seq > since, timeout=timeout)
+            return self._delta_locked(since)
+
+    def snapshot(self) -> dict:
+        """Merged per-component state (full page load / gap resync)."""
+        with self._cond:
+            return {
+                "version": self._seq,
+                "components": [
+                    {"id": cid, "props": dict(props), "version": self._component_seq[cid]}
+                    for cid, props in self._components.items()
+                ],
+            }
+
+    # -- image delivery ----------------------------------------------------------
+
+    def latest_image(self) -> _ImageRecord | None:
+        with self._cond:
+            return self._images[-1] if self._images else None
+
+    def image_record(self, version: int | None = None) -> _ImageRecord:
+        """The cached record for ``version`` (default: latest)."""
+        with self._cond:
+            if not self._images:
+                raise WebServerError("no image yet")
+            if version is None:
+                return self._images[-1]
+            for record in reversed(self._images):
+                if record.seq == version:
+                    return record
+        raise WebServerError(f"image version {version} no longer retained")
+
+    def image_blob(self, version: int | None = None) -> bytes:
+        """The fixed-size container, encoded once at publish time."""
+        return self.image_record(version).blob
+
+    def image_png(self, version: int | None = None) -> bytes:
+        """Browser PNG for ``version``; encoded at most once, then cached."""
+        record = self.image_record(version)
+        with record._png_lock:
+            if record._png is None:
+                record._png = decode_fixed_size(record.blob).to_png_bytes()
+                with self._cond:
+                    self.png_encode_count += 1
+            return record._png
+
+    def wait_image(self, since: int = 0, timeout: float | None = None) -> _ImageRecord | None:
+        """Block until an image newer than seq ``since`` exists."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: bool(self._images) and self._images[-1].seq > since,
+                timeout=timeout,
+            )
+            return self._images[-1] if ok else None

@@ -39,12 +39,38 @@ class ImageStore:
         self.capacity = int(capacity)
         self._ring: list[StoredImage] = []
         self._version = 0
+        self._dropped = 0
         self._cond = threading.Condition()
 
     @property
     def version(self) -> int:
         with self._cond:
             return self._version
+
+    @property
+    def dropped_versions(self) -> int:
+        """Total versions evicted from the ring (slow-poller gap size)."""
+        with self._cond:
+            return self._dropped
+
+    @property
+    def oldest_version(self) -> int:
+        """Oldest version still retained (0 when the ring is empty)."""
+        with self._cond:
+            return self._ring[0].version if self._ring else 0
+
+    def missed(self, since: int) -> int:
+        """How many versions newer than ``since`` were already evicted.
+
+        A poller that last saw ``since`` and now receives the latest image
+        skipped exactly this many intermediate frames.
+        """
+        with self._cond:
+            return self._missed_locked(since)
+
+    def _missed_locked(self, since: int) -> int:
+        oldest = self._ring[0].version if self._ring else self._version + 1
+        return max(0, min(oldest - 1, self._version) - since)
 
     def put(self, image: Image, cycle: int = 0, meta: dict | None = None) -> int:
         """Encode and store ``image``; returns the new version."""
@@ -55,6 +81,7 @@ class ImageStore:
             self._ring.append(entry)
             if len(self._ring) > self.capacity:
                 self._ring.pop(0)
+                self._dropped += 1
             self._cond.notify_all()
             return self._version
 
@@ -76,6 +103,29 @@ class ImageStore:
             if not self._cond.wait_for(lambda: self._version > since, timeout=timeout):
                 return None
             return self._ring[-1]
+
+    def poll(self, since: int, timeout: float | None = None) -> dict:
+        """Long-poll response: latest entry plus explicit gap accounting.
+
+        ``dropped`` counts the versions newer than ``since`` that were
+        evicted before delivery, so a slow poller can detect skipped
+        frames instead of silently receiving a gap.
+        """
+        with self._cond:
+            hit = self._cond.wait_for(lambda: self._version > since, timeout=timeout)
+            entry = self._ring[-1] if (hit and self._ring) else None
+            skipped = self._missed_locked(since)
+            if entry is not None:
+                # Frames between since and the delivered version that are
+                # still retained were skipped too, just not dropped.
+                skipped = max(skipped, entry.version - since - 1)
+            return {
+                "version": self._version,
+                "entry": entry,
+                "dropped": self._missed_locked(since),
+                "skipped": skipped,
+                "timeout": not hit,
+            }
 
 
 class FrontEnd:

@@ -5,7 +5,9 @@ deployment ties them together across sites: the client sends a
 SIMULATION_REQUEST; the CM configures the loop (DP -> VRT); the steering
 server runs the simulation's instrumented main loop in a worker thread;
 each data push travels the VRT (live viz modules + modelled transport)
-and lands in the front end's image store, where Ajax clients long-poll.
+and lands in the session's event-sequence store, where Ajax clients
+long-poll.  Sessions are owned by a
+:class:`~repro.steering.manager.SessionManager`; many run concurrently.
 """
 
 from __future__ import annotations
@@ -14,11 +16,9 @@ import threading
 
 from repro.costmodel.base import compute_dataset_stats
 from repro.errors import SteeringError
-from repro.sims.registry import create_simulation
-from repro.steering.api import RICSA_StartupSimulationServer, run_steered_cycles
 from repro.steering.bus import MessageBus
 from repro.steering.central_manager import CentralManager, VizRequest
-from repro.steering.frontend import FrontEnd
+from repro.steering.events import EventSequenceStore
 from repro.steering.loop import VisualizationLoopRunner
 from repro.steering.messages import Message, MessageKind
 from repro.viz.camera import OrthoCamera
@@ -31,8 +31,8 @@ class SteeringSession:
 
     def __init__(
         self,
-        cm: CentralManager,
-        frontend: FrontEnd,
+        cm: CentralManager | None,
+        events: EventSequenceStore | None = None,
         bus: MessageBus | None = None,
         session_id: str = "session0",
         simulator: str = "heat",
@@ -43,30 +43,34 @@ class SteeringSession:
         sim_kwargs: dict | None = None,
     ) -> None:
         self.cm = cm
-        self.frontend = frontend
+        self.events = events if events is not None else EventSequenceStore()
         self.bus = bus if bus is not None else MessageBus()
         self.session_id = session_id
         self.simulator_name = simulator
         self.technique = technique
         self.isovalue_fraction = isovalue_fraction
         self.push_every = push_every
+        self.meta: dict = {
+            "simulator": simulator,
+            "technique": technique,
+        }
 
-        self.simulation = create_simulation(simulator, **(sim_kwargs or {}))
-        self.variable = variable or self.simulation.variables()[0]
-        self.store = frontend.open_session(
-            session_id,
-            meta={
-                "simulator": simulator,
-                "variable": self.variable,
-                "technique": technique,
-            },
-        )
-        self.server = RICSA_StartupSimulationServer(
-            self.simulation,
-            self.bus,
-            node_name=f"simulator/{session_id}",
-            data_consumer=self._on_data_push,
-        )
+        self.simulation = None
+        self.server = None
+        self.variable = variable
+        if cm is not None:
+            from repro.sims.registry import create_simulation
+            from repro.steering.api import RICSA_StartupSimulationServer
+
+            self.simulation = create_simulation(simulator, **(sim_kwargs or {}))
+            self.variable = variable or self.simulation.variables()[0]
+            self.server = RICSA_StartupSimulationServer(
+                self.simulation,
+                self.bus,
+                node_name=f"simulator/{session_id}",
+                data_consumer=self._on_data_push,
+            )
+        self.meta["variable"] = self.variable
         self.decision = None
         self.runner: VisualizationLoopRunner | None = None
         self.loop_results: list = []
@@ -74,11 +78,51 @@ class SteeringSession:
         self._thread: threading.Thread | None = None
         self._thread_error: BaseException | None = None
         self._lock = threading.Lock()
+        self.events.publish_status("session", **self.meta)
+
+    @classmethod
+    def monitor_only(
+        cls,
+        session_id: str,
+        events: EventSequenceStore,
+        meta: dict | None = None,
+    ) -> "SteeringSession":
+        """A session that serves externally published events (no simulation)."""
+        session = cls.__new__(cls)
+        session.cm = None
+        session.events = events
+        session.bus = None
+        session.session_id = session_id
+        session.simulator_name = "external"
+        session.technique = "external"
+        session.isovalue_fraction = 0.5
+        session.push_every = 1
+        session.meta = {"simulator": "external", "technique": "external",
+                        "variable": None, **(meta or {})}
+        session.simulation = None
+        session.server = None
+        session.variable = None
+        session.decision = None
+        session.runner = None
+        session.loop_results = []
+        session._camera = OrthoCamera(width=192, height=192)
+        session._thread = None
+        session._thread_error = None
+        session._lock = threading.Lock()
+        events.publish_status("session", **session.meta)
+        return session
+
+    def _require_simulation(self) -> None:
+        if self.server is None or self.cm is None:
+            raise SteeringError(
+                f"session {self.session_id!r} is monitor-only (no simulation)"
+            )
 
     # -- configuration -----------------------------------------------------------
 
     def configure(self, initial_params: dict | None = None) -> None:
         """Client request -> CM decision -> VRT; simulator accepts."""
+        self._require_simulation()
         request = Message.simulation_request(
             self.simulator_name,
             self.variable,
@@ -104,11 +148,15 @@ class SteeringSession:
         )
         lo, hi = grid.bounds()
         self._camera = OrthoCamera.framing(lo, hi, width=192, height=192)
-        self.frontend.update_meta(
-            self.session_id,
+        self.update_meta(
             loop=self.decision.vrt.loop_description(),
             expected_delay=self.decision.vrt.expected_delay,
         )
+
+    def update_meta(self, **meta) -> None:
+        """Merge session metadata and publish it as a status event."""
+        self.meta.update(meta)
+        self.events.publish_status("session", **meta)
 
     def _isovalue(self, grid) -> float:
         lo, hi = grid.vmin, grid.vmax
@@ -130,7 +178,7 @@ class SteeringSession:
         )
         with self._lock:
             self.loop_results.append(result)
-        self.store.put(
+        self.events.publish_image(
             result.image,
             cycle=cycle,
             meta={
@@ -145,12 +193,16 @@ class SteeringSession:
 
     def run(self, n_cycles: int) -> int:
         """Run the instrumented main loop synchronously."""
+        from repro.steering.api import run_steered_cycles
+
+        self._require_simulation()
         if self.decision is None:
             self.configure()
         return run_steered_cycles(self.server, n_cycles, push_every=self.push_every)
 
     def start_background(self, n_cycles: int) -> threading.Thread:
         """Run the simulation loop in a daemon thread (web-demo mode)."""
+        self._require_simulation()
 
         def _worker():
             try:
@@ -158,7 +210,9 @@ class SteeringSession:
             except BaseException as exc:  # surfaced via .join_background()
                 self._thread_error = exc
 
-        self._thread = threading.Thread(target=_worker, daemon=True)
+        self._thread = threading.Thread(
+            target=_worker, daemon=True, name=f"ricsa-sim-{self.session_id}"
+        )
         self._thread.start()
         return self._thread
 
@@ -174,10 +228,12 @@ class SteeringSession:
 
     def steer(self, params: dict) -> None:
         """Send a steering update over the bus (client -> simulator)."""
+        self._require_simulation()
         self.bus.send(
             self.server.node_name,
             Message.steering_update(params, session=self.session_id),
         )
+        self.events.publish_steering(params)
 
     def set_camera(self, azimuth: float | None = None, elevation: float | None = None,
                    zoom: float | None = None) -> None:
@@ -193,6 +249,7 @@ class SteeringSession:
         self._camera = cam
 
     def request_shutdown(self) -> None:
+        self._require_simulation()
         self.bus.send(
             self.server.node_name,
             Message(MessageKind.SHUTDOWN, session=self.session_id),

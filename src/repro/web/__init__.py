@@ -1,24 +1,37 @@
 """The Ajax web server and client (the paper's user-facing tier).
 
-A real HTTP server (stdlib, threaded, loopback) exposing the
-XMLHttpRequest-style endpoints the 2008 GWT front end used:
+A real HTTP server (stdlib, non-blocking selector loop, loopback)
+exposing session-keyed XMLHttpRequest-style endpoints:
 
-* ``GET /``            — the embedded single-page UI (XHR long-poll JS),
-* ``GET /api/state``   — full UI component tree,
-* ``GET /api/poll``    — long-poll partial updates (only changed
-  components travel; the data-driven model replacing click-wait-refresh),
-* ``GET /api/image``   — the latest fixed-size image file (or PNG),
-* ``POST /api/steer``  — computational steering parameters,
-* ``POST /api/view``   — visualization operations (rotate / zoom),
-* ``GET /api/sessions``— session registry.
+* ``GET /``                    — the embedded single-page UI,
+* ``GET /api/sessions``        — session registry,
+* ``POST /api/sessions``       — start a new steered session,
+* ``GET /api/<sid>/state``     — merged component snapshot,
+* ``GET /api/<sid>/poll``      — long-poll event-sequence deltas (a
+  parked poll is a waiter record on the shared scheduler, not a thread),
+* ``GET /api/<sid>/image``     — fixed-size image file
+  (``application/octet-stream``), ``image.png`` for browsers,
+* ``POST /api/<sid>/steer``    — computational steering parameters,
+* ``POST /api/<sid>/view``     — visualization operations (rotate/zoom),
+* ``POST /api/<sid>/stop``     — request simulation shutdown.
 
 :class:`~repro.web.client.AjaxClient` is the programmatic browser used by
-tests and examples.
+tests and examples; :class:`~repro.web.longpoll.LongPollScheduler` is the
+waiter registry + deadline wheel behind the non-blocking polls.
 """
 
 from repro.web.ajax import UpdateHub
 from repro.web.client import AjaxClient
 from repro.web.components import Component, UIModel
+from repro.web.longpoll import LongPollScheduler, Waiter
 from repro.web.server import AjaxWebServer
 
-__all__ = ["AjaxClient", "AjaxWebServer", "Component", "UIModel", "UpdateHub"]
+__all__ = [
+    "AjaxClient",
+    "AjaxWebServer",
+    "Component",
+    "LongPollScheduler",
+    "UIModel",
+    "UpdateHub",
+    "Waiter",
+]

@@ -34,13 +34,18 @@ class UpdateHub:
 
         Timeout returns an empty diff with the current version — the
         client immediately re-polls, standard long-poll semantics.
+
+        The diff is computed while the condition lock is still held and
+        the ``timeout`` flag is derived from the diff's own version
+        window, so a publish landing between wakeup and diff can never
+        produce a "timed out" response carrying components (or a fresh
+        response whose window misses the racing publish).
         """
-        deadline_hit = False
         with self._cond:
             if self.model.version <= since:
-                deadline_hit = not self._cond.wait_for(
+                self._cond.wait_for(
                     lambda: self.model.version > since, timeout=timeout
                 )
-        diff = self.model.diff(since)
-        diff["timeout"] = deadline_hit
+            diff = self.model.diff(since)
+        diff["timeout"] = diff["version"] <= since
         return diff

@@ -1,7 +1,9 @@
 """Programmatic Ajax client (the browser stand-in for tests/examples).
 
 Speaks exactly the protocol of the embedded page: XHR-style long polls
-against ``/api/poll``, image fetches keyed by version, steering POSTs.
+against ``/api/<session>/poll``, image fetches keyed by version, steering
+POSTs.  One client addresses one session; give it a ``session`` name or
+let :meth:`resolve_session` adopt the first session the server lists.
 """
 
 from __future__ import annotations
@@ -19,11 +21,14 @@ __all__ = ["AjaxClient"]
 class AjaxClient:
     """Minimal synchronous Ajax client over urllib."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(self, base_url: str, session: str | None = None,
+                 timeout: float = 10.0) -> None:
         self.base_url = base_url.rstrip("/")
+        self.session = session
         self.timeout = timeout
         self.since = 0
         self.updates_received = 0
+        self.dropped_seen = 0
 
     # -- HTTP helpers ------------------------------------------------------------
 
@@ -55,6 +60,20 @@ class AjaxClient:
         except urllib.error.HTTPError as exc:
             raise WebServerError(f"POST {path}: HTTP {exc.code}") from exc
 
+    # -- session addressing --------------------------------------------------------
+
+    def resolve_session(self) -> str:
+        """The session this client addresses (adopts the server's first)."""
+        if self.session is None:
+            listing = self.sessions()
+            if not listing:
+                raise WebServerError("server has no sessions")
+            self.session = sorted(listing)[0]
+        return self.session
+
+    def _api(self, action: str) -> str:
+        return f"/api/{self.resolve_session()}/{action}"
+
     # -- the Ajax protocol ----------------------------------------------------------
 
     def index_page(self) -> str:
@@ -63,16 +82,17 @@ class AjaxClient:
 
     def state(self) -> dict:
         """Full component tree."""
-        return self._get_json("/api/state")
+        return self._get_json(self._api("state"))
 
     def poll(self, timeout: float = 5.0) -> dict:
         """One long poll; advances the client's version cursor."""
         diff = self._get_json(
-            f"/api/poll?since={self.since}&timeout={timeout}",
+            self._api("poll") + f"?since={self.since}&timeout={timeout}",
             timeout=timeout + 5.0,
         )
         self.since = diff["version"]
         self.updates_received += len(diff.get("components", []))
+        self.dropped_seen += diff.get("dropped", 0)
         return diff
 
     def wait_for_component(
@@ -86,19 +106,31 @@ class AjaxClient:
                     return comp["props"]
         raise WebServerError(f"component {component_id!r} never updated")
 
-    def fetch_image(self) -> Image:
+    def fetch_image(self, version: int | None = None) -> Image:
         """Download and decode the latest fixed-size image file."""
-        return decode_fixed_size(self._get("/api/image"))
+        suffix = f"?v={version}" if version else ""
+        return decode_fixed_size(self._get(self._api("image") + suffix))
 
-    def fetch_png(self) -> bytes:
+    def fetch_png(self, version: int | None = None) -> bytes:
         """Download the browser-format PNG."""
-        return self._get("/api/image.png")
+        suffix = f"?v={version}" if version else ""
+        return self._get(self._api("image.png") + suffix)
 
     def steer(self, **params) -> dict:
-        return self._post_json("/api/steer", params)
+        return self._post_json(self._api("steer"), params)
 
     def view(self, **ops) -> dict:
-        return self._post_json("/api/view", ops)
+        return self._post_json(self._api("view"), ops)
+
+    def stop_session(self) -> dict:
+        return self._post_json(self._api("stop"), {})
 
     def sessions(self) -> dict:
         return self._get_json("/api/sessions")
+
+    def create_session(self, **spec) -> str:
+        """Ask the server to start a new steered session; adopts it."""
+        resp = self._post_json("/api/sessions", spec)
+        self.session = resp["session"]
+        self.since = 0
+        return self.session

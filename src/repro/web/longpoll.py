@@ -1,0 +1,134 @@
+"""Non-blocking long-poll scheduling: waiter records + deadline wheel.
+
+The seed parked one server thread per outstanding ``/api/poll`` — N idle
+browsers cost N blocked threads.  Here a parked poll is a
+:class:`Waiter`: ~100 bytes of record (session key, cursor, deadline,
+opaque handle) in a shared :class:`LongPollScheduler`.  Publishers call
+:meth:`LongPollScheduler.notify` (O(waiters on that session)); expiry is
+driven by a deadline heap that the server's single IO loop consults for
+its select timeout.  Thousands of idle pollers therefore cost zero
+threads — the scheduler owns no threads at all; it is a passive,
+thread-safe registry the IO loop and publisher threads rendezvous on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any
+
+__all__ = ["Waiter", "LongPollScheduler"]
+
+
+class Waiter:
+    """One parked long poll: where it waits, since when, until when."""
+
+    __slots__ = ("id", "key", "since", "deadline", "handle", "done")
+
+    def __init__(self, id: int, key: str, since: int, deadline: float, handle: Any) -> None:
+        self.id = id
+        self.key = key
+        self.since = since
+        self.deadline = deadline
+        self.handle = handle  # opaque: the server stores the parked connection here
+        self.done = False  # satisfied, expired or cancelled; heap entries may linger
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Waiter(id={self.id}, key={self.key!r}, since={self.since}, "
+                f"deadline={self.deadline:.3f}, done={self.done})")
+
+
+class LongPollScheduler:
+    """Condition-variable-style registry of waiters plus a deadline wheel.
+
+    All methods are thread-safe.  ``notify`` is called from publisher
+    threads (via event-store listeners); ``expire_due`` / ``next_deadline``
+    from the IO loop.  Popped waiters are handed back to the caller, which
+    owns delivering the response — the scheduler never touches sockets.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_key: dict[str, dict[int, Waiter]] = {}
+        self._heap: list[tuple[float, int, Waiter]] = []
+        self._ids = itertools.count(1)
+        self.registered_total = 0
+        self.notified_total = 0
+        self.expired_total = 0
+
+    def register(self, key: str, since: int, deadline: float, handle: Any = None) -> Waiter:
+        """Park a poll: it will be returned by ``notify`` or ``expire_due``."""
+        with self._lock:
+            waiter = Waiter(next(self._ids), key, since, deadline, handle)
+            self._by_key.setdefault(key, {})[waiter.id] = waiter
+            heapq.heappush(self._heap, (deadline, waiter.id, waiter))
+            self.registered_total += 1
+            return waiter
+
+    def cancel(self, waiter: Waiter) -> bool:
+        """Remove a parked waiter (connection closed); False if already gone."""
+        with self._lock:
+            return self._remove_locked(waiter)
+
+    def _remove_locked(self, waiter: Waiter) -> bool:
+        if waiter.done:
+            return False
+        waiter.done = True  # lazy deletion: the heap entry expires harmlessly
+        bucket = self._by_key.get(waiter.key)
+        if bucket is not None:
+            bucket.pop(waiter.id, None)
+            if not bucket:
+                del self._by_key[waiter.key]
+        return True
+
+    def notify(self, key: str, seq: int) -> list[Waiter]:
+        """Publisher hook: pop every waiter on ``key`` with cursor < ``seq``."""
+        with self._lock:
+            bucket = self._by_key.get(key)
+            if not bucket:
+                return []
+            ready = [w for w in bucket.values() if w.since < seq]
+            for waiter in ready:
+                self._remove_locked(waiter)
+            self.notified_total += len(ready)
+            return ready
+
+    def drop_key(self, key: str) -> list[Waiter]:
+        """Pop every waiter on ``key`` (session evicted/closed)."""
+        with self._lock:
+            bucket = self._by_key.pop(key, None)
+            if not bucket:
+                return []
+            waiters = list(bucket.values())
+            for waiter in waiters:
+                waiter.done = True
+            return waiters
+
+    def expire_due(self, now: float) -> list[Waiter]:
+        """Pop every waiter whose deadline has passed (the wheel tick)."""
+        expired: list[Waiter] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] <= now:
+                _, _, waiter = heapq.heappop(self._heap)
+                if waiter.done:
+                    continue  # already notified or cancelled
+                self._remove_locked(waiter)
+                expired.append(waiter)
+            self.expired_total += len(expired)
+        return expired
+
+    def next_deadline(self) -> float | None:
+        """Earliest live deadline (the IO loop's select timeout bound)."""
+        with self._lock:
+            while self._heap and self._heap[0][2].done:
+                heapq.heappop(self._heap)  # drain lazily-deleted entries
+            return self._heap[0][0] if self._heap else None
+
+    def pending(self) -> int:
+        with self._lock:
+            return sum(len(bucket) for bucket in self._by_key.values())
+
+    def pending_for(self, key: str) -> int:
+        with self._lock:
+            return len(self._by_key.get(key, ()))

@@ -1,155 +1,193 @@
-"""The Ajax web server.
+"""The Ajax web server: non-blocking long polls, session-keyed routes.
 
-A threaded stdlib HTTP server bound to loopback that fronts a steering
-session: long-poll partial updates, fixed-size image file delivery (or
-browser-friendly PNG), steering and viewing POSTs.  It bridges the
-front-end image store into the UI component model so every new image
-becomes exactly one component diff.
+The seed used ``ThreadingHTTPServer`` and parked one thread per
+outstanding ``/api/poll``.  This server is a single-threaded selector
+loop: every connection is non-blocking, and a long poll with no fresh
+events becomes a :class:`~repro.web.longpoll.Waiter` record on the shared
+:class:`~repro.web.longpoll.LongPollScheduler`.  Publishes from
+simulation threads pop ready waiters and wake the loop through a
+socketpair; the scheduler's deadline heap bounds the select timeout so
+expired polls get their empty delta on time.  Server-side thread count is
+a constant (one IO thread) regardless of how many clients are parked.
+
+Routes are keyed by session — ``/api/<session>/poll``,
+``/api/<session>/image`` ... — served out of the per-session
+:class:`~repro.steering.events.EventSequenceStore` owned by the
+:class:`~repro.steering.manager.SessionManager`.  Each image is encoded
+once per version; all N clients receive the cached blob.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import selectors
+import socket
 import threading
+import time
 import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import weakref
+from collections import deque
 
-from repro.errors import WebServerError
+from repro.errors import ReproError, WebServerError
 from repro.steering.client import SteeringClient
-from repro.viz.image import decode_fixed_size
-from repro.web.ajax import UpdateHub
-from repro.web.components import UIModel
+from repro.web.longpoll import LongPollScheduler, Waiter
 from repro.web.static import INDEX_HTML
 
 __all__ = ["AjaxWebServer"]
 
+_MAX_POLL_TIMEOUT = 30.0
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
 
-class _Handler(BaseHTTPRequestHandler):
-    server_version = "RICSA/1.0"
-    app: "AjaxWebServer"  # set on the subclass at server construction
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    500: "Internal Server Error",
+}
 
-    # -- plumbing ------------------------------------------------------------------
 
-    def log_message(self, fmt, *args):  # quiet by default
-        if self.app.verbose:  # pragma: no cover - debug aid
-            super().log_message(fmt, *args)
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body", "http11")
+
+    def __init__(self, method: str, target: str, version: str,
+                 headers: dict[str, str], body: bytes) -> None:
+        parsed = urllib.parse.urlparse(target)
+        self.method = method
+        self.path = parsed.path
+        self.query = urllib.parse.parse_qs(parsed.query)
+        self.headers = headers
+        self.body = body
+        self.http11 = version == "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        token = self.headers.get("connection", "").lower()
+        if self.http11:
+            return token != "close"
+        return token == "keep-alive"
+
+    def json_body(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise WebServerError("malformed JSON body")
+
+
+class _Handler:
+    """One client connection: buffers, parse state, at most one parked poll."""
+
+    __slots__ = ("app", "sock", "addr", "inbuf", "outbuf", "close_after",
+                 "waiter", "parked", "closed", "keep_alive", "last_activity")
+
+    def __init__(self, app: "AjaxWebServer", sock: socket.socket, addr) -> None:
+        self.app = app
+        self.sock = sock
+        self.addr = addr
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.close_after = False
+        self.waiter: Waiter | None = None  # the parked poll, if any
+        self.parked: _Request | None = None
+        self.closed = False
+        self.keep_alive = True  # set per request; consumed by _send
+        self.last_activity = time.monotonic()
+
+    # -- response construction -----------------------------------------------------
 
     def _send(self, code: int, body: bytes, ctype: str = "application/json") -> None:
-        self.send_response(code)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("Cache-Control", "no-store")
-        self.end_headers()
-        try:
-            self.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError):  # client went away
-            pass
+        """Queue a full HTTP response honouring the request's keep-alive."""
+        reason = _STATUS_TEXT.get(code, "OK")
+        head = [
+            f"HTTP/1.1 {code} {reason}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(body)}",
+            "Cache-Control: no-store",
+            "Server: RICSA/2.0",
+        ]
+        if self.keep_alive:
+            head.append("Connection: keep-alive")
+            head.append(f"Keep-Alive: timeout={int(self.app.keepalive_timeout)}")
+        else:
+            head.append("Connection: close")
+            self.close_after = True
+        self.outbuf += ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        self.app._want_write(self)
 
     def _send_json(self, obj, code: int = 200) -> None:
         self._send(code, json.dumps(obj).encode("utf-8"))
 
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", "0"))
-        if length <= 0:
-            return {}
-        try:
-            return json.loads(self.rfile.read(length).decode("utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            raise WebServerError("malformed JSON body")
-
-    # -- routes -----------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        parsed = urllib.parse.urlparse(self.path)
-        query = urllib.parse.parse_qs(parsed.query)
-        route = parsed.path
-        try:
-            if route == "/":
-                self._send(200, INDEX_HTML.encode("utf-8"), "text/html; charset=utf-8")
-            elif route == "/api/state":
-                self._send_json(self.app.model.snapshot())
-            elif route == "/api/poll":
-                since = int(query.get("since", ["0"])[0])
-                timeout = min(float(query.get("timeout", ["20"])[0]), 30.0)
-                self._send_json(self.app.hub.wait_for_update(since, timeout=timeout))
-            elif route == "/api/image":
-                blob = self.app.latest_image_blob()
-                self._send(200, blob, "application/octet-stream")
-            elif route == "/api/image.png":
-                png = self.app.latest_image_png()
-                self._send(200, png, "image/png")
-            elif route == "/api/sessions":
-                self._send_json(self.app.client.frontend.sessions())
-            else:
-                self._send_json({"error": f"no route {route}"}, code=404)
-        except WebServerError as exc:
-            self._send_json({"error": str(exc)}, code=404)
-        except Exception as exc:  # defensive: never kill the handler thread
-            self._send_json({"error": f"internal: {exc}"}, code=500)
-
-    def do_POST(self) -> None:  # noqa: N802
-        parsed = urllib.parse.urlparse(self.path)
-        route = parsed.path
-        try:
-            body = self._read_json()
-            if route == "/api/steer":
-                self.app.client.steer(**body)
-                self.app.hub.publish("params", **{k: v for k, v in body.items()})
-                self._send_json({"ok": True, "staged": body})
-            elif route == "/api/view":
-                self.app.apply_view_ops(body)
-                self._send_json({"ok": True})
-            elif route == "/api/stop":
-                self.app.client.stop()
-                self._send_json({"ok": True})
-            else:
-                self._send_json({"error": f"no route {route}"}, code=404)
-        except WebServerError as exc:
-            self._send_json({"error": str(exc)}, code=400)
-        except Exception as exc:
-            self._send_json({"error": f"internal: {exc}"}, code=500)
-
 
 class AjaxWebServer:
-    """Bind a steering client to HTTP on 127.0.0.1.
+    """Bind a steering service (SessionManager) to HTTP on 127.0.0.1.
 
     Use as a context manager or call :meth:`start` / :meth:`stop`.
     """
 
-    def __init__(self, client: SteeringClient, port: int = 0, verbose: bool = False) -> None:
+    def __init__(
+        self,
+        client: SteeringClient,
+        port: int = 0,
+        verbose: bool = False,
+        keepalive_timeout: float = 30.0,
+        housekeeping_interval: float = 1.0,
+    ) -> None:
         self.client = client
-        self.model = UIModel()
-        self.hub = UpdateHub(self.model)
+        self.manager = client.manager
         self.verbose = verbose
-        handler = type("BoundHandler", (_Handler,), {"app": self})
-        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self.keepalive_timeout = float(keepalive_timeout)
+        self.housekeeping_interval = float(housekeeping_interval)
+        self.scheduler = LongPollScheduler()
+        self._listen = socket.create_server(("127.0.0.1", port))
+        self._listen.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
+        self._ready: deque[Waiter] = deque()  # popped by the IO loop only
+        self._handlers: set[_Handler] = set()
+        self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
         self._thread: threading.Thread | None = None
-        self._watcher: threading.Thread | None = None
-        self._stop_watch = threading.Event()
+        self._stop = threading.Event()
+        self.polls_served = 0
+        self.requests_served = 0
 
     # -- lifecycle --------------------------------------------------------------------
 
     @property
     def port(self) -> int:
-        return self._httpd.server_address[1]
+        return self._listen.getsockname()[1]
 
     @property
     def url(self) -> str:
         return f"http://127.0.0.1:{self.port}"
 
+    def io_thread_count(self) -> int:
+        """Server threads in existence — a constant 1, however many polls park."""
+        return 1 if (self._thread is not None and self._thread.is_alive()) else 0
+
     def start(self) -> "AjaxWebServer":
-        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._stop.clear()
+        self._selector.register(self._listen, selectors.EVENT_READ, ("accept", None))
+        self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
+        self._thread = threading.Thread(
+            target=self._serve, daemon=True, name="ricsa-web-io"
+        )
         self._thread.start()
-        self._watcher = threading.Thread(target=self._watch_images, daemon=True)
-        self._watcher.start()
         return self
 
     def stop(self) -> None:
-        self._stop_watch.set()
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        self._stop.set()
+        self._wake()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
+            self._thread = None
 
     def __enter__(self) -> "AjaxWebServer":
         return self.start()
@@ -157,54 +195,394 @@ class AjaxWebServer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    # -- image bridge --------------------------------------------------------------------
+    # -- publish -> wake path ------------------------------------------------------------
 
-    def _session_store(self):
-        session = self.client.session
-        if session is None:
-            raise WebServerError("no active steering session")
-        return session.store
+    def _hook_store(self, sid: str, store) -> None:
+        """Attach our publish listener to a session's event store (once).
 
-    def _watch_images(self) -> None:
-        """Bridge: every new stored image becomes one component update."""
-        seen = 0
-        while not self._stop_watch.is_set():
-            session = self.client.session
-            if session is None:
-                self._stop_watch.wait(0.05)
-                continue
-            entry = session.store.wait_newer(seen, timeout=0.25)
-            if entry is None:
-                continue
-            seen = entry.version
-            self.hub.publish(
-                "image",
-                version=entry.version,
-                cycle=entry.cycle,
-                **{k: v for k, v in entry.meta.items()},
-            )
-            meta = self.client.frontend.sessions().get(session.session_id, {})
-            self.hub.publish("session", **meta)
+        A ``WeakSet`` keyed by the store object itself (not ``id()``)
+        stays correct when stores are garbage-collected and their heap
+        addresses reused by later sessions.
+        """
+        if store in self._hooked:
+            return
+        self._hooked.add(store)
+        store.add_listener(lambda seq, sid=sid: self._on_publish(sid, seq))
 
-    def latest_image_blob(self) -> bytes:
-        entry = self._session_store().latest()
-        if entry is None:
-            raise WebServerError("no image yet")
-        return entry.blob
+    def _on_publish(self, sid: str, seq: int) -> None:
+        """Called from publisher (simulation) threads after every event."""
+        ready = self.scheduler.notify(sid, seq)
+        if ready:
+            self._ready.extend(ready)
+            self._wake()
 
-    def latest_image_png(self) -> bytes:
-        entry = self._session_store().latest()
-        if entry is None:
-            raise WebServerError("no image yet")
-        return decode_fixed_size(entry.blob).to_png_bytes()
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # wake byte already pending, or server shutting down
+
+    # -- the IO loop ------------------------------------------------------------------
+
+    def _serve(self) -> None:
+        next_housekeeping = time.monotonic() + self.housekeeping_interval
+        while not self._stop.is_set():
+            now = time.monotonic()
+            timeout = self.housekeeping_interval
+            deadline = self.scheduler.next_deadline()
+            if deadline is not None:
+                timeout = min(timeout, max(0.0, deadline - now))
+            timeout = min(timeout, max(0.0, next_housekeeping - now))
+            for key, events in self._selector.select(timeout=timeout):
+                kind, handler = key.data
+                try:
+                    if kind == "accept":
+                        self._accept()
+                    elif kind == "wake":
+                        self._drain_wake()
+                    elif kind == "conn":
+                        if events & selectors.EVENT_READ:
+                            self._readable(handler)
+                        if events & selectors.EVENT_WRITE and not handler.closed:
+                            self._writable(handler)
+                except Exception:  # defensive: one bad connection must not kill the loop
+                    if handler is not None:
+                        self._close(handler)
+            now = time.monotonic()
+            self._deliver_ready()
+            self._deliver_expired(now)
+            if now >= next_housekeeping:
+                next_housekeeping = now + self.housekeeping_interval
+                self._housekeeping()
+        self._shutdown_sockets()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listen.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = _Handler(self, sock, addr)
+            self._handlers.add(handler)
+            self._selector.register(sock, selectors.EVENT_READ, ("conn", handler))
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _close(self, handler: _Handler) -> None:
+        if handler.closed:
+            return
+        handler.closed = True
+        if handler.waiter is not None:
+            self.scheduler.cancel(handler.waiter)
+            handler.waiter = None
+        try:
+            self._selector.unregister(handler.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            handler.sock.close()
+        except OSError:
+            pass
+        self._handlers.discard(handler)
+
+    def _want_write(self, handler: _Handler) -> None:
+        if handler.closed:
+            return
+        self._selector.modify(
+            handler.sock, selectors.EVENT_READ | selectors.EVENT_WRITE,
+            ("conn", handler),
+        )
+
+    def _readable(self, handler: _Handler) -> None:
+        try:
+            chunk = handler.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close(handler)
+            return
+        if not chunk:
+            self._close(handler)
+            return
+        handler.last_activity = time.monotonic()
+        handler.inbuf += chunk
+        if len(handler.inbuf) > _MAX_HEADER_BYTES + _MAX_BODY_BYTES:
+            # Bound buffering even while a poll is parked on this
+            # connection (parsing is deferred until the response goes out).
+            self._close(handler)
+            return
+        self._process_input(handler)
+
+    def _writable(self, handler: _Handler) -> None:
+        if handler.outbuf:
+            try:
+                sent = handler.sock.send(handler.outbuf)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close(handler)
+                return
+            handler.last_activity = time.monotonic()
+            del handler.outbuf[:sent]
+        if not handler.outbuf:
+            if handler.close_after:
+                self._close(handler)
+                return
+            self._selector.modify(handler.sock, selectors.EVENT_READ, ("conn", handler))
+            # A pipelined request may already be buffered.
+            self._process_input(handler)
+
+    # -- HTTP parsing -----------------------------------------------------------------
+
+    def _process_input(self, handler: _Handler) -> None:
+        """Parse and dispatch as many buffered requests as possible."""
+        while not handler.closed and handler.waiter is None:
+            request = self._parse_one(handler)
+            if request is None:
+                return
+            self.requests_served += 1
+            handler.keep_alive = request.keep_alive
+            try:
+                self._dispatch(handler, request)
+            except WebServerError as exc:
+                code = 404 if request.method == "GET" else 400
+                handler._send_json({"error": str(exc)}, code=code)
+            except ReproError as exc:
+                handler._send_json({"error": str(exc)}, code=400)
+            except Exception as exc:  # never kill the loop for one request
+                handler._send_json({"error": f"internal: {exc}"}, code=500)
+
+    def _parse_one(self, handler: _Handler) -> _Request | None:
+        buf = handler.inbuf
+        end = buf.find(b"\r\n\r\n")
+        if end < 0:
+            if len(buf) > _MAX_HEADER_BYTES:
+                self._close(handler)
+            return None
+        head = bytes(buf[:end]).decode("latin-1")
+        lines = head.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or parts[2] not in ("HTTP/1.0", "HTTP/1.1"):
+            self._close(handler)
+            return None
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self._close(handler)
+            return None
+        total = end + 4 + length
+        if len(buf) < total:
+            return None
+        body = bytes(buf[end + 4 : total])
+        del buf[:total]
+        return _Request(parts[0], parts[1], parts[2], headers, body)
+
+    # -- routing ----------------------------------------------------------------------
+
+    _SESSION_ACTIONS = {"state", "poll", "image", "image.png", "steer", "view", "stop"}
+
+    def _route(self, request: _Request) -> tuple[str | None, str]:
+        """Split ``/api/<session>/<action>`` (and legacy unscoped routes)."""
+        segments = [s for s in request.path.split("/") if s]
+        if not segments or segments[0] != "api":
+            raise WebServerError(f"no route {request.path}")
+        if len(segments) == 2:
+            if segments[1] == "sessions":
+                return None, "sessions"
+            if segments[1] in self._SESSION_ACTIONS:
+                # Legacy unscoped route: address the most recent session.
+                session = self.client.session
+                if session is None:
+                    raise WebServerError("no active steering session")
+                return session.session_id, segments[1]
+        elif len(segments) == 3 and segments[2] in self._SESSION_ACTIONS:
+            return segments[1], segments[2]
+        raise WebServerError(f"no route {request.path}")
+
+    def _dispatch(self, handler: _Handler, request: _Request) -> None:
+        if request.method == "GET" and request.path == "/":
+            handler._send(200, INDEX_HTML.encode("utf-8"), "text/html; charset=utf-8")
+            return
+        if request.method not in ("GET", "POST"):
+            handler._send_json({"error": f"method {request.method}"}, code=400)
+            return
+        sid, action = self._route(request)
+        if action == "sessions":
+            if request.method == "POST":
+                self._create_session(handler, request)
+            else:
+                handler._send_json(self.manager.sessions())
+            return
+        assert sid is not None
+        if request.method == "GET":
+            self._dispatch_get(handler, request, sid, action)
+        else:
+            self._dispatch_post(handler, request, sid, action)
+
+    def _dispatch_get(self, handler: _Handler, request: _Request,
+                      sid: str, action: str) -> None:
+        store = self.manager.events(sid)
+        if action == "state":
+            handler._send_json(store.snapshot())
+        elif action == "poll":
+            self._handle_poll(handler, request, sid, store)
+        elif action == "image":
+            version = self._version_arg(request)
+            handler._send(200, store.image_blob(version), "application/octet-stream")
+        elif action == "image.png":
+            version = self._version_arg(request)
+            handler._send(200, store.image_png(version), "image/png")
+        else:
+            raise WebServerError(f"no route {request.path}")
+
+    def _dispatch_post(self, handler: _Handler, request: _Request,
+                       sid: str, action: str) -> None:
+        body = request.json_body()
+        session = self.manager.get(sid)
+        if action == "steer":
+            with self.manager.locked(sid):
+                session.steer(body)
+            handler._send_json({"ok": True, "session": sid, "staged": body})
+        elif action == "view":
+            with self.manager.locked(sid):
+                self._apply_view_ops(session, body)
+            handler._send_json({"ok": True, "session": sid})
+        elif action == "stop":
+            with self.manager.locked(sid):
+                session.request_shutdown()
+            handler._send_json({"ok": True, "session": sid})
+        else:
+            raise WebServerError(f"no route {request.path}")
+
+    @staticmethod
+    def _query_num(request: _Request, name: str, default: str, cast=int):
+        raw = request.query.get(name, [default])[0]
+        try:
+            value = cast(raw)
+        except (TypeError, ValueError):
+            raise WebServerError(f"query parameter {name}={raw!r} is not a number")
+        if not math.isfinite(value):
+            # nan/inf deadlines would wedge the scheduler's deadline heap
+            raise WebServerError(f"query parameter {name}={raw!r} is not finite")
+        return value
+
+    @classmethod
+    def _version_arg(cls, request: _Request) -> int | None:
+        if not request.query.get("v", [None])[0]:
+            return None
+        return cls._query_num(request, "v", "0")
+
+    def _create_session(self, handler: _Handler, request: _Request) -> None:
+        spec = request.json_body()
+        session = self.client.start(
+            simulator=spec.get("simulator", "heat"),
+            technique=spec.get("technique", "isosurface"),
+            variable=spec.get("variable"),
+            n_cycles=int(spec.get("n_cycles", 50)),
+            session_id=spec.get("session_id"),
+            initial_params=spec.get("params"),
+            sim_kwargs=spec.get("sim_kwargs"),
+            push_every=int(spec.get("push_every", 1)),
+        )
+        handler._send_json({"ok": True, "session": session.session_id})
+
+    # -- long polls ---------------------------------------------------------------------
+
+    def _handle_poll(self, handler: _Handler, request: _Request,
+                     sid: str, store) -> None:
+        since = self._query_num(request, "since", "0")
+        timeout = min(self._query_num(request, "timeout", "20", float), _MAX_POLL_TIMEOUT)
+        self._hook_store(sid, store)
+        delta = store.delta(since)
+        if delta["version"] > since or timeout <= 0:
+            self.polls_served += 1
+            handler._send_json(delta)
+            return
+        # Park: register first, then re-check, so a publish racing this
+        # request is either seen by the re-check or pops the waiter.
+        waiter = self.scheduler.register(
+            sid, since, time.monotonic() + timeout, handler
+        )
+        handler.waiter = waiter
+        delta = store.delta(since)
+        if delta["version"] > since and self.scheduler.cancel(waiter):
+            handler.waiter = None
+            self.polls_served += 1
+            handler._send_json(delta)
+        # else: the waiter is parked (or already in the ready queue); the
+        # IO loop delivers the response.  Zero threads are held either way.
+
+    def _respond_waiter(self, waiter: Waiter) -> None:
+        handler: _Handler = waiter.handle
+        if handler.closed or handler.waiter is not waiter:
+            return
+        handler.waiter = None
+        sid = waiter.key
+        try:
+            store = self.manager.events(sid)
+            delta = store.delta(waiter.since)
+        except ReproError as exc:  # session evicted while parked
+            handler._send_json({"error": str(exc)}, code=404)
+            self._process_input(handler)
+            return
+        self.polls_served += 1
+        handler._send_json(delta)
+        self._process_input(handler)  # a pipelined request may be waiting
+
+    def _deliver_ready(self) -> None:
+        while True:
+            try:
+                waiter = self._ready.popleft()
+            except IndexError:
+                return
+            self._respond_waiter(waiter)
+
+    def _deliver_expired(self, now: float) -> None:
+        for waiter in self.scheduler.expire_due(now):
+            self._respond_waiter(waiter)
+
+    def _housekeeping(self) -> None:
+        evicted = self.manager.evict_idle()
+        for sid in evicted:
+            for waiter in self.scheduler.drop_key(sid):
+                self._respond_waiter(waiter)
+        # Reap half-open keep-alive connections: idle (no parked poll, no
+        # pending output) past the advertised Keep-Alive timeout.
+        cutoff = time.monotonic() - self.keepalive_timeout
+        for handler in list(self._handlers):
+            if (handler.waiter is None and not handler.outbuf
+                    and handler.last_activity < cutoff):
+                self._close(handler)
+
+    def _shutdown_sockets(self) -> None:
+        for handler in list(self._handlers):
+            self._close(handler)
+        for sock in (self._listen, self._wake_r, self._wake_w):
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._selector.close()
 
     # -- view operations -------------------------------------------------------------------
 
-    def apply_view_ops(self, ops: dict) -> None:
+    @staticmethod
+    def _apply_view_ops(session, ops: dict) -> None:
         """Rotate/zoom the session camera (mouse interactions)."""
-        session = self.client.session
-        if session is None:
-            raise WebServerError("no active steering session")
         if "rotate_azimuth" in ops or "rotate_elevation" in ops:
             cam = session._camera
             session.set_camera(

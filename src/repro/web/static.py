@@ -1,10 +1,13 @@
 """The embedded single-page UI, faithful to 2008-era Ajax.
 
 Plain ``XMLHttpRequest`` long-polling (no fetch, no frameworks —
-deliberately period-appropriate): the page polls ``/api/poll`` and
-patches only the components that changed; the monitoring image reloads
-only when its version advances.  Steering controls POST to
-``/api/steer`` and ``/api/view``.
+deliberately period-appropriate): the page picks a session (from the
+``?session=`` query string, else the first the server lists), polls
+``/api/<session>/poll`` and patches only the components that changed;
+the monitoring image reloads only when its version advances.  Steering
+controls POST to ``/api/<session>/steer`` and ``/api/<session>/view``.
+A ``dropped`` count in a poll response means this browser fell behind
+the session's event ring and skipped frames.
 """
 
 from __future__ import annotations
@@ -24,15 +27,17 @@ INDEX_HTML = """<!DOCTYPE html>
   .row { margin: 0.4em 0; }
   label { display: inline-block; width: 11em; }
   input[type=number] { width: 7em; }
-  #status, #loop { font-size: 0.85em; color: #8aa; }
+  #status, #loop, #sessions { font-size: 0.85em; color: #8aa; }
+  #sessions a { color: #9cf; margin-right: 0.8em; }
   h1 { font-size: 1.2em; }
 </style>
 </head>
 <body>
 <h1>RICSA computational monitoring &amp; steering</h1>
+<div id="sessions">discovering sessions...</div>
 <div id="frame">
   <div>
-    <img id="image" src="/api/image.png" alt="monitored field">
+    <img id="image" alt="monitored field">
     <div id="status">waiting for updates...</div>
     <div id="loop"></div>
   </div>
@@ -57,10 +62,43 @@ INDEX_HTML = """<!DOCTYPE html>
 <script>
 var since = 0;
 var imageVersion = -1;
+var session = null;
+
+function api(action) { return "/api/" + session + "/" + action; }
+
+function start() {
+  var match = /[?&]session=([^&]+)/.exec(location.search);
+  if (match) { session = decodeURIComponent(match[1]); begin(); return; }
+  var xhr = new XMLHttpRequest();
+  xhr.open("GET", "/api/sessions", true);
+  xhr.onreadystatechange = function () {
+    if (xhr.readyState !== 4) return;
+    var names = [];
+    try { names = Object.keys(JSON.parse(xhr.responseText)).sort(); } catch (e) {}
+    if (names.length === 0) { setTimeout(start, 500); return; }
+    session = names[0];
+    var list = document.getElementById("sessions");
+    list.innerHTML = "";
+    for (var i = 0; i < names.length; i++) {
+      var a = document.createElement("a");
+      a.href = "/?session=" + encodeURIComponent(names[i]);
+      a.textContent = names[i];
+      list.appendChild(a);
+    }
+    begin();
+  };
+  xhr.send();
+}
+
+function begin() {
+  document.getElementById("image").src = api("image.png");
+  document.title = "RICSA - " + session;
+  poll();
+}
 
 function poll() {
   var xhr = new XMLHttpRequest();
-  xhr.open("GET", "/api/poll?since=" + since + "&timeout=20", true);
+  xhr.open("GET", api("poll") + "?since=" + since + "&timeout=20", true);
   xhr.onreadystatechange = function () {
     if (xhr.readyState !== 4) return;
     if (xhr.status === 200) {
@@ -77,10 +115,11 @@ function apply(diff) {
     var c = diff.components[i];
     if (c.id === "image" && c.props.version !== imageVersion) {
       imageVersion = c.props.version;
-      document.getElementById("image").src = "/api/image.png?v=" + imageVersion;
+      document.getElementById("image").src = api("image.png") + "?v=" + imageVersion;
       document.getElementById("status").textContent =
         "cycle " + c.props.cycle + " | delay " +
-        (c.props.total_delay || 0).toFixed(3) + " s (image v" + imageVersion + ")";
+        (c.props.total_delay || 0).toFixed(3) + " s (image v" + imageVersion + ")" +
+        (diff.dropped ? " | skipped " + diff.dropped + " events" : "");
     }
     if (c.id === "session") {
       document.getElementById("loop").textContent =
@@ -103,12 +142,12 @@ function post(url, body) {
 function steer() {
   var name = document.getElementById("pname").value;
   var value = parseFloat(document.getElementById("pvalue").value);
-  if (name) { var b = {}; b[name] = value; post("/api/steer", b); }
+  if (name) { var b = {}; b[name] = value; post(api("steer"), b); }
 }
 
-function view(ops) { post("/api/view", ops); }
+function view(ops) { post(api("view"), ops); }
 
-poll();
+start();
 </script>
 </body>
 </html>

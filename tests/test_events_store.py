@@ -1,0 +1,193 @@
+"""Tests for the unified per-session event-sequence store."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import WebServerError
+from repro.steering.events import EventSequenceStore
+from repro.steering.frontend import ImageStore
+from repro.viz.image import Image, decode_fixed_size
+
+
+def tiny_image(shade: int = 128) -> Image:
+    px = np.full((8, 8, 4), shade, dtype=np.uint8)
+    px[:, :, 3] = 255
+    return Image(px)
+
+
+class TestEventSequence:
+    def test_seq_is_monotonic_across_kinds(self):
+        store = EventSequenceStore()
+        s1 = store.publish_status("session", simulator="heat")
+        s2 = store.publish_image(tiny_image(), cycle=1)
+        s3 = store.publish_steering({"alpha": 0.2})
+        assert (s1, s2, s3) == (1, 2, 3)
+        assert store.seq == 3
+
+    def test_delta_returns_only_newer_events(self):
+        store = EventSequenceStore()
+        store.publish_status("session", a=1)
+        cursor = store.seq
+        store.publish_image(tiny_image(), cycle=2)
+        delta = store.delta(cursor)
+        assert [c["id"] for c in delta["components"]] == ["image"]
+        assert delta["version"] == cursor + 1
+        assert delta["dropped"] == 0
+        assert delta["timeout"] is False
+
+    def test_snapshot_merges_component_state(self):
+        store = EventSequenceStore()
+        store.publish_status("session", simulator="heat")
+        store.publish_status("session", loop="A-B-C")
+        store.publish_image(tiny_image(), cycle=5)
+        snap = store.snapshot()
+        by_id = {c["id"]: c for c in snap["components"]}
+        assert by_id["session"]["props"]["simulator"] == "heat"
+        assert by_id["session"]["props"]["loop"] == "A-B-C"
+        assert by_id["image"]["props"]["cycle"] == 5
+
+    def test_ring_eviction_reports_dropped(self):
+        store = EventSequenceStore(capacity=4)
+        for i in range(10):
+            store.publish_status("session", tick=i)
+        delta = store.delta(0)
+        # 10 events total, ring keeps 4 -> 6 are gone for a since=0 poller
+        assert delta["dropped"] == 6
+        assert len(delta["components"]) == 4
+        fresh = store.delta(store.seq)
+        assert fresh["dropped"] == 0 and fresh["timeout"] is True
+
+    def test_image_encoded_once_and_blob_shared(self):
+        store = EventSequenceStore()
+        v = store.publish_image(tiny_image(60), cycle=1)
+        blobs = [store.image_blob() for _ in range(5)]
+        assert all(b is blobs[0] for b in blobs)  # the same cached object
+        assert store.encode_count == 1
+        pngs = [store.image_png(v) for _ in range(5)]
+        assert all(p is pngs[0] for p in pngs)
+        assert store.png_encode_count == 1
+        assert decode_fixed_size(blobs[0]).width == 8
+
+    def test_image_by_version_and_eviction(self):
+        store = EventSequenceStore(image_capacity=2)
+        v1 = store.publish_image(tiny_image(10), cycle=1)
+        v2 = store.publish_image(tiny_image(20), cycle=2)
+        v3 = store.publish_image(tiny_image(30), cycle=3)
+        assert store.image_record(v3).cycle == 3
+        assert store.image_record(v2).cycle == 2
+        with pytest.raises(WebServerError, match="no longer retained"):
+            store.image_blob(v1)
+        assert store.dropped_images == 1
+
+    def test_wait_delta_blocks_until_publish(self):
+        store = EventSequenceStore()
+        out = []
+
+        def waiter():
+            out.append(store.wait_delta(0, timeout=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        store.publish_status("session", x=1)
+        t.join(timeout=5.0)
+        assert out and out[0]["timeout"] is False
+        assert out[0]["components"][0]["props"]["x"] == 1
+
+    def test_wait_delta_timeout_is_empty(self):
+        store = EventSequenceStore()
+        delta = store.wait_delta(0, timeout=0.05)
+        assert delta["timeout"] is True and delta["components"] == []
+
+    def test_listeners_fire_outside_lock(self):
+        store = EventSequenceStore()
+        seen = []
+
+        def listener(seq):
+            # re-entering the store must not deadlock
+            seen.append((seq, store.seq))
+
+        store.add_listener(listener)
+        store.publish_status("session", a=1)
+        store.publish_image(tiny_image())
+        assert [s for s, _ in seen] == [1, 2]
+
+
+class TestConcurrentPollCorrectness:
+    def test_no_lost_wakeups_and_strictly_increasing_versions(self):
+        """Satellite: N pollers during a publish burst each observe a
+        strictly increasing version sequence and miss nothing."""
+        store = EventSequenceStore(capacity=4096)
+        n_pollers, n_publishes = 8, 300
+        start = threading.Barrier(n_pollers + 1)
+        errors: list[str] = []
+        observed: list[list[int]] = [[] for _ in range(n_pollers)]
+
+        def poller(idx: int):
+            start.wait()
+            since = 0
+            while since < n_publishes:
+                delta = store.wait_delta(since, timeout=10.0)
+                if delta["timeout"]:
+                    errors.append(f"poller {idx} lost a wakeup at {since}")
+                    return
+                if delta["version"] <= since:
+                    errors.append(f"poller {idx} version went backwards")
+                    return
+                seqs = [c["version"] for c in delta["components"]]
+                if seqs != sorted(seqs) or (seqs and seqs[0] <= since):
+                    errors.append(f"poller {idx} non-monotonic delta {seqs}")
+                    return
+                observed[idx].extend(seqs)
+                since = delta["version"]
+
+        threads = [threading.Thread(target=poller, args=(i,)) for i in range(n_pollers)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for i in range(n_publishes):
+            store.publish_status("session", tick=i)
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        for seqs in observed:
+            assert seqs == sorted(set(seqs))  # strictly increasing
+            assert seqs[-1] == n_publishes  # everyone saw the final event
+
+
+class TestImageStoreGapDetection:
+    def test_dropped_versions_counts_evictions(self):
+        store = ImageStore(capacity=3)
+        for i in range(5):
+            store.put(tiny_image(i * 20), cycle=i)
+        assert store.dropped_versions == 2
+        assert store.oldest_version == 3
+
+    def test_missed_reports_slow_poller_gap(self):
+        store = ImageStore(capacity=3)
+        for i in range(6):
+            store.put(tiny_image(), cycle=i)
+        # versions 1..3 are gone; a poller at 0 missed exactly those
+        assert store.missed(0) == 3
+        assert store.missed(3) == 0
+        assert store.missed(6) == 0
+
+    def test_poll_surfaces_dropped_in_response(self):
+        store = ImageStore(capacity=2)
+        for i in range(5):
+            store.put(tiny_image(), cycle=i)
+        resp = store.poll(0, timeout=0.1)
+        assert resp["entry"].version == 5
+        assert resp["dropped"] == 3
+        assert resp["skipped"] == 4  # versions 1..4 never delivered
+        assert resp["timeout"] is False
+
+    def test_poll_timeout_reports_no_drop(self):
+        store = ImageStore(capacity=2)
+        resp = store.poll(0, timeout=0.05)
+        assert resp["entry"] is None
+        assert resp["timeout"] is True
+        assert resp["dropped"] == 0

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import http.client
 import threading
 
 import numpy as np
@@ -9,7 +10,7 @@ import pytest
 
 from repro.costmodel.calibration import default_calibration
 from repro.net import build_paper_testbed
-from repro.steering import CentralManager, FrontEnd, SteeringClient
+from repro.steering import CentralManager, SteeringClient
 from repro.viz.image import Image
 from repro.web import AjaxClient, AjaxWebServer, UIModel
 from repro.web.ajax import UpdateHub
@@ -24,7 +25,7 @@ def cm():
 @pytest.fixture()
 def running_server(cm):
     """A steering session on the heat demo behind a live HTTP server."""
-    client = SteeringClient(cm, FrontEnd())
+    client = SteeringClient(cm)
     server = AjaxWebServer(client, port=0)
     server.start()
     client.start(
@@ -37,7 +38,7 @@ def running_server(cm):
     )
     yield server, client
     try:
-        client.stop()
+        client.stop_all()
     finally:
         server.stop()
 
@@ -88,6 +89,41 @@ class TestUpdateHub:
         assert diff["timeout"] is True
         assert diff["components"] == []
 
+    def test_timeout_flag_consistent_with_diff_under_races(self):
+        """Satellite fix: a publish racing the wakeup must never produce a
+        'timed out' response that carries components, nor a fresh response
+        with an empty window."""
+        hub = UpdateHub(UIModel())
+        stop = threading.Event()
+        violations = []
+
+        def publisher():
+            n = 0
+            while not stop.is_set():
+                n += 1
+                hub.publish("image", version=n)
+
+        def poller():
+            since = 0
+            for _ in range(200):
+                diff = hub.wait_for_update(since, timeout=0.001)
+                if diff["timeout"] and diff["components"]:
+                    violations.append(("timeout-with-data", diff))
+                if not diff["timeout"] and diff["version"] <= since:
+                    violations.append(("fresh-without-advance", diff))
+                since = diff["version"]
+
+        pub = threading.Thread(target=publisher)
+        pollers = [threading.Thread(target=poller) for _ in range(4)]
+        pub.start()
+        for t in pollers:
+            t.start()
+        for t in pollers:
+            t.join(timeout=30.0)
+        stop.set()
+        pub.join(timeout=5.0)
+        assert violations == []
+
 
 class TestHttpEndpoints:
     def test_index_page_is_ajax(self, running_server):
@@ -95,7 +131,7 @@ class TestHttpEndpoints:
         ajax = AjaxClient(server.url)
         html = ajax.index_page()
         assert "XMLHttpRequest" in html
-        assert "/api/poll" in html
+        assert "poll" in html
 
     def test_long_poll_delivers_image_updates(self, running_server):
         server, _ = running_server
@@ -122,6 +158,33 @@ class TestHttpEndpoints:
         assert img.width > 0
         png = ajax.fetch_png()
         assert png[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_image_content_types_and_keepalive(self, running_server):
+        """Satellite fix: correct Content-Type per representation and
+        honest Connection handling on a persistent connection."""
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        sid = ajax.resolve_session()
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+        try:
+            conn.request("GET", f"/api/{sid}/image")
+            resp = conn.getresponse()
+            assert resp.getheader("Content-Type") == "application/octet-stream"
+            assert resp.getheader("Connection") == "keep-alive"
+            resp.read()
+            # same socket again: keep-alive must actually keep it open
+            conn.request("GET", f"/api/{sid}/image.png")
+            resp = conn.getresponse()
+            assert resp.getheader("Content-Type") == "image/png"
+            body = resp.read()
+            assert body[:8] == b"\x89PNG\r\n\x1a\n"
+            conn.request("GET", f"/api/{sid}/state", headers={"Connection": "close"})
+            resp = conn.getresponse()
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+        finally:
+            conn.close()
 
     def test_steering_round_trip_over_http(self, running_server):
         server, client = running_server
@@ -156,6 +219,7 @@ class TestHttpEndpoints:
         sessions = ajax.sessions()
         assert "session0" in sessions
         assert sessions["session0"]["simulator"] == "heat"
+        assert "running" in sessions["session0"]
 
     def test_unknown_route_404(self, running_server):
         server, _ = running_server
@@ -163,11 +227,129 @@ class TestHttpEndpoints:
         with pytest.raises(Exception):
             ajax._get_json("/api/flux-capacitor")
 
+    def test_unknown_session_404(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url, session="nope")
+        with pytest.raises(Exception, match="404"):
+            ajax.state()
+
+
+class TestMultiSessionHttp:
+    def test_two_sessions_served_concurrently(self, cm):
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            client.start(simulator="heat", session_id="alpha", n_cycles=120,
+                         sim_kwargs={"shape": (10, 10, 10)}, push_every=2)
+            client.start(simulator="heat", session_id="beta", n_cycles=120,
+                         sim_kwargs={"shape": (10, 10, 10)}, push_every=2)
+            a = AjaxClient(server.url, session="alpha")
+            b = AjaxClient(server.url, session="beta")
+            pa = a.wait_for_component("image", polls=40, timeout=2.0)
+            pb = b.wait_for_component("image", polls=40, timeout=2.0)
+            assert pa["version"] >= 1 and pb["version"] >= 1
+            listing = a.sessions()
+            assert set(listing) >= {"alpha", "beta"}
+            # steering alpha must not leak into beta's simulation
+            a.steer(source_x=0.9)
+            alpha_sim = client.manager.get("alpha").simulation
+            beta_sim = client.manager.get("beta").simulation
+            for _ in range(100):
+                if alpha_sim.params["source_x"] == pytest.approx(0.9):
+                    break
+                a.poll(timeout=0.2)
+            assert alpha_sim.params["source_x"] == pytest.approx(0.9)
+            assert beta_sim.params["source_x"] != pytest.approx(0.9)
+            client.stop_all()
+
+    def test_server_threads_do_not_scale_with_parked_polls(self, cm):
+        """The tentpole property: N parked polls, constant server threads."""
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            store = client.manager.open_monitor("quiet")
+            cursor = store.seq
+            before = {t.name for t in threading.enumerate()}
+            conns = []
+            try:
+                for _ in range(32):
+                    conn = http.client.HTTPConnection(
+                        "127.0.0.1", server.port, timeout=30.0
+                    )
+                    conn.request("GET", f"/api/quiet/poll?since={cursor}&timeout=20")
+                    conns.append(conn)
+                # give the IO loop time to park all 32
+                deadline = 50
+                while server.scheduler.pending() < 32 and deadline:
+                    threading.Event().wait(0.05)
+                    deadline -= 1
+                assert server.scheduler.pending() == 32
+                after = {t.name for t in threading.enumerate()}
+                new_threads = after - before
+                assert not any(t.startswith("ricsa-web") for t in new_threads)
+                assert server.io_thread_count() == 1
+                # a publish wakes every parked poll without any new thread
+                store.publish_status("session", tick=1)
+                for conn in conns:
+                    resp = conn.getresponse()
+                    delta = resp.read()
+                    assert b'"timeout": false' in delta or b"tick" in delta
+            finally:
+                for conn in conns:
+                    conn.close()
+
+
+class TestConcurrentLongPollHttp:
+    def test_burst_publishes_observed_in_order_by_all_clients(self, cm):
+        """Satellite: concurrent pollers during a publish burst each see a
+        strictly increasing version sequence with no lost wakeups."""
+        client = SteeringClient(cm)
+        n_clients, n_publishes = 10, 60
+        with AjaxWebServer(client, port=0) as server:
+            store = client.manager.open_monitor("burst")
+            base = store.seq
+            start = threading.Barrier(n_clients + 1)
+            errors: list[str] = []
+            finals: list[int] = []
+
+            def poller(idx: int):
+                ajax = AjaxClient(server.url, session="burst")
+                ajax.since = base
+                start.wait()
+                last = base
+                while last < base + n_publishes:
+                    diff = ajax.poll(timeout=5.0)
+                    if diff["version"] < last:
+                        errors.append(f"client {idx}: version went backwards")
+                        return
+                    if diff["timeout"] and diff["components"]:
+                        errors.append(f"client {idx}: timeout with data")
+                        return
+                    seqs = [c["version"] for c in diff["components"]]
+                    if any(s <= last for s in seqs):
+                        errors.append(f"client {idx}: stale component in delta")
+                        return
+                    last = diff["version"]
+                finals.append(last)
+
+            threads = [
+                threading.Thread(target=poller, args=(i,), name=f"bench-client-{i}")
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            for i in range(n_publishes):
+                store.publish_status("session", tick=i)
+            for t in threads:
+                t.join(timeout=30.0)
+            assert errors == []
+            assert len(finals) == n_clients
+            assert all(v >= base + n_publishes for v in finals)
+
 
 class TestSteeringChangesImages:
     def test_steered_run_produces_different_images(self, cm):
         """Monitor, steer, observe: the whole point of the system."""
-        client = SteeringClient(cm, FrontEnd())
+        client = SteeringClient(cm)
         client.start(
             simulator="heat",
             n_cycles=30,
