@@ -1,40 +1,89 @@
 """Benchmark: web-tier long-poll concurrency (throughput + p99 wake latency).
 
-The acceptance demo for the multi-session refactor: 1/10/100 concurrent
-polling clients across 1/4 concurrent sessions against the live
-non-blocking server.  Asserts the two structural properties the refactor
-exists for — server thread count bounded by a constant (not O(parked
-polls)) and each image encoded exactly once per version — and records the
-throughput/latency table plus a ``BENCH_web_concurrency.json`` artifact.
+The acceptance demo for the shared-delta fan-out refactor: 1/10/100/250
+concurrent polling clients across 1/4 concurrent sessions against the
+live non-blocking server.  Asserts the structural properties the
+refactor exists for — server thread count pinned to the fixed IO+worker
+constant (not O(parked polls)), each image encoded exactly once per
+version, and each wake's JSON delta serialized ~once however many
+clients share it — plus a regression guard on how much wake p99 may
+degrade from 1 to 100 clients.  Records the throughput/latency table
+and the ``BENCH_web_concurrency.json`` artifact CI uploads.
 
-Set ``RICSA_BENCH_QUICK=1`` (CI) for a reduced grid.
+Set ``RICSA_BENCH_QUICK=1`` (CI) for a reduced grid; the 100-client
+column and the regression guard run in both modes.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.reporting import format_series
-from repro.experiments.web_concurrency import run_web_concurrency
+from repro.experiments.web_concurrency import (
+    default_client_counts,
+    run_web_concurrency,
+)
+from repro.web.server import AjaxWebServer
 
 from benchmarks.conftest import record_report
 
 QUICK = os.environ.get("RICSA_BENCH_QUICK", "") not in ("", "0")
+_CPUS = os.cpu_count() or 1
 SESSION_COUNTS = (1, 2) if QUICK else (1, 4)
-CLIENT_COUNTS = (1, 10) if QUICK else (1, 10, 100)
+# default_client_counts() drops the 250-client cell on 1-3 core runners
+# (250 in-process client threads behind one core's GIL measure the
+# harness, not the server); encode-once and regression assertions use
+# the 100 cell, which runs everywhere.
+CLIENT_COUNTS = (1, 100) if QUICK else default_client_counts()
 DURATION = 0.5 if QUICK else 1.0
+
+# The whole point of the selector-loop + worker-pool design: thread count
+# is a build-time constant, not a function of load.
+EXPECTED_SERVER_THREADS = 1 + AjaxWebServer.DEFAULT_WORKERS
+
+# Wake p99 may not degrade more than 3x from 1 to 100 clients.  Sub-ms
+# single-client p99s are scheduler-noise-dominated, so the denominator is
+# floored: the guard is meant to catch a return to O(clients) per-wake
+# work (which pushes the 100-client p99 past ~15 ms on an unloaded
+# multi-core box), not to flag a 0.4 ms vs 1.5 ms jitter ratio.  On a
+# 1-2 core runner the 100 in-process client threads themselves serialize
+# behind every herd wake, so the floor scales with available cores.
+P99_DEGRADATION_FACTOR = 3.0
+P99_FLOOR_MS = 3.5 if _CPUS >= 4 else (5.0 if _CPUS >= 2 else 10.0)
+
+
+def _wait_for_lingering_sims(timeout: float = 60.0) -> None:
+    """Let daemon simulation threads from earlier tests wind down.
+
+    When the benchmark runs inside the full tier-1 session, steering
+    sessions stopped without join (eviction semantics) may still be
+    rendering; their CPU load would pollute the latency cells.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        sims = [
+            t for t in threading.enumerate()
+            if t.is_alive() and t.name.startswith("ricsa-sim-")
+        ]
+        if not sims:
+            return
+        sims[0].join(timeout=min(1.0, max(0.0, deadline - time.monotonic())))
 
 
 @pytest.fixture(scope="module")
 def sweep():
+    _wait_for_lingering_sims()
     return run_web_concurrency(
         session_counts=SESSION_COUNTS,
         client_counts=CLIENT_COUNTS,
         duration=DURATION,
+        repeats=2,
     )
 
 
@@ -58,13 +107,39 @@ class TestBenchWebConcurrency:
         """Thread count must not scale with parked polls (the tentpole)."""
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         threads = {c.server_threads for c in sweep.cells}
-        assert threads == {1}, f"server thread count varied: {threads}"
+        assert threads == {EXPECTED_SERVER_THREADS}, (
+            f"server thread count varied or grew: {threads} "
+            f"(expected the fixed IO+worker constant {EXPECTED_SERVER_THREADS})"
+        )
 
     def test_images_encoded_exactly_once_per_version(self, benchmark, sweep):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
         for cell in sweep.cells:
             assert cell.images_published > 0
             assert cell.encodes_per_version == pytest.approx(1.0)
+
+    def test_json_encoded_once_per_wake_at_scale(self, benchmark, sweep):
+        """Encode-once fan-out: waking N pollers costs ~1 JSON encode.
+
+        Without the shared delta-frame cache this ratio tracks the client
+        count (~N encodes per publish); with it the ratio stays ~1 as
+        clients scale — the O(1 encode + N writes) wake path.
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        record_report(
+            "Ablation - JSON encodes per wake vs concurrent clients\n"
+            + format_series(
+                "  clients",
+                [float(c.clients) for c in sweep.cells],
+                [c.json_encodes_per_wake for c in sweep.cells],
+            )
+        )
+        for cell in sweep.cells:
+            if cell.clients >= 10:
+                assert cell.json_encodes_per_wake == pytest.approx(1.0, abs=0.5), (
+                    f"{cell.clients} clients paid {cell.json_encodes_per_wake} "
+                    "JSON encodes per wake — the shared frame cache is not sharing"
+                )
 
     def test_all_cells_delivered_events_without_errors(self, benchmark, sweep):
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -84,3 +159,35 @@ class TestBenchWebConcurrency:
         )
         biggest = max(sweep.cells, key=lambda c: (c.clients, c.sessions))
         assert biggest.wake_p99_ms < 1000.0
+
+    def test_wake_p99_regression_guard(self, benchmark, sweep):
+        """100-client wake p99 must stay within 3x of the 1-client p99.
+
+        This is the quick-mode CI guard for the shared-delta fan-out: a
+        return to per-waiter serialization degrades the 100-client p99
+        by ~an order of magnitude and trips this immediately.
+        """
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for sessions in SESSION_COUNTS:
+            p99_one = sweep.cell(sessions, 1).wake_p99_ms
+            p99_hundred = sweep.cell(sessions, 100).wake_p99_ms
+            # A scheduler hiccup in a ~1.5 s cell can fake a violation, so
+            # a failing pair is re-measured fresh before declaring a
+            # regression; a genuine return to O(clients) per-wake work
+            # (~an order of magnitude over the limit) fails every attempt.
+            attempts = 3
+            for attempt in range(attempts):
+                limit = P99_DEGRADATION_FACTOR * max(p99_one, P99_FLOOR_MS)
+                if p99_hundred <= limit or attempt == attempts - 1:
+                    break
+                retry = run_web_concurrency(
+                    session_counts=(sessions,), client_counts=(1, 100),
+                    duration=DURATION,
+                )
+                p99_one = retry.cell(sessions, 1).wake_p99_ms
+                p99_hundred = retry.cell(sessions, 100).wake_p99_ms
+            assert p99_hundred <= limit, (
+                f"{sessions} sessions: 100-client wake p99 {p99_hundred} ms "
+                f"exceeds {limit} ms ({P99_DEGRADATION_FACTOR}x the 1-client "
+                f"p99 {p99_one} ms, floored at {P99_FLOOR_MS} ms)"
+            )

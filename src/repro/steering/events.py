@@ -8,17 +8,27 @@ steering action) is appended as a :class:`SessionEvent` with a single
 monotonically increasing sequence number, and a poll returns the delta of
 events past a client's cursor.
 
-Two properties matter at scale:
+Three properties matter at scale:
 
 * **Shared-encode caching** — an image is encoded into its fixed-size
   container exactly once, at publish time; the cached blob (and a lazily
   cached PNG) is then served to every client that asks for that version.
   ``encode_count`` / ``png_encode_count`` make the once-per-version
   guarantee testable.
+* **Shared delta frames** — a poll response is fully determined by the
+  ``(since, head_seq)`` window it covers, so the serialized JSON bytes
+  are memoized in a small :class:`DeltaFrameCache`.  When a publish
+  wakes N waiters parked at the same cursor, one ``json.dumps`` is paid
+  and all N connections share the immutable frame; ``json_encodes``
+  makes the encode-once wake path testable the same way ``encode_count``
+  does for images.
 * **Gap detection** — the event log is a bounded ring.  A slow poller
   whose cursor has fallen off the tail receives ``dropped`` (the number
   of events it can never see) instead of a silent gap, and can resync
-  from :meth:`snapshot`.
+  from :meth:`snapshot`.  The merged component view behind
+  :meth:`snapshot` is bounded too: past ``component_limit`` distinct
+  component ids, the least-recently-updated component is evicted and
+  counted in ``dropped_components``.
 
 Publish never blocks on pollers: waiters are woken through the store's
 condition variable and through registered listeners (the web tier's
@@ -27,15 +37,16 @@ long-poll scheduler), both O(1) amortised per publish.
 
 from __future__ import annotations
 
+import json
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import WebServerError
 from repro.viz.image import Image, decode_fixed_size, encode_fixed_size
 
-__all__ = ["SessionEvent", "EventSequenceStore"]
+__all__ = ["SessionEvent", "DeltaFrameCache", "EventSequenceStore"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,6 +83,60 @@ class _ImageRecord:
         return self.seq
 
 
+class DeltaFrameCache:
+    """Bounded LRU of serialized JSON delta frames keyed by ``(since, head_seq)``.
+
+    A delta — components past ``since``, the ``dropped`` gap count and
+    the ``timeout`` flag — is a pure function of its key, so the encoded
+    bytes can be shared by every waiter parked at the same cursor.  The
+    cache is tiny by design: on a herd wake nearly all waiters share one
+    key, and a handful of stragglers at older cursors each add one entry
+    that the LRU bound reclaims as the head advances.
+    """
+
+    __slots__ = ("capacity", "byte_limit", "bytes", "_frames", "hits", "misses")
+
+    def __init__(self, capacity: int = 16,
+                 byte_limit: int = 8 * 1024 * 1024) -> None:
+        if capacity < 1:
+            raise WebServerError("frame cache capacity must be >= 1")
+        if byte_limit < 1:
+            raise WebServerError("frame cache byte limit must be >= 1")
+        self.capacity = int(capacity)
+        self.byte_limit = int(byte_limit)
+        self.bytes = 0
+        self._frames: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple[int, int]) -> bytes | None:
+        frame = self._frames.get(key)
+        if frame is None:
+            self.misses += 1
+            return None
+        self._frames.move_to_end(key)
+        self.hits += 1
+        return frame
+
+    def put(self, key: tuple[int, int], frame: bytes) -> None:
+        old = self._frames.pop(key, None)
+        if old is not None:
+            self.bytes -= len(old)
+        self._frames[key] = frame
+        self.bytes += len(frame)
+        # Bounded by entries AND bytes (the newest frame always stays, so
+        # large deltas are still served shared — they just do not pin the
+        # cache's memory once the herd has moved on).
+        while len(self._frames) > self.capacity or (
+            self.bytes > self.byte_limit and len(self._frames) > 1
+        ):
+            _, evicted = self._frames.popitem(last=False)
+            self.bytes -= len(evicted)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+
 class EventSequenceStore:
     """Thread-safe bounded event log with one monotonic sequence number."""
 
@@ -80,12 +145,17 @@ class EventSequenceStore:
         file_size: int = 256 * 1024,
         capacity: int = 256,
         image_capacity: int = 8,
+        component_limit: int = 256,
+        frame_cache_size: int = 16,
     ) -> None:
         if capacity < 1 or image_capacity < 1:
             raise WebServerError("event store capacities must be >= 1")
+        if component_limit < 1:
+            raise WebServerError("component limit must be >= 1")
         self.file_size = int(file_size)
         self.capacity = int(capacity)
         self.image_capacity = int(image_capacity)
+        self.component_limit = int(component_limit)
         self._cond = threading.Condition()
         self._seq = 0
         self._events: deque[SessionEvent] = deque()
@@ -93,10 +163,13 @@ class EventSequenceStore:
         self._components: dict[str, dict] = {}
         self._component_seq: dict[str, int] = {}
         self._listeners: list[Callable[[int], None]] = []
+        self._frame_cache = DeltaFrameCache(frame_cache_size)
         self.encode_count = 0
         self.png_encode_count = 0
+        self.json_encodes = 0
         self.dropped_events = 0
         self.dropped_images = 0
+        self.dropped_components = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -135,9 +208,20 @@ class EventSequenceStore:
         while len(self._events) > self.capacity:
             self._events.popleft()
             self.dropped_events += 1
-        merged = self._components.setdefault(component, {})
+        # Pop + reinsert keeps the dict in least-recently-updated-first
+        # order, making the cardinality bound below an O(1) eviction of
+        # the front key (never the component just written).
+        merged = self._components.pop(component, None)
+        if merged is None:
+            merged = {}
         merged.update(props)
+        self._components[component] = merged
         self._component_seq[component] = self._seq
+        while len(self._components) > self.component_limit:
+            victim = next(iter(self._components))
+            del self._components[victim]
+            del self._component_seq[victim]
+            self.dropped_components += 1
         return self._seq
 
     def _append(self, kind: str, component: str, cycle: int, props: dict) -> int:
@@ -173,8 +257,13 @@ class EventSequenceStore:
             fn(seq)
         return seq
 
-    def publish_status(self, component: str = "session", cycle: int = 0, **props: Any) -> int:
-        """Append a status/meta event (session config, loop description...)."""
+    def publish_status(self, component: str = "session", cycle: int = 0, /,
+                       **props: Any) -> int:
+        """Append a status/meta event (session config, loop description...).
+
+        ``component`` and ``cycle`` are positional-only so arbitrary
+        (user-supplied) prop maps may legally contain those key names.
+        """
         return self._append("status", component, cycle, dict(props))
 
     def publish_steering(self, params: dict, cycle: int = 0) -> int:
@@ -199,6 +288,39 @@ class EventSequenceStore:
         with self._cond:
             return self._delta_locked(since)
 
+    def delta_frame(self, since: int) -> bytes:
+        """Serialized JSON delta past ``since``, encoded once per window.
+
+        The response bytes for a ``(since, head_seq)`` window are
+        memoized, so a publish that wakes N waiters parked at the same
+        cursor costs one ``json.dumps`` — the returned ``bytes`` object
+        is immutable and safe to share across N connection write queues
+        without copying.  ``json_encodes`` counts actual encodes.
+        """
+        with self._cond:
+            key = (since, self._seq)
+            frame = self._frame_cache.get(key)
+            if frame is not None:
+                return frame
+            delta = self._delta_locked(since)
+        # Serialize outside the lock so publishers never block behind a
+        # large encode; a racing caller of the same window may duplicate
+        # the encode (counted honestly), the cache keeps one winner.
+        frame = json.dumps(delta).encode("utf-8")
+        with self._cond:
+            self.json_encodes += 1
+            self._frame_cache.put(key, frame)
+        return frame
+
+    def frame_cache_stats(self) -> dict:
+        with self._cond:
+            return {
+                "size": len(self._frame_cache),
+                "hits": self._frame_cache.hits,
+                "misses": self._frame_cache.misses,
+                "json_encodes": self.json_encodes,
+            }
+
     def wait_delta(self, since: int, timeout: float | None = None) -> dict:
         """Long-poll: block until the sequence passes ``since`` or timeout.
 
@@ -221,6 +343,7 @@ class EventSequenceStore:
                     {"id": cid, "props": dict(props), "version": self._component_seq[cid]}
                     for cid, props in self._components.items()
                 ],
+                "dropped_components": self.dropped_components,
             }
 
     # -- image delivery ----------------------------------------------------------

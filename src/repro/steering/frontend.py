@@ -1,5 +1,15 @@
 """The Ajax front end: versioned fixed-size image store.
 
+.. deprecated::
+    ``ImageStore`` / ``FrontEnd`` are the seed's single-purpose image
+    ring, superseded by the unified per-session
+    :class:`~repro.steering.events.EventSequenceStore` (one monotonic
+    sequence for images, status and steering events, shared-encode and
+    shared-frame caching) owned by a
+    :class:`~repro.steering.manager.SessionManager`.  Instantiating them
+    emits :class:`DeprecationWarning`; they will be removed once the
+    remaining standalone tests migrate.
+
 "Ajax front end will then save the received images as fixed-size files
 that are to be delivered to the browser through the object exchange
 mechanism of XMLHttpRequest" (Section 2).  The store keeps a small ring
@@ -11,12 +21,21 @@ advances — the data-driven partial-update model.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import WebServerError
 from repro.viz.image import Image, encode_fixed_size
 
 __all__ = ["ImageStore", "FrontEnd", "StoredImage"]
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +52,7 @@ class ImageStore:
     """Thread-safe ring buffer of fixed-size encoded images."""
 
     def __init__(self, file_size: int = 256 * 1024, capacity: int = 8) -> None:
+        _warn_deprecated("ImageStore", "repro.steering.events.EventSequenceStore")
         if capacity < 1:
             raise WebServerError("capacity must be >= 1")
         self.file_size = int(file_size)
@@ -132,6 +152,9 @@ class FrontEnd:
     """Per-session image stores plus session metadata registry."""
 
     def __init__(self, file_size: int = 256 * 1024) -> None:
+        _warn_deprecated(
+            "FrontEnd", "repro.steering.manager.SessionManager"
+        )
         self.file_size = int(file_size)
         self._stores: dict[str, ImageStore] = {}
         self._meta: dict[str, dict] = {}

@@ -1,5 +1,15 @@
 """Long-poll coordination for the Ajax endpoints.
 
+.. deprecated::
+    ``UpdateHub`` (with ``UIModel``) is the seed's thread-blocking
+    long-poll hub, superseded by the unified
+    :class:`~repro.steering.events.EventSequenceStore` (whose deltas the
+    non-blocking :class:`~repro.web.server.AjaxWebServer` serves through
+    waiter records on the
+    :class:`~repro.web.longpoll.LongPollScheduler`).  Instantiating it
+    emits :class:`DeprecationWarning`; it will be removed once the
+    remaining standalone tests migrate.
+
 The asynchronous half of Ajax: a ``/api/poll`` request parks on the hub
 until the UI model (or the image store) advances past the client's last
 seen version, then returns only the changes.  Wakes are broadcast; each
@@ -9,6 +19,7 @@ waiter re-checks its own predicate.
 from __future__ import annotations
 
 import threading
+import warnings
 
 from repro.web.components import UIModel
 
@@ -19,6 +30,13 @@ class UpdateHub:
     """Condition-variable hub tying the UI model to long-poll waiters."""
 
     def __init__(self, model: UIModel) -> None:
+        warnings.warn(
+            "UpdateHub is deprecated; poll an "
+            "repro.steering.events.EventSequenceStore through the "
+            "AjaxWebServer/LongPollScheduler instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.model = model
         self._cond = threading.Condition()
 

@@ -1,5 +1,12 @@
 """Server-side UI component tree with versioned diffs.
 
+.. deprecated::
+    ``UIModel`` is the seed's standalone component registry, superseded
+    by the per-session :class:`~repro.steering.events.EventSequenceStore`
+    whose events are already shaped as component updates.  Instantiating
+    it emits :class:`DeprecationWarning`; it will be removed once the
+    remaining standalone tests migrate.
+
 "Using Ajax, only user interface elements that contain new information
 are updated with data received from a server" — the mechanism behind
 that sentence: every component carries the version at which it last
@@ -10,6 +17,7 @@ than ``v`` (the partial screen update).
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -32,6 +40,12 @@ class UIModel:
     """Thread-safe component registry with monotonically growing version."""
 
     def __init__(self) -> None:
+        warnings.warn(
+            "UIModel is deprecated; use "
+            "repro.steering.events.EventSequenceStore instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._components: dict[str, Component] = {}
         self._version = 0
         self._lock = threading.Lock()

@@ -14,13 +14,31 @@ Routes are keyed by session — ``/api/<session>/poll``,
 ``/api/<session>/image`` ... — served out of the per-session
 :class:`~repro.steering.events.EventSequenceStore` owned by the
 :class:`~repro.steering.manager.SessionManager`.  Each image is encoded
-once per version; all N clients receive the cached blob.
+once per version; all N clients receive the cached blob, and each poll
+delta is serialized once per ``(since, head_seq)`` window — waking N
+pollers on one publish costs ~O(1 encode + N writes), not O(N encodes).
+
+The write path is zero-copy fan-out: a response is a freshly built
+header ``bytes`` plus a shared immutable body buffer, queued as
+``memoryview``s on a per-connection deque and flushed with vectored
+(``sendmsg``) partial non-blocking writes.  A slow client accumulates
+backlog in its own queue only — never a copy of a shared frame — and is
+disconnected once the backlog exceeds the per-connection write budget,
+so one stalled reader can neither stall the loop nor other waiters.
+
+Heavy routes run off the IO loop: ``POST /api/sessions`` (CentralManager
+configure + simulation startup) executes on a small fixed worker pool
+whose completions are queued back through the same socketpair wakeup the
+publish path uses.  Total server thread count stays a fixed constant
+(1 IO thread + ``workers``) however many clients connect.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
+import queue
 import selectors
 import socket
 import threading
@@ -39,6 +57,9 @@ __all__ = ["AjaxWebServer"]
 _MAX_POLL_TIMEOUT = 30.0
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 4 * 1024 * 1024
+_MAX_IOV = 64  # buffers per vectored write (safely under IOV_MAX everywhere)
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+_INDEX_BYTES = INDEX_HTML.encode("utf-8")  # encoded once, shared by every GET /
 
 _STATUS_TEXT = {
     200: "OK",
@@ -81,20 +102,29 @@ class _Request:
 
 
 class _Handler:
-    """One client connection: buffers, parse state, at most one parked poll."""
+    """One client connection: buffers, parse state, at most one parked poll.
 
-    __slots__ = ("app", "sock", "addr", "inbuf", "outbuf", "close_after",
-                 "waiter", "parked", "closed", "keep_alive", "last_activity")
+    Output is a deque of ``memoryview``s over immutable buffers — the
+    response header is built per connection, but the body (a shared delta
+    frame or cached image blob) is queued without copying.  ``out_bytes``
+    tracks the unsent backlog against the server's write budget.
+    """
+
+    __slots__ = ("app", "sock", "addr", "inbuf", "outq", "out_bytes",
+                 "close_after", "waiter", "busy", "closed", "keep_alive",
+                 "last_activity", "want_write")
 
     def __init__(self, app: "AjaxWebServer", sock: socket.socket, addr) -> None:
         self.app = app
         self.sock = sock
         self.addr = addr
         self.inbuf = bytearray()
-        self.outbuf = bytearray()
+        self.outq: deque[memoryview] = deque()
+        self.out_bytes = 0
+        self.want_write = False  # EVENT_WRITE currently registered
         self.close_after = False
         self.waiter: Waiter | None = None  # the parked poll, if any
-        self.parked: _Request | None = None
+        self.busy = False  # a worker-pool job owns the next response
         self.closed = False
         self.keep_alive = True  # set per request; consumed by _send
         self.last_activity = time.monotonic()
@@ -102,26 +132,65 @@ class _Handler:
     # -- response construction -----------------------------------------------------
 
     def _send(self, code: int, body: bytes, ctype: str = "application/json") -> None:
-        """Queue a full HTTP response honouring the request's keep-alive."""
-        reason = _STATUS_TEXT.get(code, "OK")
-        head = [
-            f"HTTP/1.1 {code} {reason}",
-            f"Content-Type: {ctype}",
-            f"Content-Length: {len(body)}",
-            "Cache-Control: no-store",
-            "Server: RICSA/2.0",
-        ]
-        if self.keep_alive:
-            head.append("Connection: keep-alive")
-            head.append(f"Keep-Alive: timeout={int(self.app.keepalive_timeout)}")
-        else:
-            head.append("Connection: close")
+        """Queue a full HTTP response honouring the request's keep-alive.
+
+        ``body`` is queued by reference (zero-copy): callers hand in
+        immutable ``bytes`` — shared delta frames and cached image blobs
+        reach every connection without per-client copies.
+        """
+        if not self.keep_alive:
             self.close_after = True
-        self.outbuf += ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
-        self.app._want_write(self)
+        header = self.app._render_head(code, ctype, len(body), self.keep_alive)
+        self.app._enqueue_and_flush(self, (header, body) if body else (header,))
 
     def _send_json(self, obj, code: int = 200) -> None:
         self._send(code, json.dumps(obj).encode("utf-8"))
+
+
+class _WorkerPool:
+    """Small fixed pool for heavy routes (session creation).
+
+    Submitted jobs run entirely off the IO loop; whatever they need to
+    hand back travels through the caller's completion queue + socketpair
+    wakeup, never by touching connection state from a worker thread.
+    The pool never grows: thread count is part of the server's asserted
+    constant.
+    """
+
+    def __init__(self, size: int, name: str = "ricsa-web-worker") -> None:
+        if size < 1:
+            raise WebServerError("worker pool size must be >= 1")
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True, name=f"{name}-{i}")
+            for i in range(size)
+        ]
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+
+    def submit(self, fn) -> None:
+        self._tasks.put(fn)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        for _ in self._threads:
+            self._tasks.put(None)
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    def thread_count(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def _run(self) -> None:
+        while True:
+            fn = self._tasks.get()
+            if fn is None:
+                return
+            try:
+                fn()
+            except Exception:  # jobs report their own errors via completions
+                pass
 
 
 class AjaxWebServer:
@@ -130,6 +199,8 @@ class AjaxWebServer:
     Use as a context manager or call :meth:`start` / :meth:`stop`.
     """
 
+    DEFAULT_WORKERS = 2
+
     def __init__(
         self,
         client: SteeringClient,
@@ -137,12 +208,27 @@ class AjaxWebServer:
         verbose: bool = False,
         keepalive_timeout: float = 30.0,
         housekeeping_interval: float = 1.0,
+        workers: int | None = None,
+        write_budget: int = 8 * 1024 * 1024,
     ) -> None:
         self.client = client
         self.manager = client.manager
         self.verbose = verbose
         self.keepalive_timeout = float(keepalive_timeout)
         self.housekeeping_interval = float(housekeeping_interval)
+        self.workers = self.DEFAULT_WORKERS if workers is None else int(workers)
+        self.write_budget = int(write_budget)
+        if self.write_budget < 1:
+            raise WebServerError("write budget must be >= 1 byte")
+        self._keepalive_suffix = (
+            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
+            "Connection: keep-alive\r\n"
+            f"Keep-Alive: timeout={int(self.keepalive_timeout)}\r\n\r\n"
+        )
+        self._close_suffix = (
+            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
+            "Connection: close\r\n\r\n"
+        )
         self.scheduler = LongPollScheduler()
         self._listen = socket.create_server(("127.0.0.1", port))
         self._listen.setblocking(False)
@@ -151,12 +237,16 @@ class AjaxWebServer:
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
         self._ready: deque[Waiter] = deque()  # popped by the IO loop only
+        self._completions: deque = deque()  # (handler, (code, payload)); IO loop pops
+        self._pool = _WorkerPool(self.workers)
         self._handlers: set[_Handler] = set()
         self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self.polls_served = 0
         self.requests_served = 0
+        self.bytes_sent = 0
+        self.slow_client_disconnects = 0
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -168,14 +258,34 @@ class AjaxWebServer:
     def url(self) -> str:
         return f"http://127.0.0.1:{self.port}"
 
+    def _render_head(self, code: int, ctype: str, length: int,
+                     keep_alive: bool) -> bytes:
+        """The single home of the HTTP response-head format."""
+        reason = _STATUS_TEXT.get(code, "OK")
+        suffix = self._keepalive_suffix if keep_alive else self._close_suffix
+        return (
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {length}\r\n" + suffix
+        ).encode("latin-1")
+
     def io_thread_count(self) -> int:
-        """Server threads in existence — a constant 1, however many polls park."""
+        """IO threads in existence — a constant 1, however many polls park."""
         return 1 if (self._thread is not None and self._thread.is_alive()) else 0
+
+    def worker_thread_count(self) -> int:
+        """Worker-pool threads — a fixed constant, independent of load."""
+        return self._pool.thread_count()
+
+    def server_thread_count(self) -> int:
+        """Every thread the server owns: 1 IO + ``workers``, a constant."""
+        return self.io_thread_count() + self.worker_thread_count()
 
     def start(self) -> "AjaxWebServer":
         self._stop.clear()
         self._selector.register(self._listen, selectors.EVENT_READ, ("accept", None))
         self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
+        self._pool.start()
         self._thread = threading.Thread(
             target=self._serve, daemon=True, name="ricsa-web-io"
         )
@@ -188,6 +298,7 @@ class AjaxWebServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self._pool.stop()
 
     def __enter__(self) -> "AjaxWebServer":
         return self.start()
@@ -250,6 +361,7 @@ class AjaxWebServer:
                         self._close(handler)
             now = time.monotonic()
             self._deliver_ready()
+            self._deliver_completions()
             self._deliver_expired(now)
             if now >= next_housekeeping:
                 next_housekeeping = now + self.housekeeping_interval
@@ -293,8 +405,9 @@ class AjaxWebServer:
         self._handlers.discard(handler)
 
     def _want_write(self, handler: _Handler) -> None:
-        if handler.closed:
+        if handler.closed or handler.want_write:
             return
+        handler.want_write = True
         self._selector.modify(
             handler.sock, selectors.EVENT_READ | selectors.EVENT_WRITE,
             ("conn", handler),
@@ -320,21 +433,58 @@ class AjaxWebServer:
             return
         self._process_input(handler)
 
-    def _writable(self, handler: _Handler) -> None:
-        if handler.outbuf:
+    def _drop_slow(self, handler: _Handler) -> None:
+        """Disconnect a client whose unread backlog exceeds the write budget.
+
+        The backlog is per-connection memoryviews over shared immutable
+        buffers, so dropping the client frees only queue entries — the
+        shared frames other waiters reference are untouched.
+        """
+        self.slow_client_disconnects += 1
+        self._close(handler)
+
+    def _flush(self, handler: _Handler) -> None:
+        """Vectored write of as much queued output as the socket accepts.
+
+        Runs on the IO loop only.  Shared body buffers go straight from
+        the queue of ``memoryview``s to ``sendmsg`` — no concatenation,
+        no per-client copy.  A partial write narrows the front view in
+        place (zero-copy) and falls back to EVENT_WRITE registration.
+        """
+        while handler.outq:
+            bufs = list(itertools.islice(handler.outq, _MAX_IOV))
             try:
-                sent = handler.sock.send(handler.outbuf)
+                if _HAS_SENDMSG:
+                    sent = handler.sock.sendmsg(bufs)
+                else:  # pragma: no cover - platforms without sendmsg
+                    sent = handler.sock.send(bufs[0])
             except (BlockingIOError, InterruptedError):
+                self._want_write(handler)
                 return
             except OSError:
                 self._close(handler)
                 return
             handler.last_activity = time.monotonic()
-            del handler.outbuf[:sent]
-        if not handler.outbuf:
-            if handler.close_after:
-                self._close(handler)
-                return
+            handler.out_bytes -= sent
+            self.bytes_sent += sent
+            # Retire fully written buffers; slice the partial one in place
+            # (a zero-copy narrowing of the memoryview, not a data copy).
+            while sent > 0:
+                head = handler.outq[0]
+                if sent >= len(head):
+                    sent -= len(head)
+                    handler.outq.popleft()
+                else:
+                    handler.outq[0] = head[sent:]
+                    break
+        handler.out_bytes = 0
+        if handler.close_after:
+            self._close(handler)
+
+    def _writable(self, handler: _Handler) -> None:
+        self._flush(handler)
+        if not handler.closed and not handler.outq and handler.want_write:
+            handler.want_write = False
             self._selector.modify(handler.sock, selectors.EVENT_READ, ("conn", handler))
             # A pipelined request may already be buffered.
             self._process_input(handler)
@@ -343,7 +493,7 @@ class AjaxWebServer:
 
     def _process_input(self, handler: _Handler) -> None:
         """Parse and dispatch as many buffered requests as possible."""
-        while not handler.closed and handler.waiter is None:
+        while not handler.closed and handler.waiter is None and not handler.busy:
             request = self._parse_one(handler)
             if request is None:
                 return
@@ -376,7 +526,11 @@ class AjaxWebServer:
         for line in lines[1:]:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:  # malformed framing: unrecoverable, drop the conn
+            self._close(handler)
+            return None
         if length < 0 or length > _MAX_BODY_BYTES:
             self._close(handler)
             return None
@@ -411,7 +565,7 @@ class AjaxWebServer:
 
     def _dispatch(self, handler: _Handler, request: _Request) -> None:
         if request.method == "GET" and request.path == "/":
-            handler._send(200, INDEX_HTML.encode("utf-8"), "text/html; charset=utf-8")
+            handler._send(200, _INDEX_BYTES, "text/html; charset=utf-8")
             return
         if request.method not in ("GET", "POST"):
             handler._send_json({"error": f"method {request.method}"}, code=400)
@@ -483,18 +637,55 @@ class AjaxWebServer:
         return cls._query_num(request, "v", "0")
 
     def _create_session(self, handler: _Handler, request: _Request) -> None:
-        spec = request.json_body()
-        session = self.client.start(
-            simulator=spec.get("simulator", "heat"),
-            technique=spec.get("technique", "isosurface"),
-            variable=spec.get("variable"),
-            n_cycles=int(spec.get("n_cycles", 50)),
-            session_id=spec.get("session_id"),
-            initial_params=spec.get("params"),
-            sim_kwargs=spec.get("sim_kwargs"),
-            push_every=int(spec.get("push_every", 1)),
-        )
-        handler._send_json({"ok": True, "session": session.session_id})
+        """Heavy route, run off the IO loop on the worker pool.
+
+        ``CentralManager.configure`` (pipeline calibration + DP mapping)
+        plus simulation startup can take hundreds of milliseconds; inline
+        they would stall every parked poll.  The connection is marked
+        ``busy`` (no further pipelined dispatch), the job runs on a
+        worker, and its outcome re-enters the IO loop through the
+        completion queue + socketpair — the same wakeup publishes use.
+        """
+        spec = request.json_body()  # parse errors answered inline, cheaply
+        handler.busy = True
+
+        def job() -> None:
+            try:
+                session = self.client.start(
+                    simulator=spec.get("simulator", "heat"),
+                    technique=spec.get("technique", "isosurface"),
+                    variable=spec.get("variable"),
+                    n_cycles=int(spec.get("n_cycles", 50)),
+                    session_id=spec.get("session_id"),
+                    initial_params=spec.get("params"),
+                    sim_kwargs=spec.get("sim_kwargs"),
+                    push_every=int(spec.get("push_every", 1)),
+                )
+                outcome = (200, {"ok": True, "session": session.session_id})
+            except ReproError as exc:
+                outcome = (400, {"error": str(exc)})
+            except Exception as exc:  # report, never kill the worker
+                outcome = (500, {"error": f"internal: {exc}"})
+            self._completions.append((handler, outcome))
+            self._wake()
+
+        self._pool.submit(job)
+
+    def _deliver_completions(self) -> None:
+        """Send worker-pool results; runs on the IO loop only."""
+        while True:
+            try:
+                handler, (code, payload) = self._completions.popleft()
+            except IndexError:
+                return
+            handler.busy = False
+            if handler.closed:
+                continue
+            try:
+                handler._send_json(payload, code=code)
+                self._process_input(handler)  # pipelined requests behind the job
+            except Exception:  # one bad connection must not kill the IO loop
+                self._close(handler)
 
     # -- long polls ---------------------------------------------------------------------
 
@@ -503,10 +694,9 @@ class AjaxWebServer:
         since = self._query_num(request, "since", "0")
         timeout = min(self._query_num(request, "timeout", "20", float), _MAX_POLL_TIMEOUT)
         self._hook_store(sid, store)
-        delta = store.delta(since)
-        if delta["version"] > since or timeout <= 0:
+        if store.seq > since or timeout <= 0:
             self.polls_served += 1
-            handler._send_json(delta)
+            handler._send(200, store.delta_frame(since))
             return
         # Park: register first, then re-check, so a publish racing this
         # request is either seen by the re-check or pops the waiter.
@@ -514,11 +704,10 @@ class AjaxWebServer:
             sid, since, time.monotonic() + timeout, handler
         )
         handler.waiter = waiter
-        delta = store.delta(since)
-        if delta["version"] > since and self.scheduler.cancel(waiter):
+        if store.seq > since and self.scheduler.cancel(waiter):
             handler.waiter = None
             self.polls_served += 1
-            handler._send_json(delta)
+            handler._send(200, store.delta_frame(since))
         # else: the waiter is parked (or already in the ready queue); the
         # IO loop delivers the response.  Zero threads are held either way.
 
@@ -530,38 +719,116 @@ class AjaxWebServer:
         sid = waiter.key
         try:
             store = self.manager.events(sid)
-            delta = store.delta(waiter.since)
+            # The whole woken herd shares one encoded frame per cursor —
+            # this is the O(1 encode + N writes) wake path.
+            frame = store.delta_frame(waiter.since)
         except ReproError as exc:  # session evicted while parked
             handler._send_json({"error": str(exc)}, code=404)
             self._process_input(handler)
             return
         self.polls_served += 1
-        handler._send_json(delta)
+        handler._send(200, frame)
         self._process_input(handler)  # a pipelined request may be waiting
 
     def _deliver_ready(self) -> None:
-        while True:
-            try:
-                waiter = self._ready.popleft()
-            except IndexError:
-                return
-            self._respond_waiter(waiter)
+        """Respond to woken waiters, herd-batched by (session, cursor).
+
+        A publish typically wakes N waiters parked at the same cursor;
+        grouping them lets the whole herd share one delta frame *and*
+        one fully rendered response buffer — the wake path costs one
+        encode plus N queue-appends and N vectored writes.
+        """
+        while self._ready:  # publishers may append concurrently; re-check
+            groups: dict[tuple[str, int], list[Waiter]] = {}
+            while True:
+                try:
+                    waiter = self._ready.popleft()
+                except IndexError:
+                    break
+                groups.setdefault((waiter.key, waiter.since), []).append(waiter)
+            for (sid, since), herd in groups.items():
+                try:
+                    self._respond_herd(sid, since, herd)
+                except Exception:  # one bad herd must not kill the IO loop
+                    for waiter in herd:
+                        if waiter.handle is not None:
+                            self._close(waiter.handle)
+
+    def _respond_herd(self, sid: str, since: int, herd: list[Waiter]) -> None:
+        try:
+            store = self.manager.events(sid)
+            frame = store.delta_frame(since)
+        except ReproError:  # session evicted while parked
+            for waiter in herd:
+                self._respond_waiter(waiter)
+            return
+        shared: bytes | None = None
+        for waiter in herd:
+            handler: _Handler = waiter.handle
+            if handler.closed or handler.waiter is not waiter:
+                continue
+            handler.waiter = None
+            self.polls_served += 1
+            if handler.keep_alive:
+                # One render shared by the herd: header + frame in a
+                # single immutable buffer every connection references.
+                if shared is None:
+                    shared = self._render_head(
+                        200, "application/json", len(frame), True
+                    ) + frame
+                self._enqueue_and_flush(handler, (shared,))
+            else:
+                handler._send(200, frame)
+            if not handler.closed and handler.inbuf:
+                self._process_input(handler)  # pipelined request waiting
+
+    def _enqueue_and_flush(self, handler: _Handler, buffers) -> None:
+        """The single home of the write policy: queue ``buffers`` (by
+        reference, zero-copy), flush inline, and drop the client if the
+        backlog the socket refused exceeds the write budget.
+
+        The budget applies AFTER the flush, so a response larger than
+        the budget still reaches a fast reader — only unsendable backlog
+        counts against the connection.
+        """
+        for buf in buffers:
+            handler.outq.append(memoryview(buf))
+            handler.out_bytes += len(buf)
+        self._flush(handler)
+        if not handler.closed and handler.out_bytes > self.write_budget:
+            self._drop_slow(handler)
 
     def _deliver_expired(self, now: float) -> None:
         for waiter in self.scheduler.expire_due(now):
-            self._respond_waiter(waiter)
+            try:
+                self._respond_waiter(waiter)
+            except Exception:  # one bad connection must not kill the IO loop
+                if waiter.handle is not None:
+                    self._close(waiter.handle)
 
     def _housekeeping(self) -> None:
         evicted = self.manager.evict_idle()
         for sid in evicted:
             for waiter in self.scheduler.drop_key(sid):
-                self._respond_waiter(waiter)
-        # Reap half-open keep-alive connections: idle (no parked poll, no
-        # pending output) past the advertised Keep-Alive timeout.
+                try:
+                    self._respond_waiter(waiter)
+                except Exception:
+                    if waiter.handle is not None:
+                        self._close(waiter.handle)
+        # Reap half-open keep-alive connections past the advertised
+        # Keep-Alive timeout.  `last_activity` only advances on
+        # successful IO, so a connection with pending output that made
+        # no progress for the whole window is a stalled reader whose
+        # backlog never reached the write budget — drop it as slow
+        # rather than holding its fd and queued buffers forever.
         cutoff = time.monotonic() - self.keepalive_timeout
         for handler in list(self._handlers):
-            if (handler.waiter is None and not handler.outbuf
-                    and handler.last_activity < cutoff):
+            if (handler.waiter is not None or handler.busy
+                    or handler.last_activity >= cutoff):
+                continue
+            if handler.outq:
+                self._drop_slow(handler)
+            else:
                 self._close(handler)
 
     def _shutdown_sockets(self) -> None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import threading
 
 import numpy as np
@@ -158,6 +159,160 @@ class TestConcurrentPollCorrectness:
             assert seqs[-1] == n_publishes  # everyone saw the final event
 
 
+class TestPublishStatusProps:
+    def test_props_may_use_keys_colliding_with_parameter_names(self):
+        """component/cycle are positional-only, so props may reuse them."""
+        store = EventSequenceStore()
+        store.publish_status("session", **{"component": "x", "cycle": 9})
+        by_id = {c["id"]: c for c in store.snapshot()["components"]}
+        assert by_id["session"]["props"] == {"component": "x", "cycle": 9}
+
+    def test_monitor_meta_with_colliding_keys(self):
+        from repro.net import build_paper_testbed
+        from repro.steering.central_manager import CentralManager
+        from repro.steering.manager import SessionManager
+        from repro.costmodel.calibration import default_calibration
+
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+        manager = SessionManager(cm)
+        events = manager.open_monitor("m", meta={"cycle": 3, "component": "c"})
+        assert events.seq == 1  # the initial meta event published fine
+
+
+class TestDeltaFrameCache:
+    def test_frame_encoded_once_per_window(self):
+        """The encode-once wake path: N waiters at one cursor, 1 encode."""
+        store = EventSequenceStore()
+        store.publish_status("session", tick=1)
+        frames = [store.delta_frame(0) for _ in range(50)]
+        assert all(f is frames[0] for f in frames)  # the same cached bytes
+        assert store.json_encodes == 1
+        assert json.loads(frames[0]) == store.delta(0)
+
+    def test_distinct_cursors_get_distinct_frames(self):
+        store = EventSequenceStore()
+        store.publish_status("session", a=1)
+        store.publish_status("session", b=2)
+        f0 = store.delta_frame(0)
+        f1 = store.delta_frame(1)
+        assert store.json_encodes == 2
+        assert len(json.loads(f0)["components"]) == 2
+        assert len(json.loads(f1)["components"]) == 1
+
+    def test_publish_invalidates_window(self):
+        store = EventSequenceStore()
+        store.publish_status("session", tick=1)
+        first = store.delta_frame(0)
+        store.publish_status("session", tick=2)
+        second = store.delta_frame(0)
+        assert first is not second
+        assert store.json_encodes == 2
+        assert json.loads(second)["version"] == 2
+
+    def test_timeout_frame_is_shared_too(self):
+        store = EventSequenceStore()
+        store.publish_status("session", tick=1)
+        head = store.seq
+        frames = [store.delta_frame(head) for _ in range(10)]
+        assert all(f is frames[0] for f in frames)
+        assert store.json_encodes == 1
+        delta = json.loads(frames[0])
+        assert delta["timeout"] is True and delta["components"] == []
+
+    def test_cache_is_bounded(self):
+        store = EventSequenceStore(frame_cache_size=4)
+        store.publish_status("session", tick=1)
+        for since in range(64):
+            store.delta_frame(since)
+        stats = store.frame_cache_stats()
+        assert stats["size"] <= 4
+        assert stats["json_encodes"] == 64
+        # re-asking for an evicted window re-encodes rather than failing
+        assert json.loads(store.delta_frame(0))["version"] == 1
+
+    def test_cache_is_byte_bounded_but_serves_large_frames(self):
+        from repro.steering.events import DeltaFrameCache
+
+        cache = DeltaFrameCache(capacity=16, byte_limit=1000)
+        big = b"x" * 900
+        cache.put((0, 1), big)
+        cache.put((1, 2), big)  # over the byte limit -> (0, 1) evicted
+        assert cache.get((0, 1)) is None
+        assert cache.get((1, 2)) is big  # the newest frame always survives
+        assert cache.bytes <= 1000
+
+    def test_frames_match_delta_under_concurrent_publishes(self):
+        store = EventSequenceStore(capacity=4096)
+        stop = threading.Event()
+
+        def publisher():
+            n = 0
+            while not stop.is_set():
+                n += 1
+                store.publish_status("session", tick=n)
+
+        t = threading.Thread(target=publisher)
+        t.start()
+        try:
+            for _ in range(300):
+                since = max(0, store.seq - 2)
+                delta = json.loads(store.delta_frame(since))
+                assert delta["version"] >= since
+                for comp in delta["components"]:
+                    assert comp["version"] > since
+        finally:
+            stop.set()
+            t.join(timeout=10.0)
+
+
+class TestComponentCardinalityBound:
+    def test_snapshot_component_count_is_bounded(self):
+        store = EventSequenceStore(component_limit=4)
+        for i in range(10):
+            store.publish_status(f"widget{i}", value=i)
+        snap = store.snapshot()
+        assert len(snap["components"]) == 4
+        assert snap["dropped_components"] == 6
+        assert store.dropped_components == 6
+        # the survivors are the most recently updated components
+        assert {c["id"] for c in snap["components"]} == {
+            "widget6", "widget7", "widget8", "widget9"
+        }
+
+    def test_least_recently_updated_is_evicted_first(self):
+        store = EventSequenceStore(component_limit=2)
+        store.publish_status("a", x=1)
+        store.publish_status("b", x=2)
+        store.publish_status("a", x=3)  # refresh a; b is now the oldest
+        store.publish_status("c", x=4)
+        ids = {c["id"] for c in store.snapshot()["components"]}
+        assert ids == {"a", "c"}
+
+    def test_evicted_component_revives_on_republish(self):
+        store = EventSequenceStore(component_limit=2)
+        store.publish_status("a", x=1)
+        store.publish_status("b", x=2)
+        store.publish_status("c", x=3)  # evicts a
+        store.publish_status("a", x=9)  # revives a, evicts b
+        by_id = {c["id"]: c for c in store.snapshot()["components"]}
+        assert set(by_id) == {"c", "a"}
+        assert by_id["a"]["props"] == {"x": 9}
+
+    def test_event_ring_unaffected_by_component_eviction(self):
+        store = EventSequenceStore(component_limit=2, capacity=256)
+        for i in range(8):
+            store.publish_status(f"w{i}", value=i)
+        delta = store.delta(0)
+        assert len(delta["components"]) == 8  # the log still has every event
+        assert delta["dropped"] == 0
+
+    def test_component_limit_validated(self):
+        with pytest.raises(WebServerError):
+            EventSequenceStore(component_limit=0)
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestImageStoreGapDetection:
     def test_dropped_versions_counts_evictions(self):
         store = ImageStore(capacity=3)
@@ -191,3 +346,15 @@ class TestImageStoreGapDetection:
         assert resp["entry"] is None
         assert resp["timeout"] is True
         assert resp["dropped"] == 0
+
+
+class TestLegacyDeprecations:
+    def test_image_store_warns(self):
+        with pytest.warns(DeprecationWarning, match="ImageStore is deprecated"):
+            ImageStore()
+
+    def test_frontend_warns(self):
+        from repro.steering.frontend import FrontEnd
+
+        with pytest.warns(DeprecationWarning, match="FrontEnd is deprecated"):
+            FrontEnd()

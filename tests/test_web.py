@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import http.client
+import json
+import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -43,6 +46,17 @@ def running_server(cm):
         server.stop()
 
 
+class TestLegacyDeprecations:
+    def test_ui_model_warns(self):
+        with pytest.warns(DeprecationWarning, match="UIModel is deprecated"):
+            UIModel()
+
+    def test_update_hub_warns(self):
+        with pytest.warns(DeprecationWarning, match="UpdateHub is deprecated"):
+            UpdateHub(UIModel())
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestUIModel:
     def test_set_bumps_version_only_on_change(self):
         m = UIModel()
@@ -68,6 +82,7 @@ class TestUIModel:
         assert len(snap["components"]) == 2
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestUpdateHub:
     def test_waiter_wakes_on_publish(self):
         hub = UpdateHub(UIModel())
@@ -295,6 +310,150 @@ class TestMultiSessionHttp:
             finally:
                 for conn in conns:
                     conn.close()
+
+
+class TestMalformedPipelinedRequest:
+    def test_bad_content_length_behind_parked_poll_does_not_kill_server(self, cm):
+        """A malformed request delivered through the herd-wake path
+        (outside the selector callbacks) must not kill the IO loop."""
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            store = client.manager.open_monitor("evil")
+            cursor = store.seq
+            evil = socket.create_connection(("127.0.0.1", server.port))
+            evil.sendall(
+                f"GET /api/evil/poll?since={cursor}&timeout=20 "
+                f"HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+                + b"POST /api/evil/steer HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: oops\r\n\r\n"
+            )
+            deadline = 100
+            while server.scheduler.pending() < 1 and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+            assert server.scheduler.pending() == 1
+            # the wake delivers the poll response, then hits the malformed
+            # pipelined request during _process_input
+            store.publish_status("session", tick=1)
+            time.sleep(0.3)
+            assert server.io_thread_count() == 1, "IO loop died on bad framing"
+            # and the server still answers everyone else
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5.0)
+            try:
+                conn.request("GET", "/api/evil/state")
+                assert conn.getresponse().status == 200
+            finally:
+                conn.close()
+                evil.close()
+
+
+class TestOffLoopSessionCreation:
+    def test_post_sessions_runs_on_worker_pool(self, cm):
+        """POST /api/sessions (CM configure) must not execute on the IO loop."""
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            assert server.io_thread_count() == 1
+            assert server.worker_thread_count() == server.workers
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30.0)
+            try:
+                body = json.dumps({
+                    "simulator": "heat", "session_id": "offloop",
+                    "n_cycles": 40, "sim_kwargs": {"shape": (10, 10, 10)},
+                    "push_every": 2,
+                })
+                conn.request("POST", "/api/sessions", body=body,
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                created = json.loads(resp.read().decode("utf-8"))
+                assert created == {"ok": True, "session": "offloop"}
+                # the session is real: it publishes images we can poll
+                ajax = AjaxClient(server.url, session="offloop")
+                props = ajax.wait_for_component("image", polls=40, timeout=2.0)
+                assert props["version"] >= 1
+                # thread count unchanged: the heavy route reused pool threads
+                assert server.io_thread_count() == 1
+                assert server.worker_thread_count() == server.workers
+            finally:
+                conn.close()
+            client.stop_all()
+
+    def test_parked_polls_wake_while_session_creation_in_flight(self, cm):
+        """A heavy POST /api/sessions must not delay other clients' wakes."""
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            store = client.manager.open_monitor("fastlane")
+            cursor = store.seq
+            # park a poll, then fire a session creation at the server
+            poll_conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=30.0
+            )
+            poll_conn.request("GET", f"/api/fastlane/poll?since={cursor}&timeout=20")
+            deadline = 100
+            while server.scheduler.pending() < 1 and deadline:
+                time.sleep(0.02)
+                deadline -= 1
+            assert server.scheduler.pending() == 1
+            create_conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=60.0
+            )
+            try:
+                create_conn.request(
+                    "POST", "/api/sessions",
+                    body=json.dumps({
+                        "simulator": "heat", "session_id": "heavy",
+                        "n_cycles": 30, "sim_kwargs": {"shape": (16, 16, 16)},
+                    }),
+                    headers={"Content-Type": "application/json"},
+                )
+                # while the worker configures "heavy", a publish must wake
+                # the parked poll promptly through the (free) IO loop
+                t0 = time.monotonic()
+                store.publish_status("session", tick=1)
+                resp = poll_conn.getresponse()
+                delta = json.loads(resp.read().decode("utf-8"))
+                wake_seconds = time.monotonic() - t0
+                assert delta["version"] > cursor
+                assert wake_seconds < 2.0, (
+                    f"wake took {wake_seconds:.3f}s while a session creation "
+                    "was in flight — heavy route is blocking the IO loop"
+                )
+                created = json.loads(create_conn.getresponse().read().decode("utf-8"))
+                assert created["ok"] is True
+            finally:
+                poll_conn.close()
+                create_conn.close()
+            client.stop_all()
+
+    def test_malformed_creation_body_is_answered_inline(self, cm):
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+            try:
+                conn.request("POST", "/api/sessions", body=b"{not json",
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                assert resp.status == 400
+                assert "error" in json.loads(resp.read().decode("utf-8"))
+            finally:
+                conn.close()
+
+    def test_duplicate_session_creation_reports_error(self, cm):
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            client.manager.open_monitor("taken")
+            conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30.0)
+            try:
+                conn.request("POST", "/api/sessions",
+                             body=json.dumps({"session_id": "taken",
+                                              "sim_kwargs": {"shape": (8, 8, 8)}}),
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                assert resp.status == 400
+                assert "already exists" in json.loads(
+                    resp.read().decode("utf-8")
+                )["error"]
+            finally:
+                conn.close()
 
 
 class TestConcurrentLongPollHttp:
