@@ -3,9 +3,16 @@
 Each benchmark regenerates one paper artifact (DESIGN.md §4) and
 registers its paper-style table via ``record_report`` so everything is
 printed in the terminal summary after the pytest-benchmark stats.
+``BENCH_*.json`` artifacts go through :func:`write_json_artifact`,
+which writes atomically so a CI kill mid-run can never leave (and CI
+never uploads) a truncated artifact.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +23,20 @@ from repro.experiments.reporting import drain_bench_reports, record_bench_report
 # files do ('conftest' vs 'benchmarks.conftest'), which would split a
 # module-level list into two instances.
 record_report = record_bench_report
+
+
+def write_json_artifact(path, payload: dict) -> None:
+    """Serialize ``payload`` to ``path`` atomically (temp file + rename).
+
+    A benchmark process killed mid-``write_text`` leaves a truncated
+    JSON file that CI would happily upload as the run's artifact; the
+    rename makes the artifact either the complete new payload or the
+    previous one, never a prefix.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n")
+    os.replace(tmp, path)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

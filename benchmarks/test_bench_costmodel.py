@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.costmodel.base import compute_dataset_stats
 from repro.costmodel.calibration import calibrate_isosurface, make_calibration_grids

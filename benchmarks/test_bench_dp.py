@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.costmodel.base import compute_dataset_stats
 from repro.costmodel.pipeline_builder import build_calibrated_pipeline

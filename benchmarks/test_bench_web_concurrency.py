@@ -16,7 +16,6 @@ column and the regression guard run in both modes.
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
@@ -31,7 +30,7 @@ from repro.experiments.web_concurrency import (
 )
 from repro.web.server import AjaxWebServer
 
-from benchmarks.conftest import record_report
+from benchmarks.conftest import record_report, write_json_artifact
 
 QUICK = os.environ.get("RICSA_BENCH_QUICK", "") not in ("", "0")
 _CPUS = os.cpu_count() or 1
@@ -100,7 +99,7 @@ class TestBenchWebConcurrency:
         )
         record_report(sweep.to_table())
         artifact = Path(__file__).resolve().parent.parent / "BENCH_web_concurrency.json"
-        artifact.write_text(json.dumps(sweep.to_dict(), indent=2) + "\n")
+        write_json_artifact(artifact, sweep.to_dict())
         assert result.cells
 
     def test_server_threads_bounded_by_constant(self, benchmark, sweep):

@@ -9,7 +9,7 @@ exactly the statistical-sampling spirit of Section 4.4.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-import numpy as np
 
 from repro.data.grid import StructuredGrid
 from repro.errors import ConfigurationError

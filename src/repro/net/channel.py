@@ -14,7 +14,7 @@ This is the substrate under the transport protocols of Section 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np

@@ -16,7 +16,6 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.des.simulator import Simulator
 from repro.errors import CalibrationError
 from repro.net.channel import SimPath
 from repro.net.packet import Datagram, PacketKind

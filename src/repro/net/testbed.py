@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.net.topology import LinkSpec, NodeSpec, Topology
 from repro.units import mbit_per_s

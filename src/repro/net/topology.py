@@ -10,7 +10,7 @@ executing certain visualization modules").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 from typing import Iterable, Iterator
 
 import networkx as nx

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sims.base import ParamSpec
-from repro.sims.vh1 import NVAR, VH1Simulation
+from repro.sims.vh1 import VH1Simulation
 
 __all__ = ["BowShockSimulation"]
 

@@ -18,7 +18,6 @@ import numpy as np
 from repro.data.grid import StructuredGrid
 from repro.errors import SimulationError
 from repro.sims.base import ParamSpec, SteerableSimulation
-from repro.sims.euler1d import conserved_to_primitive as c2p_1d
 
 __all__ = ["VH1Simulation"]
 

@@ -16,22 +16,26 @@ implementation.  The pieces:
   store (images, status, steering) with shared-encode caching,
 * :mod:`~repro.steering.manager` — SessionManager: many named sessions
   with create/attach/detach, idle eviction and capped capacity,
-* :mod:`~repro.steering.frontend` — legacy Ajax front end: fixed-size
-  image store with versioned updates (superseded by the event store),
+* :mod:`~repro.steering.executor` — the shared SimulationExecutor: every
+  session's simulation loop as step-slices on one bounded worker pool,
 * :mod:`~repro.steering.loop` — executes a visualization loop (live
   module execution + modelled WAN transport),
 * :mod:`~repro.steering.client` — the steering/monitoring client,
-* :mod:`~repro.steering.session` — end-to-end steering session thread.
+* :mod:`~repro.steering.session` — end-to-end steering session.
 """
 
-from repro.steering.api import SteeringServer, run_steered_cycles
+from repro.steering.api import (
+    SteeringServer,
+    run_steered_cycles,
+    steered_cycle_slices,
+)
 from repro.steering.bus import Mailbox, MessageBus
 from repro.steering.central_manager import CentralManager, VizRequest
 from repro.steering.client import SteeringClient
 from repro.steering.computing_service import ComputingServiceNode
 from repro.steering.data_source import DataSourceNode
 from repro.steering.events import EventSequenceStore, SessionEvent
-from repro.steering.frontend import FrontEnd, ImageStore
+from repro.steering.executor import SessionTask, SimulationExecutor
 from repro.steering.loop import LoopResult, VisualizationLoopRunner
 from repro.steering.manager import ManagedSession, SessionManager
 from repro.steering.messages import Message, MessageKind
@@ -43,8 +47,6 @@ __all__ = [
     "ComputingServiceNode",
     "DataSourceNode",
     "EventSequenceStore",
-    "FrontEnd",
-    "ImageStore",
     "LoopResult",
     "Mailbox",
     "ManagedSession",
@@ -55,10 +57,13 @@ __all__ = [
     "SessionManager",
     "SessionState",
     "SessionStateMachine",
+    "SessionTask",
+    "SimulationExecutor",
     "SteeringClient",
     "SteeringServer",
     "SteeringSession",
     "VisualizationLoopRunner",
     "VizRequest",
     "run_steered_cycles",
+    "steered_cycle_slices",
 ]

@@ -28,7 +28,12 @@ from repro.steering.bus import MessageBus
 from repro.steering.messages import Message, MessageKind
 from repro.steering.protocol import SessionState, SessionStateMachine
 
-__all__ = ["SteeringServer", "RICSA_StartupSimulationServer", "run_steered_cycles"]
+__all__ = [
+    "SteeringServer",
+    "RICSA_StartupSimulationServer",
+    "run_steered_cycles",
+    "steered_cycle_slices",
+]
 
 
 class SteeringServer:
@@ -123,15 +128,21 @@ def RICSA_StartupSimulationServer(
     return SteeringServer(simulation, bus, node_name, data_consumer)
 
 
-def run_steered_cycles(
+def steered_cycle_slices(
     server: SteeringServer,
     n_cycles: int,
     push_every: int = 1,
-) -> int:
-    """The Fig. 7 main computational loop, verbatim in structure.
+):
+    """The Fig. 7 loop as cooperative step-slices (a generator).
 
-    Returns the number of cycles actually run (a SHUTDOWN message stops
-    the loop early, saving the "runaway computation").
+    Each ``next()`` runs exactly one ``step -> push -> handle-message``
+    unit and yields the cycles-run count, so a shared
+    :class:`~repro.steering.executor.SimulationExecutor` can interleave
+    many sessions' slices on a bounded worker pool.  The generator
+    returns (``StopIteration``) on the same ``next()`` that runs the
+    final cycle — whether ``n_cycles`` completed or a SHUTDOWN message
+    stopped the run early — so a finished session never costs an extra
+    empty slice (executor step counts equal simulation cycles run).
     """
     if server.machine.state is not SessionState.RUNNING:
         raise SteeringError("call RICSA_WaitAcceptConnection before running")
@@ -144,6 +155,28 @@ def run_steered_cycles(
         msg = server.RICSA_ReceiveHandleMessage()
         if msg is not None and msg.kind is MessageKind.SIMULATION_PARAMS:
             server.RICSA_UpdateSimulationParameters()
-        if server.shutdown_requested:
+        if server.shutdown_requested or ran == n_cycles:
             break
+        yield ran
     return ran
+
+
+def run_steered_cycles(
+    server: SteeringServer,
+    n_cycles: int,
+    push_every: int = 1,
+) -> int:
+    """The Fig. 7 main computational loop, verbatim in structure.
+
+    Returns the number of cycles actually run (a SHUTDOWN message stops
+    the loop early, saving the "runaway computation").  Built on
+    :func:`steered_cycle_slices` so the synchronous path and the shared
+    executor run the identical loop body.
+    """
+    slices = steered_cycle_slices(server, n_cycles, push_every=push_every)
+    ran = 0
+    while True:
+        try:
+            ran = next(slices)
+        except StopIteration as stop:
+            return stop.value if stop.value is not None else ran

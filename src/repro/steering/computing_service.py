@@ -5,6 +5,14 @@ them to incoming data and forwards the result to the next hop.  The
 module implementations are shared with
 :class:`~repro.steering.loop.VisualizationLoopRunner` so a CS node and
 the in-process loop runner can never diverge.
+
+Execution comes in two flavours: :meth:`~ComputingServiceNode.execute`
+runs inline on the caller's thread (the visualization loop's own step),
+while :meth:`~ComputingServiceNode.execute_async` submits the same work
+as a one-shot unit on the shared
+:class:`~repro.steering.executor.SimulationExecutor` — CS module
+execution shares the same bounded compute service as the simulation
+step-slices instead of spawning threads of its own.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ class ExecutionRecord:
 class ComputingServiceNode:
     """Runs the modules a VRT entry assigns to this node."""
 
-    def __init__(self, spec: NodeSpec, runner=None) -> None:
+    def __init__(self, spec: NodeSpec, runner=None, executor=None) -> None:
         # Import here to avoid a module cycle: the loop runner owns the
         # module implementations.
         from repro.steering.loop import VisualizationLoopRunner
@@ -43,6 +51,7 @@ class ComputingServiceNode:
             if runner is not None
             else VisualizationLoopRunner.__new__(VisualizationLoopRunner)._run_module
         )
+        self.executor = executor  # None -> SimulationExecutor.shared() on demand
         self.records: list[ExecutionRecord] = []
 
     def execute(self, entry: VRTEntry, data, params: dict):
@@ -65,3 +74,20 @@ class ComputingServiceNode:
         )
         self.records.append(rec)
         return data, rec
+
+    def execute_async(self, entry: VRTEntry, data, params: dict):
+        """Run :meth:`execute` on the shared simulation executor.
+
+        Returns a :class:`~repro.steering.executor.CallHandle`; call
+        ``.result(timeout)`` for the ``(output, record)`` pair.  The
+        work unit shares the executor's bounded worker pool with the
+        sessions' step-slices — no thread is created per execution.
+        """
+        from repro.steering.executor import SimulationExecutor
+
+        executor = self.executor if self.executor is not None \
+            else SimulationExecutor.shared()
+        return executor.submit_call(
+            lambda: self.execute(entry, data, params),
+            label=f"cs/{self.spec.name}",
+        )

@@ -1,12 +1,11 @@
 """Per-session monotonic event-sequence store.
 
-This unifies the two versioning schemes the seed grew in parallel — the
-front end's :class:`~repro.steering.frontend.ImageStore` ring and the web
-tier's :class:`~repro.web.components.UIModel` diffs — into one store per
-session.  Every observable change (a new image, a status/meta update, a
-steering action) is appended as a :class:`SessionEvent` with a single
-monotonically increasing sequence number, and a poll returns the delta of
-events past a client's cursor.
+This unifies the two versioning schemes the seed grew in parallel (the
+front end's image-ring versions and the web tier's UI-component diffs)
+into one store per session.  Every observable change (a new image, a
+status/meta update, a steering action) is appended as a
+:class:`SessionEvent` with a single monotonically increasing sequence
+number, and a poll returns the delta of events past a client's cursor.
 
 Three properties matter at scale:
 
@@ -39,6 +38,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -163,7 +163,11 @@ class EventSequenceStore:
         self._components: dict[str, dict] = {}
         self._component_seq: dict[str, int] = {}
         self._listeners: list[Callable[[int], None]] = []
+        self._demand_probes: list[Callable[[], bool]] = []
         self._frame_cache = DeltaFrameCache(frame_cache_size)
+        # Poll-demand clock: starts "recently polled" so a fresh session
+        # is scheduled hot until its consumers demonstrably stall.
+        self._last_poll = time.monotonic()
         self.encode_count = 0
         self.png_encode_count = 0
         self.json_encodes = 0
@@ -186,6 +190,46 @@ class EventSequenceStore:
         """Sequence number of the oldest event still in the ring."""
         with self._cond:
             return self._events[0].seq if self._events else self._seq + 1
+
+    def component_count(self) -> int:
+        """Distinct components in the merged snapshot view."""
+        with self._cond:
+            return len(self._components)
+
+    def attach_demand_probe(self, fn: Callable[[], bool]) -> None:
+        """Register a live-demand source consulted by :meth:`recently_polled`.
+
+        The web tier attaches the long-poll scheduler's parked-waiter
+        count for this session: a *parked* poll reads nothing from the
+        store while it waits, so without the probe a watched-but-quiet
+        session would decay to "stalled" mid-park and be demoted to the
+        executor's cold queue — the exact self-reinforcing inversion the
+        backpressure feature must not produce.
+        """
+        with self._cond:
+            self._demand_probes.append(fn)
+
+    def recently_polled(self, window: float = 5.0) -> bool:
+        """True if any consumer is reading (or parked on) this session.
+
+        The executor's backpressure probe: a session nobody has polled
+        (delta, frame, long poll, snapshot or image fetch) within
+        ``window`` seconds — and on which no registered demand probe
+        reports a live waiter — has stalled consumers and is
+        deprioritized, so stepping it never delays sessions someone is
+        actually watching.
+        """
+        if time.monotonic() - self._last_poll <= window:
+            return True
+        with self._cond:
+            probes = list(self._demand_probes)
+        for fn in probes:
+            try:
+                if fn():
+                    return True
+            except Exception:
+                pass  # a broken probe must not flap the schedule
+        return False
 
     def add_listener(self, fn: Callable[[int], None]) -> None:
         """Call ``fn(seq)`` after every publish (outside the store lock)."""
@@ -285,6 +329,7 @@ class EventSequenceStore:
 
     def delta(self, since: int) -> dict:
         """Events past ``since`` (non-blocking), with gap accounting."""
+        self._last_poll = time.monotonic()
         with self._cond:
             return self._delta_locked(since)
 
@@ -297,6 +342,7 @@ class EventSequenceStore:
         is immutable and safe to share across N connection write queues
         without copying.  ``json_encodes`` counts actual encodes.
         """
+        self._last_poll = time.monotonic()
         with self._cond:
             key = (since, self._seq)
             frame = self._frame_cache.get(key)
@@ -329,6 +375,7 @@ class EventSequenceStore:
         never produce a "timed out" response that carries events, nor a
         fresh response whose version window misses the racing publish.
         """
+        self._last_poll = time.monotonic()
         with self._cond:
             if self._seq <= since:
                 self._cond.wait_for(lambda: self._seq > since, timeout=timeout)
@@ -336,6 +383,7 @@ class EventSequenceStore:
 
     def snapshot(self) -> dict:
         """Merged per-component state (full page load / gap resync)."""
+        self._last_poll = time.monotonic()
         with self._cond:
             return {
                 "version": self._seq,
@@ -354,6 +402,7 @@ class EventSequenceStore:
 
     def image_record(self, version: int | None = None) -> _ImageRecord:
         """The cached record for ``version`` (default: latest)."""
+        self._last_poll = time.monotonic()  # image fetches are demand too
         with self._cond:
             if not self._images:
                 raise WebServerError("no image yet")
@@ -368,6 +417,16 @@ class EventSequenceStore:
         """The fixed-size container, encoded once at publish time."""
         return self.image_record(version).blob
 
+    def png_cached(self, version: int | None = None) -> bytes | None:
+        """The cached PNG for ``version``, or ``None`` on a cold cache.
+
+        Lets the web tier answer warm requests inline and route the
+        cold-cache re-encode (the expensive path) off its IO loop.
+        Raises if the version is no longer retained, like
+        :meth:`image_record`.
+        """
+        return self.image_record(version)._png
+
     def image_png(self, version: int | None = None) -> bytes:
         """Browser PNG for ``version``; encoded at most once, then cached."""
         record = self.image_record(version)
@@ -380,6 +439,7 @@ class EventSequenceStore:
 
     def wait_image(self, since: int = 0, timeout: float | None = None) -> _ImageRecord | None:
         """Block until an image newer than seq ``since`` exists."""
+        self._last_poll = time.monotonic()
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: bool(self._images) and self._images[-1].seq > since,

@@ -15,7 +15,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.data.grid import StructuredGrid
 from repro.errors import SteeringError

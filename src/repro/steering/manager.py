@@ -13,7 +13,14 @@ lightweight monitor-only channels, giving the web tier a real lifecycle:
   housekeeping tick) stops and drops sessions nobody touched for
   ``idle_timeout`` seconds,
 * per-session locks — ``locked(sid)`` serialises steering/view mutations
-  per session without a global lock across sessions.
+  per session without a global lock across sessions,
+* a shared simulation executor — sessions created through the manager
+  run their simulation loops as step-slices on one bounded
+  :class:`~repro.steering.executor.SimulationExecutor` (lazily created,
+  ``executor_workers`` threads), so 50 stepping sessions cost the same
+  thread count as one.  ``dedicated_threads=True`` (or per-create
+  ``dedicated_thread=True``) restores the legacy thread-per-session
+  mode.
 
 Every session owns one :class:`~repro.steering.events.EventSequenceStore`,
 the single versioning scheme images, status and steering events share.
@@ -28,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.errors import SteeringError, WebServerError
 from repro.steering.central_manager import CentralManager
 from repro.steering.events import EventSequenceStore
+from repro.steering.executor import SimulationExecutor
 from repro.steering.session import SteeringSession
 
 __all__ = ["ManagedSession", "SessionManager"]
@@ -45,8 +53,7 @@ class ManagedSession:
 
     @property
     def running(self) -> bool:
-        thread = self.session._thread
-        return thread is not None and thread.is_alive()
+        return self.session.is_running()
 
 
 class SessionManager:
@@ -60,6 +67,9 @@ class SessionManager:
         file_size: int = 256 * 1024,
         event_capacity: int = 256,
         clock=time.monotonic,
+        executor: SimulationExecutor | None = None,
+        executor_workers: int | None = None,
+        dedicated_threads: bool = False,
     ) -> None:
         if capacity < 1:
             raise WebServerError("session capacity must be >= 1")
@@ -73,6 +83,37 @@ class SessionManager:
         self._lock = threading.Lock()
         self._counter = 0
         self.evictions = 0
+        self.executor_workers = executor_workers
+        self.dedicated_threads = bool(dedicated_threads)
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._executor_lock = threading.Lock()
+
+    # -- the shared executor -----------------------------------------------------
+
+    @property
+    def executor(self) -> SimulationExecutor:
+        """The manager's simulation executor (lazily created).
+
+        An executor this manager owns is recreated transparently after
+        :meth:`close_all` shut it down, so a manager can be reused; an
+        externally supplied executor is the caller's to manage.
+        """
+        with self._executor_lock:
+            if self._executor is None or (
+                self._owns_executor and self._executor.is_shut_down()
+            ):
+                self._executor = SimulationExecutor(workers=self.executor_workers)
+                self._owns_executor = True
+            return self._executor
+
+    def executor_stats(self) -> dict:
+        """Executor counters for ``/api/stats`` (zeros before first use)."""
+        with self._executor_lock:
+            executor = self._executor
+        if executor is None:
+            return dict.fromkeys(SimulationExecutor.STAT_KEYS, 0)
+        return executor.stats()
 
     # -- creation ----------------------------------------------------------------
 
@@ -109,6 +150,11 @@ class SessionManager:
         **session_kwargs,
     ) -> SteeringSession:
         """Create (and optionally configure/start) a new named session."""
+        session_kwargs.setdefault("dedicated_thread", self.dedicated_threads)
+        if not session_kwargs["dedicated_thread"]:
+            # Resolve the shared executor outside the registry lock (the
+            # lazy-create path takes its own lock).
+            session_kwargs.setdefault("executor", self.executor)
         now = self._clock()
         with self._lock:
             sid = session_id or self._next_id()
@@ -262,8 +308,19 @@ class SessionManager:
         self._stop_session(entry.session, join=join)
 
     def close_all(self) -> None:
+        """Stop every session, then retire the owned executor's threads.
+
+        The executor shutdown keeps the process clean between runs (a
+        benchmark or test sweep creating many managers would otherwise
+        accumulate idle daemon pools); the :attr:`executor` property
+        recreates a fresh pool if this manager creates sessions again.
+        """
         with self._lock:
             entries = list(self._sessions.values())
             self._sessions.clear()
         for entry in entries:
             self._stop_session(entry.session)
+        with self._executor_lock:
+            executor, owned = self._executor, self._owns_executor
+        if owned and executor is not None:
+            executor.shutdown(wait=True, timeout=5.0)

@@ -1,13 +1,17 @@
-"""End-to-end steering session: simulation thread + visualization loop.
+"""End-to-end steering session: executor step-slices + visualization loop.
 
 Ties every RICSA component together in one process, the way Fig. 1's
 deployment ties them together across sites: the client sends a
 SIMULATION_REQUEST; the CM configures the loop (DP -> VRT); the steering
-server runs the simulation's instrumented main loop in a worker thread;
-each data push travels the VRT (live viz modules + modelled transport)
-and lands in the session's event-sequence store, where Ajax clients
-long-poll.  Sessions are owned by a
-:class:`~repro.steering.manager.SessionManager`; many run concurrently.
+server runs the simulation's instrumented main loop as cooperative
+step-slices on the shared
+:class:`~repro.steering.executor.SimulationExecutor` (or, with
+``dedicated_thread=True``, on a private daemon thread — the legacy
+one-thread-per-session mode); each data push travels the VRT (live viz
+modules + modelled transport) and lands in the session's event-sequence
+store, where Ajax clients long-poll.  Sessions are owned by a
+:class:`~repro.steering.manager.SessionManager`; many run concurrently
+on a thread budget that does not grow with session count.
 """
 
 from __future__ import annotations
@@ -19,11 +23,16 @@ from repro.errors import SteeringError
 from repro.steering.bus import MessageBus
 from repro.steering.central_manager import CentralManager, VizRequest
 from repro.steering.events import EventSequenceStore
+from repro.steering.executor import SimulationExecutor
 from repro.steering.loop import VisualizationLoopRunner
 from repro.steering.messages import Message, MessageKind
 from repro.viz.camera import OrthoCamera
 
 __all__ = ["SteeringSession"]
+
+#: A session whose event store nobody polled for this many seconds is
+#: considered stalled and requeues at cold priority on the executor.
+STALLED_POLL_WINDOW = 5.0
 
 
 class SteeringSession:
@@ -41,6 +50,8 @@ class SteeringSession:
         isovalue_fraction: float = 0.5,
         push_every: int = 1,
         sim_kwargs: dict | None = None,
+        dedicated_thread: bool = False,
+        executor: SimulationExecutor | None = None,
     ) -> None:
         self.cm = cm
         self.events = events if events is not None else EventSequenceStore()
@@ -75,6 +86,10 @@ class SteeringSession:
         self.runner: VisualizationLoopRunner | None = None
         self.loop_results: list = []
         self._camera = OrthoCamera(width=192, height=192)
+        self.dedicated_thread = bool(dedicated_thread)
+        self._executor = executor
+        self._task = None  # SessionTask when running on the shared executor
+        self._done = threading.Event()
         self._thread: threading.Thread | None = None
         self._thread_error: BaseException | None = None
         self._lock = threading.Lock()
@@ -106,6 +121,10 @@ class SteeringSession:
         session.runner = None
         session.loop_results = []
         session._camera = OrthoCamera(width=192, height=192)
+        session.dedicated_thread = False
+        session._executor = None
+        session._task = None
+        session._done = threading.Event()
         session._thread = None
         session._thread_error = None
         session._lock = threading.Lock()
@@ -200,9 +219,49 @@ class SteeringSession:
             self.configure()
         return run_steered_cycles(self.server, n_cycles, push_every=self.push_every)
 
-    def start_background(self, n_cycles: int) -> threading.Thread:
-        """Run the simulation loop in a daemon thread (web-demo mode)."""
+    def start_background(self, n_cycles: int):
+        """Run the simulation loop without blocking the caller.
+
+        Default mode submits the run as cooperative step-slices to the
+        shared :class:`SimulationExecutor` (session count decoupled from
+        thread count); ``dedicated_thread=True`` keeps the legacy
+        one-daemon-thread-per-session behaviour.  Returns the executor
+        task or the thread, respectively.
+        """
         self._require_simulation()
+        if self.is_running():
+            raise SteeringError(f"session {self.session_id!r} is already running")
+        if self.dedicated_thread:
+            return self._start_dedicated(n_cycles)
+        from repro.steering.api import steered_cycle_slices
+
+        if self.decision is None:
+            self.configure()
+        slices = steered_cycle_slices(
+            self.server, n_cycles, push_every=self.push_every
+        )
+
+        def step() -> bool:
+            try:
+                next(slices)
+                return True
+            except StopIteration:
+                return False
+
+        executor = self._executor if self._executor is not None \
+            else SimulationExecutor.shared()
+        self._thread_error = None
+        self._done.clear()
+        self._task = executor.submit(
+            self.session_id,
+            step,
+            on_done=self._on_executor_done,
+            backpressure=self._pollers_stalled,
+        )
+        return self._task
+
+    def _start_dedicated(self, n_cycles: int) -> threading.Thread:
+        """The compat escape hatch: one private daemon thread (web-demo mode)."""
 
         def _worker():
             try:
@@ -216,13 +275,36 @@ class SteeringSession:
         self._thread.start()
         return self._thread
 
+    @property
+    def background_thread(self) -> threading.Thread | None:
+        """The private simulation thread, if running in compat mode."""
+        return self._thread
+
+    def _pollers_stalled(self) -> bool:
+        """Backpressure probe: nobody is consuming this session's events."""
+        return not self.events.recently_polled(STALLED_POLL_WINDOW)
+
+    def _on_executor_done(self, task) -> None:
+        self._thread_error = task.error
+        self._done.set()
+
+    def is_running(self) -> bool:
+        """True while a background run (thread or executor task) is live."""
+        if self._thread is not None and self._thread.is_alive():
+            return True
+        return self._task is not None and not self._done.is_set()
+
     def join_background(self, timeout: float | None = None) -> None:
         if self._thread is not None:
             self._thread.join(timeout=timeout)
-            if self._thread_error is not None:
-                raise SteeringError(
-                    f"steering session failed: {self._thread_error!r}"
-                ) from self._thread_error
+        elif self._task is not None:
+            self._done.wait(timeout=timeout)
+        else:
+            return
+        if self._thread_error is not None:
+            raise SteeringError(
+                f"steering session failed: {self._thread_error!r}"
+            ) from self._thread_error
 
     # -- client-facing ops ----------------------------------------------------------
 

@@ -8,7 +8,7 @@ numbers ahead of new data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["ReceiverWindow", "RetransmitQueue", "AckReport"]
 

@@ -13,7 +13,7 @@ This is the paper's Section 3 protocol (structure of Fig. 2):
 
 from __future__ import annotations
 
-from repro.des.simulator import Simulator, Trigger
+from repro.des.simulator import Simulator
 from repro.net.channel import SimPath
 from repro.net.packet import Datagram
 from repro.transport.base import FlowConfig, Transport

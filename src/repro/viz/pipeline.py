@@ -14,7 +14,7 @@ modelled and real pipelines never drift apart structurally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import MappingError

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.viz.camera import OrthoCamera
 from repro.viz.image import Image
 from repro.viz.isosurface import TriangleMesh

@@ -13,25 +13,21 @@ exposing session-keyed XMLHttpRequest-style endpoints:
   (``application/octet-stream``), ``image.png`` for browsers,
 * ``POST /api/<sid>/steer``    — computational steering parameters,
 * ``POST /api/<sid>/view``     — visualization operations (rotate/zoom),
-* ``POST /api/<sid>/stop``     — request simulation shutdown.
+* ``POST /api/<sid>/stop``     — request simulation shutdown,
+* ``GET /api/stats``           — server / executor / session counters.
 
 :class:`~repro.web.client.AjaxClient` is the programmatic browser used by
 tests and examples; :class:`~repro.web.longpoll.LongPollScheduler` is the
 waiter registry + deadline wheel behind the non-blocking polls.
 """
 
-from repro.web.ajax import UpdateHub
 from repro.web.client import AjaxClient
-from repro.web.components import Component, UIModel
 from repro.web.longpoll import LongPollScheduler, Waiter
 from repro.web.server import AjaxWebServer
 
 __all__ = [
     "AjaxClient",
     "AjaxWebServer",
-    "Component",
     "LongPollScheduler",
-    "UIModel",
-    "UpdateHub",
     "Waiter",
 ]

@@ -27,10 +27,15 @@ disconnected once the backlog exceeds the per-connection write budget,
 so one stalled reader can neither stall the loop nor other waiters.
 
 Heavy routes run off the IO loop: ``POST /api/sessions`` (CentralManager
-configure + simulation startup) executes on a small fixed worker pool
-whose completions are queued back through the same socketpair wakeup the
+configure + simulation startup), cold-cache ``image.png`` re-encodes and
+large component snapshots execute on a small fixed worker pool whose
+completions are queued back through the same socketpair wakeup the
 publish path uses.  Total server thread count stays a fixed constant
-(1 IO thread + ``workers``) however many clients connect.
+(1 IO thread + ``workers``) however many clients connect — and with
+simulations on the shared
+:class:`~repro.steering.executor.SimulationExecutor`, the whole process
+obeys ``1 + workers + executor_workers`` however many sessions step.
+``GET /api/stats`` surfaces the server's and the executor's counters.
 """
 
 from __future__ import annotations
@@ -237,7 +242,7 @@ class AjaxWebServer:
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
         self._ready: deque[Waiter] = deque()  # popped by the IO loop only
-        self._completions: deque = deque()  # (handler, (code, payload)); IO loop pops
+        self._completions: deque = deque()  # (handler, code, body, ctype); IO loop pops
         self._pool = _WorkerPool(self.workers)
         self._handlers: set[_Handler] = set()
         self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
@@ -281,6 +286,20 @@ class AjaxWebServer:
         """Every thread the server owns: 1 IO + ``workers``, a constant."""
         return self.io_thread_count() + self.worker_thread_count()
 
+    def stats(self) -> dict:
+        """The ``GET /api/stats`` payload: serving + executor counters."""
+        return {
+            "requests_served": self.requests_served,
+            "polls_served": self.polls_served,
+            "bytes_sent": self.bytes_sent,
+            "slow_client_disconnects": self.slow_client_disconnects,
+            "parked_polls": self.scheduler.pending(),
+            "io_threads": self.io_thread_count(),
+            "worker_threads": self.worker_thread_count(),
+            "sessions": len(self.manager),
+            "executor": self.manager.executor_stats(),
+        }
+
     def start(self) -> "AjaxWebServer":
         self._stop.clear()
         self._selector.register(self._listen, selectors.EVENT_READ, ("accept", None))
@@ -319,6 +338,11 @@ class AjaxWebServer:
             return
         self._hooked.add(store)
         store.add_listener(lambda seq, sid=sid: self._on_publish(sid, seq))
+        # Parked waiters read nothing while they wait; expose them as
+        # live demand so the executor never demotes a watched session.
+        store.attach_demand_probe(
+            lambda sid=sid: self.scheduler.pending_for(sid) > 0
+        )
 
     def _on_publish(self, sid: str, seq: int) -> None:
         """Called from publisher (simulation) threads after every event."""
@@ -553,6 +577,8 @@ class AjaxWebServer:
         if len(segments) == 2:
             if segments[1] == "sessions":
                 return None, "sessions"
+            if segments[1] == "stats":
+                return None, "stats"
             if segments[1] in self._SESSION_ACTIONS:
                 # Legacy unscoped route: address the most recent session.
                 session = self.client.session
@@ -571,6 +597,11 @@ class AjaxWebServer:
             handler._send_json({"error": f"method {request.method}"}, code=400)
             return
         sid, action = self._route(request)
+        if action == "stats":
+            if request.method != "GET":
+                raise WebServerError(f"no route {request.path}")
+            handler._send_json(self.stats())
+            return
         if action == "sessions":
             if request.method == "POST":
                 self._create_session(handler, request)
@@ -583,11 +614,22 @@ class AjaxWebServer:
         else:
             self._dispatch_post(handler, request, sid, action)
 
+    #: Snapshots past this many components are serialized off the IO loop.
+    SNAPSHOT_OFFLOAD_COMPONENTS = 32
+
     def _dispatch_get(self, handler: _Handler, request: _Request,
                       sid: str, action: str) -> None:
         store = self.manager.events(sid)
         if action == "state":
-            handler._send_json(store.snapshot())
+            if store.component_count() > self.SNAPSHOT_OFFLOAD_COMPONENTS:
+                # A large merged snapshot is an O(components) JSON encode;
+                # render it on the worker pool like any heavy route.
+                self._offload(handler, lambda: (
+                    200, json.dumps(store.snapshot()).encode("utf-8"),
+                    "application/json",
+                ))
+            else:
+                handler._send_json(store.snapshot())
         elif action == "poll":
             self._handle_poll(handler, request, sid, store)
         elif action == "image":
@@ -595,7 +637,15 @@ class AjaxWebServer:
             handler._send(200, store.image_blob(version), "application/octet-stream")
         elif action == "image.png":
             version = self._version_arg(request)
-            handler._send(200, store.image_png(version), "image/png")
+            cached = store.png_cached(version)  # raises 404-wise if evicted
+            if cached is not None:
+                handler._send(200, cached, "image/png")
+            else:
+                # Cold cache: the PNG re-encode is the priciest per-request
+                # CPU in the serving tier — run it off the IO loop.
+                self._offload(handler, lambda: (
+                    200, store.image_png(version), "image/png",
+                ))
         else:
             raise WebServerError(f"no route {request.path}")
 
@@ -636,53 +686,75 @@ class AjaxWebServer:
             return None
         return cls._query_num(request, "v", "0")
 
+    def _offload(self, handler: _Handler, fn) -> None:
+        """Run ``fn() -> (code, body, ctype)`` on the worker pool.
+
+        The single home of the off-loop route policy: the connection is
+        marked ``busy`` (no further pipelined dispatch), the job runs on
+        a worker, and its outcome — or its error, rendered as a JSON
+        body — re-enters the IO loop through the completion queue +
+        socketpair, the same wakeup publishes use.  Response bodies are
+        encoded on the worker, so a large JSON/PNG render never touches
+        the IO thread.
+        """
+        handler.busy = True
+
+        def job() -> None:
+            try:
+                code, body, ctype = fn()
+            except ReproError as exc:
+                code, body, ctype = (
+                    400, json.dumps({"error": str(exc)}).encode("utf-8"),
+                    "application/json",
+                )
+            except Exception as exc:  # report, never kill the worker
+                code, body, ctype = (
+                    500, json.dumps({"error": f"internal: {exc}"}).encode("utf-8"),
+                    "application/json",
+                )
+            self._completions.append((handler, code, body, ctype))
+            self._wake()
+
+        self._pool.submit(job)
+
     def _create_session(self, handler: _Handler, request: _Request) -> None:
         """Heavy route, run off the IO loop on the worker pool.
 
         ``CentralManager.configure`` (pipeline calibration + DP mapping)
         plus simulation startup can take hundreds of milliseconds; inline
-        they would stall every parked poll.  The connection is marked
-        ``busy`` (no further pipelined dispatch), the job runs on a
-        worker, and its outcome re-enters the IO loop through the
-        completion queue + socketpair — the same wakeup publishes use.
+        they would stall every parked poll.
         """
         spec = request.json_body()  # parse errors answered inline, cheaply
-        handler.busy = True
 
-        def job() -> None:
-            try:
-                session = self.client.start(
-                    simulator=spec.get("simulator", "heat"),
-                    technique=spec.get("technique", "isosurface"),
-                    variable=spec.get("variable"),
-                    n_cycles=int(spec.get("n_cycles", 50)),
-                    session_id=spec.get("session_id"),
-                    initial_params=spec.get("params"),
-                    sim_kwargs=spec.get("sim_kwargs"),
-                    push_every=int(spec.get("push_every", 1)),
-                )
-                outcome = (200, {"ok": True, "session": session.session_id})
-            except ReproError as exc:
-                outcome = (400, {"error": str(exc)})
-            except Exception as exc:  # report, never kill the worker
-                outcome = (500, {"error": f"internal: {exc}"})
-            self._completions.append((handler, outcome))
-            self._wake()
+        def job() -> tuple[int, bytes, str]:
+            session = self.client.start(
+                simulator=spec.get("simulator", "heat"),
+                technique=spec.get("technique", "isosurface"),
+                variable=spec.get("variable"),
+                n_cycles=int(spec.get("n_cycles", 50)),
+                session_id=spec.get("session_id"),
+                initial_params=spec.get("params"),
+                sim_kwargs=spec.get("sim_kwargs"),
+                push_every=int(spec.get("push_every", 1)),
+                dedicated_thread=spec.get("dedicated_thread"),
+            )
+            payload = {"ok": True, "session": session.session_id}
+            return 200, json.dumps(payload).encode("utf-8"), "application/json"
 
-        self._pool.submit(job)
+        self._offload(handler, job)
 
     def _deliver_completions(self) -> None:
         """Send worker-pool results; runs on the IO loop only."""
         while True:
             try:
-                handler, (code, payload) = self._completions.popleft()
+                handler, code, body, ctype = self._completions.popleft()
             except IndexError:
                 return
             handler.busy = False
             if handler.closed:
                 continue
             try:
-                handler._send_json(payload, code=code)
+                handler._send(code, body, ctype)
                 self._process_input(handler)  # pipelined requests behind the job
             except Exception:  # one bad connection must not kill the IO loop
                 self._close(handler)

@@ -14,8 +14,6 @@ from repro.costmodel import (
     StreamlineCostModel,
     build_calibrated_pipeline,
     calibrate_isosurface,
-    calibrate_raycast,
-    calibrate_streamline,
     compute_dataset_stats,
     default_calibration,
 )

@@ -67,7 +67,7 @@ class TestOctree:
     def test_active_blocks_bracket_isovalue(self):
         g = sphere_grid(33)
         iso = 0.5
-        active = tree_active = Octree(g, leaf_cells=8).active_blocks(iso)
+        active = Octree(g, leaf_cells=8).active_blocks(iso)
         for b in active:
             assert b.vmin <= iso <= b.vmax
 

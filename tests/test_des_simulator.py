@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.des import Simulator, Store, Trigger
+from repro.des import Store, Trigger
 from repro.des.process import ProcessExit
 from repro.errors import ConfigurationError
 

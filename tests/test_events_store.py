@@ -10,7 +10,6 @@ import pytest
 
 from repro.errors import WebServerError
 from repro.steering.events import EventSequenceStore
-from repro.steering.frontend import ImageStore
 from repro.viz.image import Image, decode_fixed_size
 
 
@@ -312,49 +311,30 @@ class TestComponentCardinalityBound:
             EventSequenceStore(component_limit=0)
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-class TestImageStoreGapDetection:
-    def test_dropped_versions_counts_evictions(self):
-        store = ImageStore(capacity=3)
-        for i in range(5):
-            store.put(tiny_image(i * 20), cycle=i)
-        assert store.dropped_versions == 2
-        assert store.oldest_version == 3
+class TestPollDemandClock:
+    def test_fresh_store_counts_as_recently_polled(self):
+        store = EventSequenceStore()
+        assert store.recently_polled(window=5.0)
 
-    def test_missed_reports_slow_poller_gap(self):
-        store = ImageStore(capacity=3)
-        for i in range(6):
-            store.put(tiny_image(), cycle=i)
-        # versions 1..3 are gone; a poller at 0 missed exactly those
-        assert store.missed(0) == 3
-        assert store.missed(3) == 0
-        assert store.missed(6) == 0
+    def test_poll_paths_touch_the_demand_clock(self):
+        store = EventSequenceStore()
+        store.publish_status("session", x=1)
+        store._last_poll -= 100.0  # simulate a long-stalled consumer
+        assert not store.recently_polled(window=5.0)
+        store.delta(0)
+        assert store.recently_polled(window=5.0)
+        store._last_poll -= 100.0
+        store.delta_frame(0)
+        assert store.recently_polled(window=5.0)
+        store._last_poll -= 100.0
+        store.snapshot()
+        assert store.recently_polled(window=5.0)
 
-    def test_poll_surfaces_dropped_in_response(self):
-        store = ImageStore(capacity=2)
-        for i in range(5):
-            store.put(tiny_image(), cycle=i)
-        resp = store.poll(0, timeout=0.1)
-        assert resp["entry"].version == 5
-        assert resp["dropped"] == 3
-        assert resp["skipped"] == 4  # versions 1..4 never delivered
-        assert resp["timeout"] is False
-
-    def test_poll_timeout_reports_no_drop(self):
-        store = ImageStore(capacity=2)
-        resp = store.poll(0, timeout=0.05)
-        assert resp["entry"] is None
-        assert resp["timeout"] is True
-        assert resp["dropped"] == 0
-
-
-class TestLegacyDeprecations:
-    def test_image_store_warns(self):
-        with pytest.warns(DeprecationWarning, match="ImageStore is deprecated"):
-            ImageStore()
-
-    def test_frontend_warns(self):
-        from repro.steering.frontend import FrontEnd
-
-        with pytest.warns(DeprecationWarning, match="FrontEnd is deprecated"):
-            FrontEnd()
+    def test_png_cached_returns_none_until_encoded(self):
+        store = EventSequenceStore()
+        store.publish_image(tiny_image(), cycle=1)
+        assert store.png_cached() is None
+        png = store.image_png()
+        assert png[:8] == b"\x89PNG\r\n\x1a\n"
+        assert store.png_cached() == png
+        assert store.png_encode_count == 1

@@ -17,7 +17,6 @@ from repro.mapping import (
 )
 from repro.mapping.exhaustive import compositions, enumerate_walks
 from repro.net import LinkSpec, NodeSpec, Topology, build_paper_testbed
-from repro.units import mbit_per_s
 from repro.viz.pipeline import ModuleSpec, VisualizationPipeline
 
 from tests.test_mapping_model import chain_topology, simple_pipeline

@@ -5,12 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.des import Simulator
 from repro.net import Datagram, LinkSpec, NodeSpec, Topology
 from repro.net.channel import SimLink, SimPath, build_sim_path
 from repro.net.crosstraffic import ConstantCrossTraffic
 from repro.net.packet import PacketKind
-from repro.units import mbit_per_s
 
 from tests.conftest import make_two_node_topology
 

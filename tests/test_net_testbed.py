@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.net import PAPER_SITES, build_paper_testbed
 from repro.units import mbit_per_s

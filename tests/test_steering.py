@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.costmodel.base import compute_dataset_stats
@@ -14,7 +13,6 @@ from repro.steering import (
     CentralManager,
     ComputingServiceNode,
     DataSourceNode,
-    FrontEnd,
     Message,
     MessageBus,
     MessageKind,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data import StructuredGrid, build_blocks
+from repro.data import build_blocks
 from repro.viz import (
     TriangleMesh,
     classify_cells,

@@ -9,7 +9,6 @@ Fig. 9 cluster loops rely on.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import build_blocks, make_rage

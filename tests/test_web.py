@@ -15,8 +15,7 @@ from repro.costmodel.calibration import default_calibration
 from repro.net import build_paper_testbed
 from repro.steering import CentralManager, SteeringClient
 from repro.viz.image import Image
-from repro.web import AjaxClient, AjaxWebServer, UIModel
-from repro.web.ajax import UpdateHub
+from repro.web import AjaxClient, AjaxWebServer
 
 
 @pytest.fixture(scope="module")
@@ -44,100 +43,6 @@ def running_server(cm):
         client.stop_all()
     finally:
         server.stop()
-
-
-class TestLegacyDeprecations:
-    def test_ui_model_warns(self):
-        with pytest.warns(DeprecationWarning, match="UIModel is deprecated"):
-            UIModel()
-
-    def test_update_hub_warns(self):
-        with pytest.warns(DeprecationWarning, match="UpdateHub is deprecated"):
-            UpdateHub(UIModel())
-
-
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-class TestUIModel:
-    def test_set_bumps_version_only_on_change(self):
-        m = UIModel()
-        v1 = m.set("image", version=1)
-        v2 = m.set("image", version=1)  # no change
-        v3 = m.set("image", version=2)
-        assert v1 == 1 and v2 == 1 and v3 == 2
-
-    def test_diff_returns_only_newer(self):
-        m = UIModel()
-        m.set("a", x=1)
-        v = m.version
-        m.set("b", y=2)
-        diff = m.diff(v)
-        ids = [c["id"] for c in diff["components"]]
-        assert ids == ["b"]
-
-    def test_snapshot_contains_everything(self):
-        m = UIModel()
-        m.set("a", x=1)
-        m.set("b", y=2)
-        snap = m.snapshot()
-        assert len(snap["components"]) == 2
-
-
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-class TestUpdateHub:
-    def test_waiter_wakes_on_publish(self):
-        hub = UpdateHub(UIModel())
-        results = []
-
-        def waiter():
-            results.append(hub.wait_for_update(0, timeout=5.0))
-
-        t = threading.Thread(target=waiter)
-        t.start()
-        hub.publish("image", version=1)
-        t.join(timeout=5.0)
-        assert results and not results[0]["timeout"]
-        assert results[0]["components"][0]["id"] == "image"
-
-    def test_timeout_returns_empty_diff(self):
-        hub = UpdateHub(UIModel())
-        diff = hub.wait_for_update(0, timeout=0.05)
-        assert diff["timeout"] is True
-        assert diff["components"] == []
-
-    def test_timeout_flag_consistent_with_diff_under_races(self):
-        """Satellite fix: a publish racing the wakeup must never produce a
-        'timed out' response that carries components, nor a fresh response
-        with an empty window."""
-        hub = UpdateHub(UIModel())
-        stop = threading.Event()
-        violations = []
-
-        def publisher():
-            n = 0
-            while not stop.is_set():
-                n += 1
-                hub.publish("image", version=n)
-
-        def poller():
-            since = 0
-            for _ in range(200):
-                diff = hub.wait_for_update(since, timeout=0.001)
-                if diff["timeout"] and diff["components"]:
-                    violations.append(("timeout-with-data", diff))
-                if not diff["timeout"] and diff["version"] <= since:
-                    violations.append(("fresh-without-advance", diff))
-                since = diff["version"]
-
-        pub = threading.Thread(target=publisher)
-        pollers = [threading.Thread(target=poller) for _ in range(4)]
-        pub.start()
-        for t in pollers:
-            t.start()
-        for t in pollers:
-            t.join(timeout=30.0)
-        stop.set()
-        pub.join(timeout=5.0)
-        assert violations == []
 
 
 class TestHttpEndpoints:
@@ -228,6 +133,53 @@ class TestHttpEndpoints:
         ajax.view(zoom=2.0)
         assert client.session._camera.zoom == pytest.approx(zoom_before * 2.0)
 
+    def test_stats_endpoint_exposes_executor_counters(self, running_server):
+        server, _ = running_server
+        ajax = AjaxClient(server.url)
+        ajax.wait_for_component("image")
+        stats = ajax._get_json("/api/stats")
+        assert stats["io_threads"] == 1
+        assert stats["worker_threads"] == server.workers
+        assert stats["requests_served"] >= 1
+        executor = stats["executor"]
+        # the heat session steps on the shared executor, not its own thread
+        assert executor["workers"] >= 1
+        assert executor["steps_executed"] >= 1
+        assert executor["executor_queue_depth"] >= 0
+
+    def test_cold_png_served_through_worker_pool(self, running_server):
+        """A cold-cache PNG re-encode must come back via the off-loop path
+        (busy connection -> worker -> completion) and still be cached."""
+        server, client = running_server
+        ajax = AjaxClient(server.url)
+        props = ajax.wait_for_component("image")
+        sid = ajax.resolve_session()
+        store = client.manager.events(sid)
+        before = store.png_encode_count
+        version = props["version"]
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+        try:
+            conn.request("GET", f"/api/{sid}/image.png?v={version}")
+            resp = conn.getresponse()
+            assert resp.getheader("Content-Type") == "image/png"
+            assert resp.read()[:8] == b"\x89PNG\r\n\x1a\n"
+            # warm hit: served inline from the cache, no second encode
+            conn.request("GET", f"/api/{sid}/image.png?v={version}")
+            resp = conn.getresponse()
+            assert resp.read()[:8] == b"\x89PNG\r\n\x1a\n"
+        finally:
+            conn.close()
+        assert store.png_encode_count <= before + 1
+
+    def test_stats_is_get_only(self, running_server):
+        server, _ = running_server
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+        try:
+            conn.request("POST", "/api/stats", body=b"{}")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
     def test_sessions_endpoint(self, running_server):
         server, _ = running_server
         ajax = AjaxClient(server.url)
@@ -310,6 +262,42 @@ class TestMultiSessionHttp:
             finally:
                 for conn in conns:
                     conn.close()
+
+
+class TestParkedPollDemand:
+    def test_parked_poll_counts_as_live_demand(self, cm):
+        """A watched-but-quiet session must never read as 'stalled'.
+
+        A parked long poll touches none of the store's read paths while
+        it waits, so the poll-recency clock alone would decay mid-park
+        and demote the session to the executor's cold queue.  The web
+        tier's demand probe (parked-waiter count) must keep it hot.
+        """
+        client = SteeringClient(cm)
+        with AjaxWebServer(client, port=0) as server:
+            store = client.manager.open_monitor("watched")
+            cursor = store.seq
+            store._last_poll -= 100.0  # decay: no reads, no probe yet
+            assert not store.recently_polled(window=5.0)
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=30.0)
+            try:
+                conn.request("GET", f"/api/watched/poll?since={cursor}&timeout=20")
+                deadline = 100
+                while server.scheduler.pending() < 1 and deadline:
+                    time.sleep(0.02)
+                    deadline -= 1
+                assert server.scheduler.pending() == 1
+                store._last_poll -= 100.0  # decay the clock again mid-park
+                assert store.recently_polled(window=5.0), (
+                    "a parked poll did not register as live demand"
+                )
+                store.publish_status("session", tick=1)
+                assert conn.getresponse().status == 200
+                # waiter delivered: demand now rests on the (touched) clock
+                assert store.recently_polled(window=5.0)
+            finally:
+                conn.close()
 
 
 class TestMalformedPipelinedRequest:
