@@ -39,6 +39,25 @@ def write_json_artifact(path, payload: dict) -> None:
     os.replace(tmp, path)
 
 
+def merge_json_artifact(path, updates: dict) -> None:
+    """Update top-level keys of an existing JSON artifact atomically.
+
+    Lets two CI jobs contribute to one artifact file without clobbering
+    each other's sections: the base web-concurrency job rewrites the
+    grid keys while the shard job rewrites only ``shard_scaling``, and
+    whichever ran is layered over the committed version of the rest.
+    """
+    path = Path(path)
+    try:
+        existing = json.loads(path.read_text())
+        if not isinstance(existing, dict):
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing.update(updates)
+    write_json_artifact(path, existing)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     reports = drain_bench_reports()
     if reports:

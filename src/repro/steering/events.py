@@ -209,6 +209,26 @@ class EventSequenceStore:
         with self._cond:
             self._demand_probes.append(fn)
 
+    def live_demand(self) -> int:
+        """Waiters parked on this session right now, summed over probes.
+
+        The primary backpressure signal: the web tier's probes report
+        each shard scheduler's parked-waiter count for this session, so
+        "is anyone watching" is a live count, not an inference from how
+        recently a poll happened to complete.  Boolean probes coerce to
+        0/1; a broken probe contributes nothing rather than flapping the
+        schedule.
+        """
+        with self._cond:
+            probes = list(self._demand_probes)
+        total = 0
+        for fn in probes:
+            try:
+                total += int(fn() or 0)
+            except Exception:
+                pass
+        return total
+
     def recently_polled(self, window: float = 5.0) -> bool:
         """True if any consumer is reading (or parked on) this session.
 

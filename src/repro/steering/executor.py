@@ -127,6 +127,11 @@ class CallHandle:
 class SimulationExecutor:
     """Bounded, priority-aware pool running all sessions' step-slices."""
 
+    #: Which plane slices run on; the multiprocess sibling
+    #: (:class:`~repro.steering.process_executor.ProcessSimulationExecutor`)
+    #: reports "process".  Sessions branch on this to pick the submit path.
+    backend = "thread"
+
     _shared_lock = threading.Lock()
     _shared: "SimulationExecutor | None" = None
 
@@ -176,15 +181,17 @@ class SimulationExecutor:
     #: Every key :meth:`stats` reports; the single source for the
     #: "executor not started yet" zero payload in ``/api/stats``.
     STAT_KEYS = (
-        "workers", "worker_threads", "steps_executed", "sessions_runnable",
-        "executor_queue_depth", "sessions_registered", "deprioritized_steps",
-        "sessions_completed", "sessions_cancelled",
+        "workers", "worker_threads", "worker_processes", "steps_executed",
+        "sessions_runnable", "executor_queue_depth", "sessions_registered",
+        "deprioritized_steps", "sessions_completed", "sessions_cancelled",
     )
 
     def stats(self) -> dict:
         with self._cond:
             depth = len(self._hot) + len(self._cold)
             return {
+                "backend": self.backend,
+                "worker_processes": 0,  # slices run in-process on threads
                 "workers": self.workers,
                 "worker_threads": sum(1 for t in self._threads if t.is_alive()),
                 "steps_executed": self.steps_executed,

@@ -70,9 +70,15 @@ class SessionManager:
         executor: SimulationExecutor | None = None,
         executor_workers: int | None = None,
         dedicated_threads: bool = False,
+        executor_backend: str = "thread",
     ) -> None:
         if capacity < 1:
             raise WebServerError("session capacity must be >= 1")
+        if executor_backend not in ("thread", "process"):
+            raise SteeringError(
+                f"unknown executor backend {executor_backend!r}; "
+                "expected 'thread' or 'process'"
+            )
         self.cm = cm
         self.capacity = int(capacity)
         self.idle_timeout = float(idle_timeout)
@@ -85,6 +91,7 @@ class SessionManager:
         self.evictions = 0
         self.executor_workers = executor_workers
         self.dedicated_threads = bool(dedicated_threads)
+        self.executor_backend = executor_backend
         self._executor = executor
         self._owns_executor = executor is None
         self._executor_lock = threading.Lock()
@@ -103,7 +110,18 @@ class SessionManager:
             if self._executor is None or (
                 self._owns_executor and self._executor.is_shut_down()
             ):
-                self._executor = SimulationExecutor(workers=self.executor_workers)
+                if self.executor_backend == "process":
+                    from repro.steering.process_executor import (
+                        ProcessSimulationExecutor,
+                    )
+
+                    self._executor = ProcessSimulationExecutor(
+                        workers=self.executor_workers
+                    )
+                else:
+                    self._executor = SimulationExecutor(
+                        workers=self.executor_workers
+                    )
                 self._owns_executor = True
             return self._executor
 
@@ -112,7 +130,8 @@ class SessionManager:
         with self._executor_lock:
             executor = self._executor
         if executor is None:
-            return dict.fromkeys(SimulationExecutor.STAT_KEYS, 0)
+            return {**dict.fromkeys(SimulationExecutor.STAT_KEYS, 0),
+                    "backend": "none"}
         return executor.stats()
 
     # -- creation ----------------------------------------------------------------

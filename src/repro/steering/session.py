@@ -30,9 +30,15 @@ from repro.viz.camera import OrthoCamera
 
 __all__ = ["SteeringSession"]
 
-#: A session whose event store nobody polled for this many seconds is
-#: considered stalled and requeues at cold priority on the executor.
-STALLED_POLL_WINDOW = 5.0
+#: Grace period for the backpressure probe's poll-recency fallback.  The
+#: primary stall signal is the *live-demand* registry (parked long-poll
+#: waiter counts the web tier attaches to the event store): a parked
+#: poll is demand right now, regardless of when a poll last completed.
+#: The recency window only covers the short gap between a client
+#: receiving a delta and parking its next poll, so it can be tight —
+#: the old 5-second decay window kept unwatched sessions hot for
+#: seconds after their last consumer vanished.
+STALLED_POLL_GRACE = 1.0
 
 
 class SteeringSession:
@@ -69,6 +75,9 @@ class SteeringSession:
         self.simulation = None
         self.server = None
         self.variable = variable
+        # Kept for the process-executor path: the worker rebuilds the
+        # simulation from (simulator, sim_kwargs, params) on its side.
+        self._sim_kwargs = dict(sim_kwargs or {})
         if cm is not None:
             from repro.sims.registry import create_simulation
             from repro.steering.api import RICSA_StartupSimulationServer
@@ -117,6 +126,7 @@ class SteeringSession:
         session.simulation = None
         session.server = None
         session.variable = None
+        session._sim_kwargs = {}
         session.decision = None
         session.runner = None
         session.loop_results = []
@@ -233,6 +243,10 @@ class SteeringSession:
             raise SteeringError(f"session {self.session_id!r} is already running")
         if self.dedicated_thread:
             return self._start_dedicated(n_cycles)
+        executor = self._executor if self._executor is not None \
+            else SimulationExecutor.shared()
+        if getattr(executor, "backend", "thread") == "process":
+            return self._start_on_process_executor(executor, n_cycles)
         from repro.steering.api import steered_cycle_slices
 
         if self.decision is None:
@@ -248,8 +262,6 @@ class SteeringSession:
             except StopIteration:
                 return False
 
-        executor = self._executor if self._executor is not None \
-            else SimulationExecutor.shared()
         self._thread_error = None
         self._done.clear()
         self._task = executor.submit(
@@ -259,6 +271,64 @@ class SteeringSession:
             backpressure=self._pollers_stalled,
         )
         return self._task
+
+    def _start_on_process_executor(self, executor, n_cycles: int):
+        """Submit the run as a picklable spec to a worker process.
+
+        The worker owns the live simulation; this session keeps its
+        parent-side instance only as a mirror for metadata and local
+        steering validation.  Marshalled field pushes re-enter through
+        :meth:`_on_worker_event` and travel the identical visualization
+        and event-store path the in-process backends use.
+        """
+        if self.decision is None:
+            self.configure()
+        sim = self.simulation
+        spec = {
+            "simulator": self.simulator_name,
+            "sim_kwargs": dict(self._sim_kwargs),
+            "variable": self.variable,
+            "n_cycles": int(n_cycles),
+            "push_every": int(self.push_every),
+            # Everything already applied or staged locally seeds the worker.
+            "params": {**sim.params, **sim._pending},
+        }
+        self._thread_error = None
+        self._done.clear()
+        self._task = executor.submit(
+            self.session_id,
+            spec=spec,
+            sink=self._on_worker_event,
+            on_done=self._on_executor_done,
+            backpressure=self._pollers_stalled,
+        )
+        return self._task
+
+    def _on_worker_event(self, kind: str, payload: dict) -> None:
+        """Handle a marshalled event from the worker (drain thread)."""
+        if kind == "field":
+            import numpy as np
+
+            from repro.data.grid import StructuredGrid
+
+            values = np.frombuffer(
+                payload["values"], dtype=payload["dtype"]
+            ).reshape(payload["shape"]).copy()
+            grid = StructuredGrid(
+                values,
+                spacing=tuple(payload["spacing"]),
+                origin=tuple(payload["origin"]),
+                name=payload["name"],
+            )
+            cycle = int(payload["cycle"])
+            self.simulation.cycle = cycle  # mirror the worker's progress
+            self._on_data_push(grid, cycle)
+        elif kind == "done":
+            self.simulation.cycle = int(payload["cycle"])
+        elif kind == "steer_failed":
+            self.events.publish_status(
+                "session", steer_error=str(payload.get("error"))
+            )
 
     def _start_dedicated(self, n_cycles: int) -> threading.Thread:
         """The compat escape hatch: one private daemon thread (web-demo mode)."""
@@ -281,8 +351,15 @@ class SteeringSession:
         return self._thread
 
     def _pollers_stalled(self) -> bool:
-        """Backpressure probe: nobody is consuming this session's events."""
-        return not self.events.recently_polled(STALLED_POLL_WINDOW)
+        """Backpressure probe: nobody is consuming this session's events.
+
+        Live demand first — a parked long poll registered on any shard's
+        scheduler counts even when no poll has *completed* recently —
+        then the short poll-recency grace for clients between polls.
+        """
+        if self.events.live_demand() > 0:
+            return False
+        return not self.events.recently_polled(STALLED_POLL_GRACE)
 
     def _on_executor_done(self, task) -> None:
         self._thread_error = task.error
@@ -308,9 +385,25 @@ class SteeringSession:
 
     # -- client-facing ops ----------------------------------------------------------
 
+    def _process_task_active(self) -> bool:
+        """True while this run's live simulation is in a worker process."""
+        return (
+            self._task is not None
+            and not self._task.finished
+            and getattr(self._executor, "backend", "thread") == "process"
+        )
+
     def steer(self, params: dict) -> None:
         """Send a steering update over the bus (client -> simulator)."""
         self._require_simulation()
+        if self._process_task_active():
+            # Validate against the parameter specs locally (raises before
+            # anything crosses the pipe) and mirror into the parent-side
+            # sim, then forward to the worker owning the live state.
+            self.simulation.apply_steering(params)
+            self._executor.steer(self.session_id, params)
+            self.events.publish_steering(params)
+            return
         self.bus.send(
             self.server.node_name,
             Message.steering_update(params, session=self.session_id),
@@ -332,6 +425,11 @@ class SteeringSession:
 
     def request_shutdown(self) -> None:
         self._require_simulation()
+        if self._process_task_active():
+            # The worker retires the run (DONE, not cancelled) at its
+            # next slice boundary — the SHUTDOWN bus message's analog.
+            self._executor.request_stop(self.session_id)
+            return
         self.bus.send(
             self.server.node_name,
             Message(MessageKind.SHUTDOWN, session=self.session_id),

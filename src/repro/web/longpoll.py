@@ -132,3 +132,13 @@ class LongPollScheduler:
     def pending_for(self, key: str) -> int:
         with self._lock:
             return len(self._by_key.get(key, ()))
+
+    def stats(self) -> dict:
+        """Lifetime counters plus current parked count (for /api/stats)."""
+        with self._lock:
+            return {
+                "parked": sum(len(b) for b in self._by_key.values()),
+                "registered_total": self.registered_total,
+                "notified_total": self.notified_total,
+                "expired_total": self.expired_total,
+            }

@@ -1,14 +1,30 @@
-"""The Ajax web server: non-blocking long polls, session-keyed routes.
+"""The Ajax web server: sharded non-blocking long polls, session routes.
 
 The seed used ``ThreadingHTTPServer`` and parked one thread per
-outstanding ``/api/poll``.  This server is a single-threaded selector
-loop: every connection is non-blocking, and a long poll with no fresh
-events becomes a :class:`~repro.web.longpoll.Waiter` record on the shared
-:class:`~repro.web.longpoll.LongPollScheduler`.  Publishes from
-simulation threads pop ready waiters and wake the loop through a
-socketpair; the scheduler's deadline heap bounds the select timeout so
-expired polls get their empty delta on time.  Server-side thread count is
-a constant (one IO thread) regardless of how many clients are parked.
+outstanding ``/api/poll``.  This server is a set of ``shards`` selector
+loops (default 1): every connection is non-blocking, and a long poll
+with no fresh events becomes a :class:`~repro.web.longpoll.Waiter`
+record on its shard's :class:`~repro.web.longpoll.LongPollScheduler`.
+Publishes from simulation threads pop ready waiters and wake the owning
+loop through its socketpair; each scheduler's deadline heap bounds that
+loop's select timeout so expired polls get their empty delta on time.
+Server-side thread count is a constant (``shards`` IO threads +
+``workers``) regardless of how many clients are parked.
+
+**Horizontal sharding** (``shards=K``): each shard owns an accept
+socket bound to the same port via ``SO_REUSEPORT`` (see
+:mod:`repro.web.sharding`), so the kernel spreads incoming connections
+across the K loops.  A deterministic session-id router assigns every
+session to exactly one *owning* shard; a connection whose request
+addresses a session another shard owns is migrated once — unregistered
+from the accepting loop, handed (with its already-parsed request) to
+the owner over its wake socketpair — so all of a session's parked
+waiters live on one scheduler and a publish wakes exactly one loop.
+Where ``SO_REUSEPORT`` is unavailable, shard 0 runs the single acceptor
+and round-robins fresh connections to its peers over the same handoff
+path.  Shards share the per-session event stores and their encode-once
+``DeltaFrameCache`` buffers, so a publish still costs ~1 JSON encode +
+N vectored writes however many shards serve the herd.
 
 Routes are keyed by session — ``/api/<session>/poll``,
 ``/api/<session>/image`` ... — served out of the per-session
@@ -24,18 +40,20 @@ header ``bytes`` plus a shared immutable body buffer, queued as
 (``sendmsg``) partial non-blocking writes.  A slow client accumulates
 backlog in its own queue only — never a copy of a shared frame — and is
 disconnected once the backlog exceeds the per-connection write budget,
-so one stalled reader can neither stall the loop nor other waiters.
+so one stalled reader can neither stall its loop nor other waiters.
 
-Heavy routes run off the IO loop: ``POST /api/sessions`` (CentralManager
+Heavy routes run off the IO loops: ``POST /api/sessions`` (CentralManager
 configure + simulation startup), cold-cache ``image.png`` re-encodes and
-large component snapshots execute on a small fixed worker pool whose
-completions are queued back through the same socketpair wakeup the
-publish path uses.  Total server thread count stays a fixed constant
-(1 IO thread + ``workers``) however many clients connect — and with
-simulations on the shared
-:class:`~repro.steering.executor.SimulationExecutor`, the whole process
-obeys ``1 + workers + executor_workers`` however many sessions step.
-``GET /api/stats`` surfaces the server's and the executor's counters.
+large component snapshots execute on a small fixed worker pool shared by
+all shards; completions are queued back through the owning shard's
+socketpair, the same wakeup the publish path uses.  Total server thread
+count stays a fixed constant (``shards`` IO threads + ``workers``)
+however many clients connect — and with simulations on the shared
+:class:`~repro.steering.executor.SimulationExecutor` (or its
+multiprocess sibling), the whole process obeys
+``shards + workers + executor_workers`` however many sessions step.
+``GET /api/stats`` surfaces per-shard and merged serving counters plus
+the executor's block (including its backend and worker-process count).
 """
 
 from __future__ import annotations
@@ -55,6 +73,7 @@ from collections import deque
 from repro.errors import ReproError, WebServerError
 from repro.steering.client import SteeringClient
 from repro.web.longpoll import LongPollScheduler, Waiter
+from repro.web.sharding import create_shard_listeners, default_shard_router
 from repro.web.static import INDEX_HTML
 
 __all__ = ["AjaxWebServer"]
@@ -113,14 +132,18 @@ class _Handler:
     response header is built per connection, but the body (a shared delta
     frame or cached image blob) is queued without copying.  ``out_bytes``
     tracks the unsent backlog against the server's write budget.
+
+    ``shard`` is the IO loop that currently owns this connection; it
+    changes exactly at migration handoffs, between which only the owning
+    loop's thread touches the handler.
     """
 
-    __slots__ = ("app", "sock", "addr", "inbuf", "outq", "out_bytes",
+    __slots__ = ("shard", "sock", "addr", "inbuf", "outq", "out_bytes",
                  "close_after", "waiter", "busy", "closed", "keep_alive",
                  "last_activity", "want_write")
 
-    def __init__(self, app: "AjaxWebServer", sock: socket.socket, addr) -> None:
-        self.app = app
+    def __init__(self, shard: "_IOShard", sock: socket.socket, addr) -> None:
+        self.shard = shard
         self.sock = sock
         self.addr = addr
         self.inbuf = bytearray()
@@ -145,8 +168,8 @@ class _Handler:
         """
         if not self.keep_alive:
             self.close_after = True
-        header = self.app._render_head(code, ctype, len(body), self.keep_alive)
-        self.app._enqueue_and_flush(self, (header, body) if body else (header,))
+        header = self.shard.server._render_head(code, ctype, len(body), self.keep_alive)
+        self.shard._enqueue_and_flush(self, (header, body) if body else (header,))
 
     def _send_json(self, obj, code: int = 200) -> None:
         self._send(code, json.dumps(obj).encode("utf-8"))
@@ -155,11 +178,11 @@ class _Handler:
 class _WorkerPool:
     """Small fixed pool for heavy routes (session creation).
 
-    Submitted jobs run entirely off the IO loop; whatever they need to
-    hand back travels through the caller's completion queue + socketpair
-    wakeup, never by touching connection state from a worker thread.
-    The pool never grows: thread count is part of the server's asserted
-    constant.
+    Submitted jobs run entirely off the IO loops; whatever they need to
+    hand back travels through the owning shard's completion queue +
+    socketpair wakeup, never by touching connection state from a worker
+    thread.  The pool never grows: thread count is part of the server's
+    asserted constant, and it is shared by every shard.
     """
 
     def __init__(self, size: int, name: str = "ricsa-web-worker") -> None:
@@ -182,7 +205,8 @@ class _WorkerPool:
         for _ in self._threads:
             self._tasks.put(None)
         for t in self._threads:
-            t.join(timeout=timeout)
+            if t.ident is not None:  # stop() on a never-started server
+                t.join(timeout=timeout)
 
     def thread_count(self) -> int:
         return sum(1 for t in self._threads if t.is_alive())
@@ -198,158 +222,63 @@ class _WorkerPool:
                 pass
 
 
-class AjaxWebServer:
-    """Bind a steering service (SessionManager) to HTTP on 127.0.0.1.
+class _IOShard:
+    """One selector IO loop: its accept socket, scheduler and connections.
 
-    Use as a context manager or call :meth:`start` / :meth:`stop`.
+    Everything connection-shaped is shard-local — the selector, the wake
+    socketpair, the parked-waiter scheduler, the handler set, the
+    serving counters — so shards never take each other's locks on the
+    hot path.  Cross-shard traffic (connection migration, fallback
+    accept handoff) travels through ``_incoming`` + the wake socketpair,
+    the same rendezvous publishers use, and is adopted on the receiving
+    loop's thread.
     """
 
-    DEFAULT_WORKERS = 2
-
-    def __init__(
-        self,
-        client: SteeringClient,
-        port: int = 0,
-        verbose: bool = False,
-        keepalive_timeout: float = 30.0,
-        housekeeping_interval: float = 1.0,
-        workers: int | None = None,
-        write_budget: int = 8 * 1024 * 1024,
-    ) -> None:
-        self.client = client
-        self.manager = client.manager
-        self.verbose = verbose
-        self.keepalive_timeout = float(keepalive_timeout)
-        self.housekeeping_interval = float(housekeeping_interval)
-        self.workers = self.DEFAULT_WORKERS if workers is None else int(workers)
-        self.write_budget = int(write_budget)
-        if self.write_budget < 1:
-            raise WebServerError("write budget must be >= 1 byte")
-        self._keepalive_suffix = (
-            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
-            "Connection: keep-alive\r\n"
-            f"Keep-Alive: timeout={int(self.keepalive_timeout)}\r\n\r\n"
-        )
-        self._close_suffix = (
-            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
-            "Connection: close\r\n\r\n"
-        )
+    def __init__(self, server: "AjaxWebServer", index: int,
+                 listen: socket.socket | None) -> None:
+        self.server = server
+        self.index = index
+        self.listen = listen  # None: fallback mode, a peer shard accepts for us
         self.scheduler = LongPollScheduler()
-        self._listen = socket.create_server(("127.0.0.1", port))
-        self._listen.setblocking(False)
         self._selector = selectors.DefaultSelector()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
-        self._ready: deque[Waiter] = deque()  # popped by the IO loop only
-        self._completions: deque = deque()  # (handler, code, body, ctype); IO loop pops
-        self._pool = _WorkerPool(self.workers)
+        self._ready: deque[Waiter] = deque()  # popped by this loop only
+        self._completions: deque = deque()  # (handler, code, body, ctype)
+        # Connections handed to this shard: (handler, parsed request | None,
+        # migrated?) — appended by peer shards / acceptors, popped here.
+        self._incoming: deque = deque()
         self._handlers: set[_Handler] = set()
-        self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
         self._thread: threading.Thread | None = None
-        self._stop = threading.Event()
         self.polls_served = 0
         self.requests_served = 0
         self.bytes_sent = 0
         self.slow_client_disconnects = 0
+        self.migrations_in = 0
+        self.migrations_out = 0
+        self.accept_handoffs = 0  # connections this shard accepted for peers
 
-    # -- lifecycle --------------------------------------------------------------------
+    # -- lifecycle ---------------------------------------------------------------
 
-    @property
-    def port(self) -> int:
-        return self._listen.getsockname()[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://127.0.0.1:{self.port}"
-
-    def _render_head(self, code: int, ctype: str, length: int,
-                     keep_alive: bool) -> bytes:
-        """The single home of the HTTP response-head format."""
-        reason = _STATUS_TEXT.get(code, "OK")
-        suffix = self._keepalive_suffix if keep_alive else self._close_suffix
-        return (
-            f"HTTP/1.1 {code} {reason}\r\n"
-            f"Content-Type: {ctype}\r\n"
-            f"Content-Length: {length}\r\n" + suffix
-        ).encode("latin-1")
-
-    def io_thread_count(self) -> int:
-        """IO threads in existence — a constant 1, however many polls park."""
-        return 1 if (self._thread is not None and self._thread.is_alive()) else 0
-
-    def worker_thread_count(self) -> int:
-        """Worker-pool threads — a fixed constant, independent of load."""
-        return self._pool.thread_count()
-
-    def server_thread_count(self) -> int:
-        """Every thread the server owns: 1 IO + ``workers``, a constant."""
-        return self.io_thread_count() + self.worker_thread_count()
-
-    def stats(self) -> dict:
-        """The ``GET /api/stats`` payload: serving + executor counters."""
-        return {
-            "requests_served": self.requests_served,
-            "polls_served": self.polls_served,
-            "bytes_sent": self.bytes_sent,
-            "slow_client_disconnects": self.slow_client_disconnects,
-            "parked_polls": self.scheduler.pending(),
-            "io_threads": self.io_thread_count(),
-            "worker_threads": self.worker_thread_count(),
-            "sessions": len(self.manager),
-            "executor": self.manager.executor_stats(),
-        }
-
-    def start(self) -> "AjaxWebServer":
-        self._stop.clear()
-        self._selector.register(self._listen, selectors.EVENT_READ, ("accept", None))
-        self._selector.register(self._wake_r, selectors.EVENT_READ, ("wake", None))
-        self._pool.start()
-        self._thread = threading.Thread(
-            target=self._serve, daemon=True, name="ricsa-web-io"
-        )
+    def start(self) -> None:
+        if self.listen is not None:
+            self._selector.register(self.listen, selectors.EVENT_READ,
+                                    ("accept", None))
+        self._selector.register(self._wake_r, selectors.EVENT_READ,
+                                ("wake", None))
+        name = ("ricsa-web-io" if len(self.server._shards) == 1
+                else f"ricsa-web-io-{self.index}")
+        self._thread = threading.Thread(target=self._serve, daemon=True, name=name)
         self._thread.start()
-        return self
 
-    def stop(self) -> None:
-        self._stop.set()
-        self._wake()
+    def join(self, timeout: float = 5.0) -> None:
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=timeout)
             self._thread = None
-        self._pool.stop()
 
-    def __enter__(self) -> "AjaxWebServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    # -- publish -> wake path ------------------------------------------------------------
-
-    def _hook_store(self, sid: str, store) -> None:
-        """Attach our publish listener to a session's event store (once).
-
-        A ``WeakSet`` keyed by the store object itself (not ``id()``)
-        stays correct when stores are garbage-collected and their heap
-        addresses reused by later sessions.
-        """
-        if store in self._hooked:
-            return
-        self._hooked.add(store)
-        store.add_listener(lambda seq, sid=sid: self._on_publish(sid, seq))
-        # Parked waiters read nothing while they wait; expose them as
-        # live demand so the executor never demotes a watched session.
-        store.attach_demand_probe(
-            lambda sid=sid: self.scheduler.pending_for(sid) > 0
-        )
-
-    def _on_publish(self, sid: str, seq: int) -> None:
-        """Called from publisher (simulation) threads after every event."""
-        ready = self.scheduler.notify(sid, seq)
-        if ready:
-            self._ready.extend(ready)
-            self._wake()
+    def io_thread_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
 
     def _wake(self) -> None:
         try:
@@ -357,13 +286,30 @@ class AjaxWebServer:
         except (BlockingIOError, OSError):
             pass  # wake byte already pending, or server shutting down
 
+    def stats(self) -> dict:
+        """This shard's slice of the ``/api/stats`` payload."""
+        return {
+            "shard": self.index,
+            "io_threads": 1 if self.io_thread_alive() else 0,
+            "parked_polls": self.scheduler.pending(),
+            "polls_served": self.polls_served,
+            "requests_served": self.requests_served,
+            "bytes_sent": self.bytes_sent,
+            "slow_client_disconnects": self.slow_client_disconnects,
+            "migrations_in": self.migrations_in,
+            "migrations_out": self.migrations_out,
+            "accept_handoffs": self.accept_handoffs,
+            "scheduler": self.scheduler.stats(),
+        }
+
     # -- the IO loop ------------------------------------------------------------------
 
     def _serve(self) -> None:
-        next_housekeeping = time.monotonic() + self.housekeeping_interval
-        while not self._stop.is_set():
+        server = self.server
+        next_housekeeping = time.monotonic() + server.housekeeping_interval
+        while not server._stop.is_set():
             now = time.monotonic()
-            timeout = self.housekeeping_interval
+            timeout = server.housekeeping_interval
             deadline = self.scheduler.next_deadline()
             if deadline is not None:
                 timeout = min(timeout, max(0.0, deadline - now))
@@ -384,25 +330,36 @@ class AjaxWebServer:
                     if handler is not None:
                         self._close(handler)
             now = time.monotonic()
+            self._adopt_incoming()
             self._deliver_ready()
             self._deliver_completions()
             self._deliver_expired(now)
             if now >= next_housekeeping:
-                next_housekeeping = now + self.housekeeping_interval
+                next_housekeeping = now + server.housekeeping_interval
                 self._housekeeping()
         self._shutdown_sockets()
 
     def _accept(self) -> None:
         while True:
             try:
-                sock, addr = self._listen.accept()
+                sock, addr = self.listen.accept()
             except (BlockingIOError, OSError):
                 return
             sock.setblocking(False)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            handler = _Handler(self, sock, addr)
-            self._handlers.add(handler)
-            self._selector.register(sock, selectors.EVENT_READ, ("conn", handler))
+            target = self.server._accept_target(self)
+            if target is self:
+                handler = _Handler(self, sock, addr)
+                self._handlers.add(handler)
+                self._selector.register(sock, selectors.EVENT_READ,
+                                        ("conn", handler))
+            else:
+                # SO_REUSEPORT unavailable: this shard is the single
+                # acceptor and round-robins fresh connections to peers.
+                handler = _Handler(target, sock, addr)
+                self.accept_handoffs += 1
+                target._incoming.append((handler, None, False))
+                target._wake()
 
     def _drain_wake(self) -> None:
         try:
@@ -410,6 +367,39 @@ class AjaxWebServer:
                 pass
         except (BlockingIOError, OSError):
             pass
+
+    def _adopt_incoming(self) -> None:
+        """Register connections handed over by peer shards (this loop only)."""
+        while True:
+            try:
+                handler, request, migrated = self._incoming.popleft()
+            except IndexError:
+                return
+            if handler.closed:
+                continue
+            self._handlers.add(handler)
+            handler.want_write = bool(handler.outq)
+            events = selectors.EVENT_READ
+            if handler.want_write:
+                events |= selectors.EVENT_WRITE
+            try:
+                self._selector.register(handler.sock, events, ("conn", handler))
+            except (KeyError, ValueError, OSError):
+                self._close(handler)
+                continue
+            if migrated:
+                self.migrations_in += 1
+            try:
+                if request is not None:
+                    # The request that triggered the migration, already
+                    # parsed by the source shard; dispatch it here where
+                    # the session's waiter list lives.
+                    handler.keep_alive = request.keep_alive
+                    self._dispatch_safe(handler, request)
+                if not handler.closed and handler.shard is self:
+                    self._process_input(handler)
+            except Exception:
+                self._close(handler)
 
     def _close(self, handler: _Handler) -> None:
         if handler.closed:
@@ -470,10 +460,11 @@ class AjaxWebServer:
     def _flush(self, handler: _Handler) -> None:
         """Vectored write of as much queued output as the socket accepts.
 
-        Runs on the IO loop only.  Shared body buffers go straight from
-        the queue of ``memoryview``s to ``sendmsg`` — no concatenation,
-        no per-client copy.  A partial write narrows the front view in
-        place (zero-copy) and falls back to EVENT_WRITE registration.
+        Runs on the owning loop only.  Shared body buffers go straight
+        from the queue of ``memoryview``s to ``sendmsg`` — no
+        concatenation, no per-client copy.  A partial write narrows the
+        front view in place (zero-copy) and falls back to EVENT_WRITE
+        registration.
         """
         while handler.outq:
             bufs = list(itertools.islice(handler.outq, _MAX_IOV))
@@ -509,7 +500,8 @@ class AjaxWebServer:
         self._flush(handler)
         if not handler.closed and not handler.outq and handler.want_write:
             handler.want_write = False
-            self._selector.modify(handler.sock, selectors.EVENT_READ, ("conn", handler))
+            self._selector.modify(handler.sock, selectors.EVENT_READ,
+                                  ("conn", handler))
             # A pipelined request may already be buffered.
             self._process_input(handler)
 
@@ -517,21 +509,26 @@ class AjaxWebServer:
 
     def _process_input(self, handler: _Handler) -> None:
         """Parse and dispatch as many buffered requests as possible."""
-        while not handler.closed and handler.waiter is None and not handler.busy:
+        while (not handler.closed and handler.shard is self
+               and handler.waiter is None and not handler.busy):
             request = self._parse_one(handler)
             if request is None:
                 return
             self.requests_served += 1
             handler.keep_alive = request.keep_alive
-            try:
-                self._dispatch(handler, request)
-            except WebServerError as exc:
-                code = 404 if request.method == "GET" else 400
-                handler._send_json({"error": str(exc)}, code=code)
-            except ReproError as exc:
-                handler._send_json({"error": str(exc)}, code=400)
-            except Exception as exc:  # never kill the loop for one request
-                handler._send_json({"error": f"internal: {exc}"}, code=500)
+            self._dispatch_safe(handler, request)
+
+    def _dispatch_safe(self, handler: _Handler, request: _Request) -> None:
+        """Dispatch one request, converting errors to JSON responses."""
+        try:
+            self._dispatch(handler, request)
+        except WebServerError as exc:
+            code = 404 if request.method == "GET" else 400
+            handler._send_json({"error": str(exc)}, code=code)
+        except ReproError as exc:
+            handler._send_json({"error": str(exc)}, code=400)
+        except Exception as exc:  # never kill the loop for one request
+            handler._send_json({"error": f"internal: {exc}"}, code=500)
 
     def _parse_one(self, handler: _Handler) -> _Request | None:
         buf = handler.inbuf
@@ -567,61 +564,65 @@ class AjaxWebServer:
 
     # -- routing ----------------------------------------------------------------------
 
-    _SESSION_ACTIONS = {"state", "poll", "image", "image.png", "steer", "view", "stop"}
-
-    def _route(self, request: _Request) -> tuple[str | None, str]:
-        """Split ``/api/<session>/<action>`` (and legacy unscoped routes)."""
-        segments = [s for s in request.path.split("/") if s]
-        if not segments or segments[0] != "api":
-            raise WebServerError(f"no route {request.path}")
-        if len(segments) == 2:
-            if segments[1] == "sessions":
-                return None, "sessions"
-            if segments[1] == "stats":
-                return None, "stats"
-            if segments[1] in self._SESSION_ACTIONS:
-                # Legacy unscoped route: address the most recent session.
-                session = self.client.session
-                if session is None:
-                    raise WebServerError("no active steering session")
-                return session.session_id, segments[1]
-        elif len(segments) == 3 and segments[2] in self._SESSION_ACTIONS:
-            return segments[1], segments[2]
-        raise WebServerError(f"no route {request.path}")
-
     def _dispatch(self, handler: _Handler, request: _Request) -> None:
+        server = self.server
         if request.method == "GET" and request.path == "/":
             handler._send(200, _INDEX_BYTES, "text/html; charset=utf-8")
             return
         if request.method not in ("GET", "POST"):
             handler._send_json({"error": f"method {request.method}"}, code=400)
             return
-        sid, action = self._route(request)
+        sid, action = server._route(request)
         if action == "stats":
             if request.method != "GET":
                 raise WebServerError(f"no route {request.path}")
-            handler._send_json(self.stats())
+            handler._send_json(server.stats())
             return
         if action == "sessions":
             if request.method == "POST":
                 self._create_session(handler, request)
             else:
-                handler._send_json(self.manager.sessions())
+                handler._send_json(server.manager.sessions())
             return
         assert sid is not None
+        owner = server._shard_of(sid)
+        if owner is not self:
+            # Session-keyed work belongs to the shard owning the waiter
+            # list; migrate the connection (with this parsed request) so
+            # every future poll parks where the publish path wakes.
+            self._migrate(handler, request, owner)
+            return
         if request.method == "GET":
             self._dispatch_get(handler, request, sid, action)
         else:
             self._dispatch_post(handler, request, sid, action)
 
-    #: Snapshots past this many components are serialized off the IO loop.
-    SNAPSHOT_OFFLOAD_COMPONENTS = 32
+    def _migrate(self, handler: _Handler, request: _Request,
+                 target: "_IOShard") -> None:
+        """Hand this connection to ``target`` (runs on the source loop).
+
+        Only reachable from dispatch, so the handler has no parked
+        waiter and no in-flight worker job; pending response bytes (a
+        pipelined earlier response) travel with it — the target
+        re-registers for EVENT_WRITE if any remain.
+        """
+        try:
+            self._selector.unregister(handler.sock)
+        except (KeyError, ValueError):
+            pass
+        self._handlers.discard(handler)
+        handler.want_write = False
+        handler.shard = target
+        self.migrations_out += 1
+        target._incoming.append((handler, request, True))
+        target._wake()
 
     def _dispatch_get(self, handler: _Handler, request: _Request,
                       sid: str, action: str) -> None:
-        store = self.manager.events(sid)
+        server = self.server
+        store = server.manager.events(sid)
         if action == "state":
-            if store.component_count() > self.SNAPSHOT_OFFLOAD_COMPONENTS:
+            if store.component_count() > server.SNAPSHOT_OFFLOAD_COMPONENTS:
                 # A large merged snapshot is an O(components) JSON encode;
                 # render it on the worker pool like any heavy route.
                 self._offload(handler, lambda: (
@@ -633,10 +634,10 @@ class AjaxWebServer:
         elif action == "poll":
             self._handle_poll(handler, request, sid, store)
         elif action == "image":
-            version = self._version_arg(request)
+            version = server._version_arg(request)
             handler._send(200, store.image_blob(version), "application/octet-stream")
         elif action == "image.png":
-            version = self._version_arg(request)
+            version = server._version_arg(request)
             cached = store.png_cached(version)  # raises 404-wise if evicted
             if cached is not None:
                 handler._send(200, cached, "image/png")
@@ -651,51 +652,34 @@ class AjaxWebServer:
 
     def _dispatch_post(self, handler: _Handler, request: _Request,
                        sid: str, action: str) -> None:
+        server = self.server
         body = request.json_body()
-        session = self.manager.get(sid)
+        session = server.manager.get(sid)
         if action == "steer":
-            with self.manager.locked(sid):
+            with server.manager.locked(sid):
                 session.steer(body)
             handler._send_json({"ok": True, "session": sid, "staged": body})
         elif action == "view":
-            with self.manager.locked(sid):
-                self._apply_view_ops(session, body)
+            with server.manager.locked(sid):
+                server._apply_view_ops(session, body)
             handler._send_json({"ok": True, "session": sid})
         elif action == "stop":
-            with self.manager.locked(sid):
+            with server.manager.locked(sid):
                 session.request_shutdown()
             handler._send_json({"ok": True, "session": sid})
         else:
             raise WebServerError(f"no route {request.path}")
 
-    @staticmethod
-    def _query_num(request: _Request, name: str, default: str, cast=int):
-        raw = request.query.get(name, [default])[0]
-        try:
-            value = cast(raw)
-        except (TypeError, ValueError):
-            raise WebServerError(f"query parameter {name}={raw!r} is not a number")
-        if not math.isfinite(value):
-            # nan/inf deadlines would wedge the scheduler's deadline heap
-            raise WebServerError(f"query parameter {name}={raw!r} is not finite")
-        return value
-
-    @classmethod
-    def _version_arg(cls, request: _Request) -> int | None:
-        if not request.query.get("v", [None])[0]:
-            return None
-        return cls._query_num(request, "v", "0")
-
     def _offload(self, handler: _Handler, fn) -> None:
-        """Run ``fn() -> (code, body, ctype)`` on the worker pool.
+        """Run ``fn() -> (code, body, ctype)`` on the shared worker pool.
 
         The single home of the off-loop route policy: the connection is
         marked ``busy`` (no further pipelined dispatch), the job runs on
         a worker, and its outcome — or its error, rendered as a JSON
-        body — re-enters the IO loop through the completion queue +
+        body — re-enters this loop through the completion queue +
         socketpair, the same wakeup publishes use.  Response bodies are
         encoded on the worker, so a large JSON/PNG render never touches
-        the IO thread.
+        an IO thread.
         """
         handler.busy = True
 
@@ -715,7 +699,7 @@ class AjaxWebServer:
             self._completions.append((handler, code, body, ctype))
             self._wake()
 
-        self._pool.submit(job)
+        self.server._pool.submit(job)
 
     def _create_session(self, handler: _Handler, request: _Request) -> None:
         """Heavy route, run off the IO loop on the worker pool.
@@ -725,9 +709,10 @@ class AjaxWebServer:
         they would stall every parked poll.
         """
         spec = request.json_body()  # parse errors answered inline, cheaply
+        client = self.server.client
 
         def job() -> tuple[int, bytes, str]:
-            session = self.client.start(
+            session = client.start(
                 simulator=spec.get("simulator", "heat"),
                 technique=spec.get("technique", "isosurface"),
                 variable=spec.get("variable"),
@@ -744,7 +729,7 @@ class AjaxWebServer:
         self._offload(handler, job)
 
     def _deliver_completions(self) -> None:
-        """Send worker-pool results; runs on the IO loop only."""
+        """Send worker-pool results; runs on the owning loop only."""
         while True:
             try:
                 handler, code, body, ctype = self._completions.popleft()
@@ -763,9 +748,11 @@ class AjaxWebServer:
 
     def _handle_poll(self, handler: _Handler, request: _Request,
                      sid: str, store) -> None:
-        since = self._query_num(request, "since", "0")
-        timeout = min(self._query_num(request, "timeout", "20", float), _MAX_POLL_TIMEOUT)
-        self._hook_store(sid, store)
+        server = self.server
+        since = server._query_num(request, "since", "0")
+        timeout = min(server._query_num(request, "timeout", "20", float),
+                      _MAX_POLL_TIMEOUT)
+        server._hook_store(sid, store)
         if store.seq > since or timeout <= 0:
             self.polls_served += 1
             handler._send(200, store.delta_frame(since))
@@ -790,7 +777,7 @@ class AjaxWebServer:
         handler.waiter = None
         sid = waiter.key
         try:
-            store = self.manager.events(sid)
+            store = self.server.manager.events(sid)
             # The whole woken herd shares one encoded frame per cursor —
             # this is the O(1 encode + N writes) wake path.
             frame = store.delta_frame(waiter.since)
@@ -827,8 +814,9 @@ class AjaxWebServer:
                             self._close(waiter.handle)
 
     def _respond_herd(self, sid: str, since: int, herd: list[Waiter]) -> None:
+        server = self.server
         try:
-            store = self.manager.events(sid)
+            store = server.manager.events(sid)
             frame = store.delta_frame(since)
         except ReproError:  # session evicted while parked
             for waiter in herd:
@@ -845,7 +833,7 @@ class AjaxWebServer:
                 # One render shared by the herd: header + frame in a
                 # single immutable buffer every connection references.
                 if shared is None:
-                    shared = self._render_head(
+                    shared = server._render_head(
                         200, "application/json", len(frame), True
                     ) + frame
                 self._enqueue_and_flush(handler, (shared,))
@@ -867,7 +855,7 @@ class AjaxWebServer:
             handler.outq.append(memoryview(buf))
             handler.out_bytes += len(buf)
         self._flush(handler)
-        if not handler.closed and handler.out_bytes > self.write_budget:
+        if not handler.closed and handler.out_bytes > self.server.write_budget:
             self._drop_slow(handler)
 
     def _deliver_expired(self, now: float) -> None:
@@ -879,21 +867,25 @@ class AjaxWebServer:
                     self._close(waiter.handle)
 
     def _housekeeping(self) -> None:
-        evicted = self.manager.evict_idle()
-        for sid in evicted:
-            for waiter in self.scheduler.drop_key(sid):
-                try:
-                    self._respond_waiter(waiter)
-                except Exception:
-                    if waiter.handle is not None:
-                        self._close(waiter.handle)
+        server = self.server
+        if self.index == 0:
+            # Session eviction is a service-wide sweep: run it once (on
+            # shard 0) and push each evicted session's parked waiters to
+            # the shard owning them; that loop answers with the 404.
+            evicted = server.manager.evict_idle()
+            for sid in evicted:
+                owner = server._shard_of(sid)
+                dropped = owner.scheduler.drop_key(sid)
+                if dropped:
+                    owner._ready.extend(dropped)
+                    owner._wake()
         # Reap half-open keep-alive connections past the advertised
         # Keep-Alive timeout.  `last_activity` only advances on
         # successful IO, so a connection with pending output that made
         # no progress for the whole window is a stalled reader whose
         # backlog never reached the write budget — drop it as slow
         # rather than holding its fd and queued buffers forever.
-        cutoff = time.monotonic() - self.keepalive_timeout
+        cutoff = time.monotonic() - server.keepalive_timeout
         for handler in list(self._handlers):
             if (handler.waiter is not None or handler.busy
                     or handler.last_activity >= cutoff):
@@ -906,7 +898,10 @@ class AjaxWebServer:
     def _shutdown_sockets(self) -> None:
         for handler in list(self._handlers):
             self._close(handler)
-        for sock in (self._listen, self._wake_r, self._wake_w):
+        socks = [self._wake_r, self._wake_w]
+        if self.listen is not None:
+            socks.append(self.listen)
+        for sock in socks:
             try:
                 self._selector.unregister(sock)
             except (KeyError, ValueError):
@@ -916,6 +911,293 @@ class AjaxWebServer:
             except OSError:
                 pass
         self._selector.close()
+
+
+class AjaxWebServer:
+    """Bind a steering service (SessionManager) to HTTP on 127.0.0.1.
+
+    Use as a context manager or call :meth:`start` / :meth:`stop`.
+    ``shards=K`` runs K selector loops behind one port (SO_REUSEPORT
+    accept sharding with a single-acceptor fallback); the default is the
+    single-loop mode every existing deployment ran.
+    """
+
+    DEFAULT_WORKERS = 2
+
+    def __init__(
+        self,
+        client: SteeringClient,
+        port: int = 0,
+        verbose: bool = False,
+        keepalive_timeout: float = 30.0,
+        housekeeping_interval: float = 1.0,
+        workers: int | None = None,
+        write_budget: int = 8 * 1024 * 1024,
+        shards: int = 1,
+        shard_router=None,
+        use_reuseport: bool | None = None,
+    ) -> None:
+        self.client = client
+        self.manager = client.manager
+        self.verbose = verbose
+        self.keepalive_timeout = float(keepalive_timeout)
+        self.housekeeping_interval = float(housekeeping_interval)
+        self.workers = self.DEFAULT_WORKERS if workers is None else int(workers)
+        self.write_budget = int(write_budget)
+        if self.write_budget < 1:
+            raise WebServerError("write budget must be >= 1 byte")
+        if shards < 1:
+            raise WebServerError("shard count must be >= 1")
+        self._keepalive_suffix = (
+            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
+            "Connection: keep-alive\r\n"
+            f"Keep-Alive: timeout={int(self.keepalive_timeout)}\r\n\r\n"
+        )
+        self._close_suffix = (
+            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        listeners, self._reuseport = create_shard_listeners(
+            "127.0.0.1", port, shards, use_reuseport
+        )
+        for sock in listeners:
+            sock.setblocking(False)
+        self._listeners = listeners
+        self._router = (shard_router if shard_router is not None
+                        else default_shard_router(shards))
+        self._shards = [
+            _IOShard(self, i, listeners[i] if i < len(listeners) else None)
+            for i in range(shards)
+        ]
+        self._accept_rr = 0  # fallback round-robin cursor (acceptor thread only)
+        self._pool = _WorkerPool(self.workers)
+        self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
+        self._hook_lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._listeners[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    @property
+    def shards(self) -> int:
+        """The configured shard count (IO loops)."""
+        return len(self._shards)
+
+    @property
+    def reuseport_active(self) -> bool:
+        """True when every shard owns its own SO_REUSEPORT accept socket."""
+        return self._reuseport
+
+    @property
+    def scheduler(self) -> LongPollScheduler:
+        """The long-poll scheduler (single-shard mode only).
+
+        With ``shards > 1`` every shard owns its own scheduler; use
+        :meth:`parked_polls` / :meth:`stats` for aggregate views, or
+        address ``server._shards[i].scheduler`` in tests.
+        """
+        if len(self._shards) == 1:
+            return self._shards[0].scheduler
+        raise WebServerError(
+            "scheduler is per-shard when shards > 1; see stats()['shards']"
+        )
+
+    def _render_head(self, code: int, ctype: str, length: int,
+                     keep_alive: bool) -> bytes:
+        """The single home of the HTTP response-head format."""
+        reason = _STATUS_TEXT.get(code, "OK")
+        suffix = self._keepalive_suffix if keep_alive else self._close_suffix
+        return (
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {length}\r\n" + suffix
+        ).encode("latin-1")
+
+    def io_thread_count(self) -> int:
+        """IO threads in existence — a constant ``shards``, however many
+        polls park."""
+        return sum(1 for shard in self._shards if shard.io_thread_alive())
+
+    def worker_thread_count(self) -> int:
+        """Worker-pool threads — a fixed constant, independent of load."""
+        return self._pool.thread_count()
+
+    def server_thread_count(self) -> int:
+        """Every thread the server owns: ``shards`` IO + ``workers``."""
+        return self.io_thread_count() + self.worker_thread_count()
+
+    # -- aggregated counters (sums over shards; reads are approximate
+    # -- across running loops, exact once the server is stopped) -----------------
+
+    @property
+    def polls_served(self) -> int:
+        return sum(shard.polls_served for shard in self._shards)
+
+    @property
+    def requests_served(self) -> int:
+        return sum(shard.requests_served for shard in self._shards)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(shard.bytes_sent for shard in self._shards)
+
+    @property
+    def slow_client_disconnects(self) -> int:
+        return sum(shard.slow_client_disconnects for shard in self._shards)
+
+    def parked_polls(self) -> int:
+        """Waiters parked across every shard's scheduler."""
+        return sum(shard.scheduler.pending() for shard in self._shards)
+
+    def stats(self) -> dict:
+        """The ``GET /api/stats`` payload: per-shard + merged + executor.
+
+        Top-level counters keep their pre-sharding names (sums across
+        shards), so existing dashboards read unchanged; the ``shards``
+        list carries the per-loop breakdown.
+        """
+        shard_stats = [shard.stats() for shard in self._shards]
+        return {
+            "requests_served": sum(s["requests_served"] for s in shard_stats),
+            "polls_served": sum(s["polls_served"] for s in shard_stats),
+            "bytes_sent": sum(s["bytes_sent"] for s in shard_stats),
+            "slow_client_disconnects": sum(
+                s["slow_client_disconnects"] for s in shard_stats
+            ),
+            "parked_polls": sum(s["parked_polls"] for s in shard_stats),
+            "io_threads": self.io_thread_count(),
+            "worker_threads": self.worker_thread_count(),
+            "shard_count": len(self._shards),
+            "reuseport": self._reuseport,
+            "migrations": sum(s["migrations_in"] for s in shard_stats),
+            "shards": shard_stats,
+            "sessions": len(self.manager),
+            "executor": self.manager.executor_stats(),
+        }
+
+    def start(self) -> "AjaxWebServer":
+        self._stop.clear()
+        self._pool.start()
+        for shard in self._shards:
+            shard.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        for shard in self._shards:
+            shard._wake()
+        for shard in self._shards:
+            shard.join(timeout=5.0)
+        self._pool.stop()
+
+    def __enter__(self) -> "AjaxWebServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- publish -> wake path ------------------------------------------------------------
+
+    def _shard_of(self, sid: str) -> _IOShard:
+        """The shard owning ``sid``'s waiter list (the session router)."""
+        return self._shards[self._router(sid) % len(self._shards)]
+
+    def _accept_target(self, acceptor: _IOShard) -> _IOShard:
+        """Where a fresh connection should live (acceptor's thread only).
+
+        With SO_REUSEPORT the kernel already balanced the accept across
+        shards, so the acceptor keeps it.  In fallback mode the single
+        acceptor round-robins its peers so load still spreads.
+        """
+        if self._reuseport or len(self._shards) == 1:
+            return acceptor
+        target = self._shards[self._accept_rr % len(self._shards)]
+        self._accept_rr += 1
+        return target
+
+    def _hook_store(self, sid: str, store) -> None:
+        """Attach our publish listener to a session's event store (once).
+
+        A ``WeakSet`` keyed by the store object itself (not ``id()``)
+        stays correct when stores are garbage-collected and their heap
+        addresses reused by later sessions.  Guarded by a lock because
+        any shard's loop may hook a store first.
+        """
+        with self._hook_lock:
+            if store in self._hooked:
+                return
+            self._hooked.add(store)
+        store.add_listener(lambda seq, sid=sid: self._on_publish(sid, seq))
+        # Parked waiters read nothing while they wait; expose them as
+        # live demand (a waiter count) so the executor's backpressure
+        # probe never demotes a watched session.
+        store.attach_demand_probe(
+            lambda sid=sid: self._shard_of(sid).scheduler.pending_for(sid)
+        )
+
+    def _on_publish(self, sid: str, seq: int) -> None:
+        """Called from publisher (simulation) threads after every event.
+
+        Routes the wake to the single shard owning the session's waiter
+        list — the other K-1 loops never even wake up.
+        """
+        shard = self._shard_of(sid)
+        ready = shard.scheduler.notify(sid, seq)
+        if ready:
+            shard._ready.extend(ready)
+            shard._wake()
+
+    # -- routing helpers ---------------------------------------------------------------
+
+    _SESSION_ACTIONS = {"state", "poll", "image", "image.png", "steer", "view", "stop"}
+
+    #: Snapshots past this many components are serialized off the IO loop.
+    SNAPSHOT_OFFLOAD_COMPONENTS = 32
+
+    def _route(self, request: _Request) -> tuple[str | None, str]:
+        """Split ``/api/<session>/<action>`` (and legacy unscoped routes)."""
+        segments = [s for s in request.path.split("/") if s]
+        if not segments or segments[0] != "api":
+            raise WebServerError(f"no route {request.path}")
+        if len(segments) == 2:
+            if segments[1] == "sessions":
+                return None, "sessions"
+            if segments[1] == "stats":
+                return None, "stats"
+            if segments[1] in self._SESSION_ACTIONS:
+                # Legacy unscoped route: address the most recent session.
+                session = self.client.session
+                if session is None:
+                    raise WebServerError("no active steering session")
+                return session.session_id, segments[1]
+        elif len(segments) == 3 and segments[2] in self._SESSION_ACTIONS:
+            return segments[1], segments[2]
+        raise WebServerError(f"no route {request.path}")
+
+    @staticmethod
+    def _query_num(request: _Request, name: str, default: str, cast=int):
+        raw = request.query.get(name, [default])[0]
+        try:
+            value = cast(raw)
+        except (TypeError, ValueError):
+            raise WebServerError(f"query parameter {name}={raw!r} is not a number")
+        if not math.isfinite(value):
+            # nan/inf deadlines would wedge the scheduler's deadline heap
+            raise WebServerError(f"query parameter {name}={raw!r} is not finite")
+        return value
+
+    @classmethod
+    def _version_arg(cls, request: _Request) -> int | None:
+        if not request.query.get("v", [None])[0]:
+            return None
+        return cls._query_num(request, "v", "0")
 
     # -- view operations -------------------------------------------------------------------
 

@@ -1,0 +1,109 @@
+"""Accept-socket sharding: SO_REUSEPORT listeners + the session router.
+
+Scaling the serving plane horizontally means running K selector loops
+(*shards*) instead of one.  Two small mechanisms live here:
+
+* **Listener creation** — :func:`create_shard_listeners` binds one
+  accept socket per shard to the *same* port with ``SO_REUSEPORT``, so
+  the kernel load-balances incoming connections across the shards'
+  accept queues with no userspace coordination.  On platforms without
+  ``SO_REUSEPORT`` (or when it is explicitly disabled) it falls back to
+  a single listener; the server then runs one acceptor shard that
+  round-robins accepted connections to its peers over their wake
+  socketpairs — same topology, one extra handoff per connection.
+* **Session routing** — :func:`default_shard_router` maps a session id
+  to the shard that *owns* it.  All of a session's parked long polls
+  live on one shard's :class:`~repro.web.longpoll.LongPollScheduler`,
+  so a publish wakes exactly one loop and the whole herd shares one
+  rendered response buffer.  The hash is deterministic (``crc32``, not
+  the salted builtin ``hash``) so ownership is stable across threads
+  and restarts; a connection that lands on the wrong shard is migrated
+  once and stays put.
+
+The shards share everything content-shaped — the per-session
+``EventSequenceStore`` and its encode-once ``DeltaFrameCache`` buffers —
+so a publish still costs ~1 JSON encode however many shards serve it;
+sharding multiplies only the socket-facing loops.
+"""
+
+from __future__ import annotations
+
+import socket
+import zlib
+from typing import Callable
+
+from repro.errors import WebServerError
+
+__all__ = [
+    "reuseport_available",
+    "create_shard_listeners",
+    "default_shard_router",
+]
+
+
+def reuseport_available() -> bool:
+    """True when this platform exposes ``SO_REUSEPORT``."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def create_shard_listeners(
+    host: str,
+    port: int,
+    shards: int,
+    use_reuseport: bool | None = None,
+) -> tuple[list[socket.socket], bool]:
+    """Bind the accept socket(s) for a ``shards``-loop server.
+
+    Returns ``(listeners, reuseport_used)``.  With ``SO_REUSEPORT``
+    working, ``listeners`` has exactly ``shards`` sockets all bound to
+    one port (the first bind picks the ephemeral port when ``port=0``;
+    the rest join it).  Otherwise a single listener is returned and the
+    caller is expected to run the acceptor-handoff fallback.
+
+    ``use_reuseport=None`` auto-detects; ``False`` forces the fallback
+    (used by tests to exercise that path on any platform).
+    """
+    if shards < 1:
+        raise WebServerError("shard count must be >= 1")
+    if shards == 1:
+        return [socket.create_server((host, port))], False
+    want = reuseport_available() if use_reuseport is None else bool(use_reuseport)
+    if want:
+        listeners: list[socket.socket] = []
+        try:
+            first = socket.create_server((host, port), reuse_port=True)
+            listeners.append(first)
+            bound_port = first.getsockname()[1]
+            for _ in range(shards - 1):
+                listeners.append(
+                    socket.create_server((host, bound_port), reuse_port=True)
+                )
+            return listeners, True
+        except (OSError, ValueError):
+            # Platform advertises the option but refuses it (or refuses
+            # the rebind): fall back to the single-acceptor topology.
+            for sock in listeners:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+    return [socket.create_server((host, port))], False
+
+
+def default_shard_router(shards: int) -> Callable[[str], int]:
+    """A deterministic session-id -> shard-index map.
+
+    ``crc32`` rather than ``hash()``: the builtin is salted per process
+    and unusable for anything that must be stable or testable.  Custom
+    routers (e.g. modulo on a numeric session suffix, for benchmarks
+    that want an exactly-even spread) may be passed to the server
+    instead; any ``Callable[[str], int]`` works — results are taken
+    modulo the shard count defensively.
+    """
+    if shards < 1:
+        raise WebServerError("shard count must be >= 1")
+
+    def route(session_id: str) -> int:
+        return zlib.crc32(session_id.encode("utf-8", "replace")) % shards
+
+    return route
