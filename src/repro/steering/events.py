@@ -20,7 +20,14 @@ Three properties matter at scale:
   wakes N waiters parked at the same cursor, one ``json.dumps`` is paid
   and all N connections share the immutable frame; ``json_encodes``
   makes the encode-once wake path testable the same way ``encode_count``
-  does for images.
+  does for images.  The cache also memoizes *framed* variants of the
+  same window (:meth:`framed_delta`): the chunked SSE ``data:`` wrapper
+  and the WebSocket frame header are computed once per delta alongside
+  the JSON encode, so a herd of push subscribers shares one pre-framed
+  buffer exactly like a herd of woken pollers shares one JSON frame.
+  The WebSocket binary variant (``FRAME_WS_BINARY``) carries image
+  blobs raw after the JSON header instead of base64-inlined in it,
+  cutting image-event bytes on the wire by the base64 overhead (~33%).
 * **Gap detection** — the event log is a bounded ring.  A slow poller
   whose cursor has fallen off the tail receives ``dropped`` (the number
   of events it can never see) instead of a silent gap, and can resync
@@ -36,7 +43,9 @@ long-poll scheduler), both O(1) amortised per publish.
 
 from __future__ import annotations
 
+import base64
 import json
+import struct
 import threading
 import time
 from collections import OrderedDict, deque
@@ -46,7 +55,78 @@ from typing import Any, Callable
 from repro.errors import WebServerError
 from repro.viz.image import Image, decode_fixed_size, encode_fixed_size
 
-__all__ = ["SessionEvent", "DeltaFrameCache", "EventSequenceStore"]
+__all__ = [
+    "SessionEvent",
+    "DeltaFrameCache",
+    "EventSequenceStore",
+    "FRAME_JSON",
+    "FRAME_SSE",
+    "FRAME_WS",
+    "FRAME_WS_B64",
+    "FRAME_WS_BINARY",
+    "WS_TEXT",
+    "WS_BINARY",
+    "WS_CLOSE",
+    "WS_PING",
+    "WS_PONG",
+    "ws_server_frame",
+    "sse_event_chunk",
+    "sse_comment_chunk",
+]
+
+# -- wire framing (shared by the store's memoization and the web tier) --------
+#
+# The framing byte-math lives here, next to the encode-once core, so the
+# pre-framed buffers can be memoized per (since, head) window alongside
+# the JSON encode.  The web tier (and its clients) import these rather
+# than duplicating the formats; nothing here imports the web package, so
+# the steering->web layering stays acyclic.
+
+FRAME_JSON = "json"          # plain JSON delta (long-poll body)
+FRAME_SSE = "sse"            # chunked-transfer SSE event carrying the delta
+FRAME_WS = "ws"              # WebSocket text frame carrying the delta
+FRAME_WS_B64 = "ws+b64"      # WS text frame, image blobs base64-inlined
+FRAME_WS_BINARY = "ws+bin"   # WS binary frame, image blobs appended raw
+
+FRAMINGS = (FRAME_JSON, FRAME_SSE, FRAME_WS, FRAME_WS_B64, FRAME_WS_BINARY)
+
+WS_TEXT = 0x1
+WS_BINARY = 0x2
+WS_CLOSE = 0x8
+WS_PING = 0x9
+WS_PONG = 0xA
+
+
+def ws_server_frame(payload: bytes, opcode: int = WS_TEXT) -> bytes:
+    """One complete unmasked (server->client) RFC 6455 frame."""
+    length = len(payload)
+    if length < 126:
+        header = bytes((0x80 | opcode, length))
+    elif length < 65536:
+        header = bytes((0x80 | opcode, 126)) + struct.pack(">H", length)
+    else:
+        header = bytes((0x80 | opcode, 127)) + struct.pack(">Q", length)
+    return header + payload
+
+
+def sse_event_chunk(payload: bytes, event_id: int | None = None) -> bytes:
+    """One SSE event (``id:`` + ``data:`` lines) as an HTTP/1.1 chunk.
+
+    ``payload`` must be newline-free (compact JSON is).  The ``id`` line
+    carries the head sequence so a dropped client resumes with
+    ``Last-Event-ID`` exactly like a poller resumes with ``since``.
+    """
+    if event_id is not None:
+        event = b"id: %d\ndata: %s\n\n" % (event_id, payload)
+    else:
+        event = b"data: %s\n\n" % payload
+    return b"%x\r\n%s\r\n" % (len(event), event)
+
+
+def sse_comment_chunk(text: bytes = b"keep-alive") -> bytes:
+    """An SSE comment line as an HTTP chunk (heartbeat; clients ignore it)."""
+    event = b": %s\n\n" % text
+    return b"%x\r\n%s\r\n" % (len(event), event)
 
 
 @dataclass(frozen=True, slots=True)
@@ -353,6 +433,35 @@ class EventSequenceStore:
         with self._cond:
             return self._delta_locked(since)
 
+    def _inline_delta_locked(self, since: int, b64: bool) -> tuple[dict, list[bytes]]:
+        """Delta whose image events carry their blobs (push transports).
+
+        A push subscriber has no request/response channel to fetch
+        ``/api/<sid>/image?v=N`` over, so the blob rides in the delta.
+        ``b64=True`` inlines it as ``blob_b64`` in the JSON (the legacy
+        base64-in-JSON shape); ``b64=False`` records ``blob_offset`` /
+        ``blob_len`` into a raw blob section appended after the JSON in
+        the binary frame, and returns the blobs for the caller to
+        append.  Blobs already evicted from the image ring are skipped —
+        the meta event still arrives, exactly like the poll path.
+        """
+        delta = self._delta_locked(since)
+        by_seq = {record.seq: record.blob for record in self._images}
+        blobs: list[bytes] = []
+        offset = 0
+        for comp in delta["components"]:
+            blob = by_seq.get(comp["version"]) if comp["id"] == "image" else None
+            if blob is None:
+                continue
+            if b64:
+                comp["props"]["blob_b64"] = base64.b64encode(blob).decode("ascii")
+            else:
+                comp["props"]["blob_offset"] = offset
+                comp["props"]["blob_len"] = len(blob)
+                blobs.append(blob)
+                offset += len(blob)
+        return delta, blobs
+
     def delta_frame(self, since: int) -> bytes:
         """Serialized JSON delta past ``since``, encoded once per window.
 
@@ -362,21 +471,75 @@ class EventSequenceStore:
         is immutable and safe to share across N connection write queues
         without copying.  ``json_encodes`` counts actual encodes.
         """
+        return self.framed_delta(since, FRAME_JSON)
+
+    def framed_delta(self, since: int, framing: str = FRAME_JSON) -> bytes:
+        """The delta past ``since``, pre-framed for one wire transport.
+
+        Every framing of a ``(since, head_seq)`` window is memoized in
+        the same :class:`DeltaFrameCache`, keyed ``(since, head,
+        framing)``.  The SSE and WS text framings *wrap* the shared JSON
+        frame — when a herd mixes pollers and subscribers, they all ride
+        one ``json.dumps`` and each transport pays only its (memoized)
+        header bytes.  The inline-image framings (``ws+b64``,
+        ``ws+bin``) carry different JSON and honestly cost their own
+        encode, still one per window however many subscribers share it.
+        """
+        return self.framed_delta_with_head(since, framing)[0]
+
+    def framed_delta_with_head(self, since: int,
+                               framing: str = FRAME_JSON) -> tuple[bytes, int]:
+        """:meth:`framed_delta` plus the head seq the frame covers.
+
+        The push path advances each subscriber's cursor to exactly the
+        head that was serialized — reading ``seq`` separately could
+        under-advance past a racing publish and re-deliver its events.
+        """
+        if framing not in FRAMINGS:
+            raise WebServerError(f"unknown delta framing {framing!r}")
         self._last_poll = time.monotonic()
         with self._cond:
-            key = (since, self._seq)
+            head = self._seq
+            key = (since, head, framing)
             frame = self._frame_cache.get(key)
             if frame is not None:
-                return frame
-            delta = self._delta_locked(since)
+                return frame, head
+            base = (self._frame_cache.get((since, head, FRAME_JSON))
+                    if framing in (FRAME_SSE, FRAME_WS) else None)
+            if framing == FRAME_WS_B64:
+                delta, blobs = self._inline_delta_locked(since, b64=True)
+            elif framing == FRAME_WS_BINARY:
+                delta, blobs = self._inline_delta_locked(since, b64=False)
+            elif base is None:
+                delta, blobs = self._delta_locked(since), []
+            else:
+                delta, blobs = None, []
         # Serialize outside the lock so publishers never block behind a
         # large encode; a racing caller of the same window may duplicate
         # the encode (counted honestly), the cache keeps one winner.
-        frame = json.dumps(delta).encode("utf-8")
+        encoded = 0
+        if delta is not None:
+            base = json.dumps(delta).encode("utf-8")
+            encoded = 1
+        if framing == FRAME_JSON:
+            frame = base
+        elif framing == FRAME_SSE:
+            frame = sse_event_chunk(base, head)
+        elif framing == FRAME_WS:
+            frame = ws_server_frame(base, WS_TEXT)
+        elif framing == FRAME_WS_B64:
+            frame = ws_server_frame(base, WS_TEXT)
+        else:  # FRAME_WS_BINARY: [u32 json length][json][raw blobs]
+            payload = struct.pack(">I", len(base)) + base + b"".join(blobs)
+            frame = ws_server_frame(payload, WS_BINARY)
         with self._cond:
-            self.json_encodes += 1
+            self.json_encodes += encoded
+            if encoded and framing in (FRAME_SSE, FRAME_WS):
+                # The wrapped framings share the JSON bytes: cache them
+                # under their own key too so a mixed herd never re-encodes.
+                self._frame_cache.put((since, head, FRAME_JSON), base)
             self._frame_cache.put(key, frame)
-        return frame
+        return frame, head
 
     def frame_cache_stats(self) -> dict:
         with self._cond:

@@ -9,25 +9,35 @@ exposing session-keyed XMLHttpRequest-style endpoints:
 * ``GET /api/<sid>/state``     — merged component snapshot,
 * ``GET /api/<sid>/poll``      — long-poll event-sequence deltas (a
   parked poll is a waiter record on the shared scheduler, not a thread),
+* ``GET /api/<sid>/stream``    — chunked-transfer SSE push stream (a
+  persistent subscriber on the session's owner shard),
+* ``GET /api/<sid>/ws``        — WebSocket upgrade (RFC 6455) carrying
+  pushed deltas; ``?images=b64|binary`` inlines image blobs,
 * ``GET /api/<sid>/image``     — fixed-size image file
   (``application/octet-stream``), ``image.png`` for browsers,
 * ``POST /api/<sid>/steer``    — computational steering parameters,
 * ``POST /api/<sid>/view``     — visualization operations (rotate/zoom),
 * ``POST /api/<sid>/stop``     — request simulation shutdown,
-* ``GET /api/stats``           — server / executor / session counters.
+* ``GET /api/stats``           — server / executor / session counters,
+  including per-transport delivery counts.
 
-:class:`~repro.web.client.AjaxClient` is the programmatic browser used by
-tests and examples; :class:`~repro.web.longpoll.LongPollScheduler` is the
-waiter registry + deadline wheel behind the non-blocking polls.
+:class:`~repro.web.client.SteeringWebClient` is the programmatic browser
+used by tests and examples (``AjaxClient`` is its legacy alias); it
+speaks all three event transports behind one :meth:`events` generator
+with since-resume reconnects.  :class:`~repro.web.longpoll.LongPollScheduler`
+is the waiter/subscriber registry + deadline wheel behind the
+non-blocking polls and push streams.
 """
 
-from repro.web.client import AjaxClient
-from repro.web.longpoll import LongPollScheduler, Waiter
+from repro.web.client import AjaxClient, SteeringWebClient
+from repro.web.longpoll import LongPollScheduler, Subscriber, Waiter
 from repro.web.server import AjaxWebServer
 
 __all__ = [
     "AjaxClient",
+    "SteeringWebClient",
     "AjaxWebServer",
     "LongPollScheduler",
+    "Subscriber",
     "Waiter",
 ]

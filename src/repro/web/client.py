@@ -1,34 +1,71 @@
-"""Programmatic Ajax client (the browser stand-in for tests/examples).
+"""Programmatic web client (the browser stand-in for tests/examples).
 
-Speaks exactly the protocol of the embedded page: XHR-style long polls
-against ``/api/<session>/poll``, image fetches keyed by version, steering
-POSTs.  One client addresses one session; give it a ``session`` name or
-let :meth:`resolve_session` adopt the first session the server lists.
+Speaks exactly the protocols of the embedded page: XHR-style long polls
+against ``/api/<session>/poll``, EventSource-style SSE streams against
+``/api/<session>/stream``, WebSocket upgrades against
+``/api/<session>/ws``, image fetches keyed by version, steering POSTs.
+One client addresses one session; give it a ``session`` name or let
+:meth:`resolve_session` adopt the first session the server lists.
+
+Transport failures (refused/reset/dropped connections) surface as
+:class:`ConnectionError`; protocol errors (HTTP 4xx/5xx, malformed
+frames) as :class:`WebServerError`.  The polling and streaming paths
+auto-reconnect with capped exponential backoff and resume from the
+client's ``since`` cursor — a steering UI rides out a server restart or
+a dropped stream without losing its place (``reconnects`` counts the
+recoveries).  :meth:`events` is the unified entry point: one generator
+of delta dicts whichever transport carries them.
 """
 
 from __future__ import annotations
 
+import base64
 import json
+import os
+import socket
+import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 from repro.errors import WebServerError
+from repro.steering.events import WS_BINARY, WS_CLOSE, WS_PING, WS_PONG, WS_TEXT
 from repro.viz.image import Image, decode_fixed_size
+from repro.web.framing import (
+    decode_binary_delta,
+    decode_chunks,
+    parse_ws_frames,
+    split_sse_events,
+    ws_accept_key,
+    ws_client_frame,
+)
 
-__all__ = ["AjaxClient"]
+__all__ = ["SteeringWebClient", "AjaxClient"]
+
+TRANSPORTS = ("longpoll", "sse", "ws")
 
 
-class AjaxClient:
-    """Minimal synchronous Ajax client over urllib."""
+class SteeringWebClient:
+    """Synchronous steering-web client over urllib + raw sockets.
+
+    urllib carries the request/response routes; the persistent stream
+    transports (SSE chunked transfer, WebSocket) run over plain sockets
+    using the same framing helpers the server side uses.
+    """
 
     def __init__(self, base_url: str, session: str | None = None,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0, max_retries: int = 4,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.session = session
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
         self.since = 0
         self.updates_received = 0
         self.dropped_seen = 0
+        self.reconnects = 0
 
     # -- HTTP helpers ------------------------------------------------------------
 
@@ -41,7 +78,7 @@ class AjaxClient:
         except urllib.error.HTTPError as exc:
             raise WebServerError(f"GET {path}: HTTP {exc.code}") from exc
         except urllib.error.URLError as exc:
-            raise WebServerError(f"GET {path}: {exc.reason}") from exc
+            raise ConnectionError(f"GET {path}: {exc.reason}") from exc
 
     def _get_json(self, path: str, timeout: float | None = None) -> dict:
         return json.loads(self._get(path, timeout=timeout).decode("utf-8"))
@@ -59,6 +96,27 @@ class AjaxClient:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
             raise WebServerError(f"POST {path}: HTTP {exc.code}") from exc
+        except urllib.error.URLError as exc:
+            raise ConnectionError(f"POST {path}: {exc.reason}") from exc
+
+    def _retrying(self, fn):
+        """Run ``fn`` with capped exponential backoff on ConnectionError."""
+        delay = self.backoff_base
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn()
+            except ConnectionError:
+                if attempt == self.max_retries:
+                    raise
+                self.reconnects += 1
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
+
+    def _hostport(self) -> tuple[str, int]:
+        parts = urllib.parse.urlsplit(self.base_url)
+        if not parts.hostname or not parts.port:
+            raise WebServerError(f"cannot stream to {self.base_url!r}")
+        return parts.hostname, parts.port
 
     # -- session addressing --------------------------------------------------------
 
@@ -84,27 +142,210 @@ class AjaxClient:
         """Full component tree."""
         return self._get_json(self._api("state"))
 
+    def _advance(self, delta: dict) -> None:
+        """Move the resume cursor past a received delta."""
+        self.since = max(self.since, delta.get("version", self.since))
+        self.updates_received += len(delta.get("components", []))
+        self.dropped_seen += delta.get("dropped", 0)
+
     def poll(self, timeout: float = 5.0) -> dict:
-        """One long poll; advances the client's version cursor."""
-        diff = self._get_json(
-            self._api("poll") + f"?since={self.since}&timeout={timeout}",
-            timeout=timeout + 5.0,
-        )
-        self.since = diff["version"]
-        self.updates_received += len(diff.get("components", []))
-        self.dropped_seen += diff.get("dropped", 0)
+        """One long poll; advances the cursor, reconnects transparently.
+
+        The cursor only moves on a successful response, so a retried
+        poll naturally resumes from the last delta the client saw.
+        """
+        def attempt() -> dict:
+            return self._get_json(
+                self._api("poll") + f"?since={self.since}&timeout={timeout}",
+                timeout=timeout + 5.0,
+            )
+
+        diff = self._retrying(attempt)
+        self._advance(diff)
         return diff
 
+    # -- streaming transports -------------------------------------------------------
+
+    def events(self, transport: str = "longpoll", timeout: float = 5.0,
+               images: str | None = None):
+        """Unified event stream: an infinite generator of delta dicts.
+
+        ``transport`` picks the wire protocol; every delta has the poll
+        shape (``version``/``components``/``dropped``), so consumers are
+        transport-agnostic.  Quiet periods yield synthetic
+        ``{"timeout": True}`` deltas every ``timeout`` seconds (the long
+        poll's timeout contract, kept for the push transports).  Dropped
+        connections reconnect with capped exponential backoff, resuming
+        from ``since``; protocol errors (e.g. the session is gone)
+        propagate to the caller.  ``images`` ("b64" | "binary") asks the
+        WS transport to inline image blobs in the deltas.
+        """
+        if transport not in TRANSPORTS:
+            raise WebServerError(f"unknown transport {transport!r}")
+        delay = self.backoff_base
+        while True:
+            try:
+                if transport == "longpoll":
+                    yield self.poll(timeout=timeout)
+                    delay = self.backoff_base
+                    continue
+                stream = (self._sse_stream if transport == "sse"
+                          else self._ws_stream)
+                for delta in stream(timeout=timeout, images=images):
+                    delay = self.backoff_base
+                    yield delta
+            except ConnectionError:
+                pass
+            # Dropped (or server-ended) stream: back off, then resume.
+            self.reconnects += 1
+            time.sleep(delay)
+            delay = min(delay * 2, self.backoff_cap)
+
+    def _read_stream_head(self, sock: socket.socket, buf: bytearray,
+                          expect_status: int) -> dict[str, str]:
+        """Read one response head into ``buf``; leftover bytes stay in it."""
+        while b"\r\n\r\n" not in buf:
+            try:
+                chunk = sock.recv(65536)
+            except (TimeoutError, OSError) as exc:
+                raise ConnectionError(f"stream handshake failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionError("connection closed during response head")
+            buf += chunk
+            if len(buf) > 65536:
+                raise WebServerError("oversized response head")
+        head, _, rest = bytes(buf).partition(b"\r\n\r\n")
+        del buf[:]
+        buf += rest
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        status = int(parts[1]) if len(parts) >= 2 and parts[1].isdigit() else 0
+        if status != expect_status:
+            raise WebServerError(
+                f"expected HTTP {expect_status}, got {lines[0]!r}"
+            )
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return headers
+
+    def _timeout_delta(self) -> dict:
+        return {"version": self.since, "components": [], "dropped": 0,
+                "timeout": True}
+
+    def _sse_stream(self, timeout: float = 5.0, images: str | None = None):
+        """One SSE connection; yields deltas until it drops (then raises)."""
+        sid = self.resolve_session()
+        host, port = self._hostport()
+        try:
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+        except OSError as exc:
+            raise ConnectionError(f"stream connect failed: {exc}") from exc
+        try:
+            request = (
+                f"GET /api/{sid}/stream?since={self.since} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Last-Event-ID: {self.since}\r\n"
+                "Accept: text/event-stream\r\n\r\n"
+            )
+            sock.sendall(request.encode("latin-1"))
+            buf = bytearray()
+            self._read_stream_head(sock, buf, expect_status=200)
+            sock.settimeout(timeout)
+            eventbuf = bytearray()
+            while True:
+                payloads, ended = decode_chunks(buf)
+                for payload in payloads:
+                    eventbuf += payload
+                for _event_id, data in split_sse_events(eventbuf):
+                    delta = json.loads(data.decode("utf-8"))
+                    self._advance(delta)
+                    yield delta
+                if ended:
+                    return  # server finished the stream (session closed)
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError:
+                    yield self._timeout_delta()
+                    continue
+                except OSError as exc:
+                    raise ConnectionError(f"stream read failed: {exc}") from exc
+                if not chunk:
+                    raise ConnectionError("stream connection closed")
+                buf += chunk
+        finally:
+            sock.close()
+
+    def _ws_stream(self, timeout: float = 5.0, images: str | None = None):
+        """One WebSocket connection; yields deltas until close/drop."""
+        sid = self.resolve_session()
+        host, port = self._hostport()
+        try:
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+        except OSError as exc:
+            raise ConnectionError(f"ws connect failed: {exc}") from exc
+        try:
+            key = base64.b64encode(os.urandom(16)).decode("ascii")
+            images_q = f"&images={images}" if images else ""
+            request = (
+                f"GET /api/{sid}/ws?since={self.since}{images_q} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            )
+            sock.sendall(request.encode("latin-1"))
+            buf = bytearray()
+            headers = self._read_stream_head(sock, buf, expect_status=101)
+            if headers.get("sec-websocket-accept") != ws_accept_key(key):
+                raise WebServerError("WS handshake returned a bad accept key")
+            sock.settimeout(timeout)
+            while True:
+                for opcode, payload in parse_ws_frames(buf, require_mask=False):
+                    if opcode == WS_PING:
+                        sock.sendall(ws_client_frame(payload, WS_PONG))
+                    elif opcode == WS_CLOSE:
+                        sock.sendall(ws_client_frame(payload[:2], WS_CLOSE))
+                        return  # server finished the stream (session closed)
+                    elif opcode == WS_TEXT:
+                        delta = json.loads(payload.decode("utf-8"))
+                        self._advance(delta)
+                        yield delta
+                    elif opcode == WS_BINARY:
+                        delta = decode_binary_delta(payload)
+                        self._advance(delta)
+                        yield delta
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError:
+                    yield self._timeout_delta()
+                    continue
+                except OSError as exc:
+                    raise ConnectionError(f"ws read failed: {exc}") from exc
+                if not chunk:
+                    raise ConnectionError("ws connection closed")
+                buf += chunk
+        finally:
+            sock.close()
+
     def wait_for_component(
-        self, component_id: str, polls: int = 20, timeout: float = 3.0
+        self, component_id: str, polls: int = 20, timeout: float = 3.0,
+        transport: str = "longpoll",
     ) -> dict:
-        """Poll until a diff includes ``component_id``; returns its props."""
-        for _ in range(polls):
-            diff = self.poll(timeout=timeout)
-            for comp in diff.get("components", []):
-                if comp["id"] == component_id:
-                    return comp["props"]
+        """Consume deltas until one includes ``component_id``; its props."""
+        stream = self.events(transport=transport, timeout=timeout)
+        try:
+            for _ in range(polls):
+                delta = next(stream)
+                for comp in delta.get("components", []):
+                    if comp["id"] == component_id:
+                        return comp["props"]
+        finally:
+            stream.close()
         raise WebServerError(f"component {component_id!r} never updated")
+
+    # -- images / steering ----------------------------------------------------------
 
     def fetch_image(self, version: int | None = None) -> Image:
         """Download and decode the latest fixed-size image file."""
@@ -134,3 +375,7 @@ class AjaxClient:
         self.session = resp["session"]
         self.since = 0
         return self.session
+
+
+#: Back-compat name from the seed's browser stand-in.
+AjaxClient = SteeringWebClient

@@ -1,0 +1,207 @@
+"""Wire-level helpers for the push transports (RFC 6455 + SSE parsing).
+
+The *server->client* framing byte-math lives in
+:mod:`repro.steering.events` next to the encode-once memoization (so
+pre-framed delta buffers can be cached per window); this module owns the
+complementary pieces the serving loop and the programmatic clients need:
+
+* the WebSocket opening-handshake accept key (SHA-1 over the client key
+  and the RFC 6455 GUID),
+* an incremental WebSocket frame parser usable on both sides — the
+  server requires masked (client->server) frames, the client rejects
+  them,
+* client->server frame construction (masked, as the RFC demands),
+* the binary delta payload decoder (``[u32 json length][json][blobs]``)
+  matching ``EventSequenceStore.framed_delta(..., FRAME_WS_BINARY)``,
+* an incremental chunked-transfer decoder plus an SSE event splitter
+  for the client side of ``GET /api/<sid>/stream``.
+
+Everything here is pure byte manipulation: no sockets, no threads, no
+imports from the serving loop, so both ``server.py`` and ``client.py``
+(and the benchmark client stand-ins) share one implementation of every
+format.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import struct
+
+from repro.errors import WebServerError
+
+__all__ = [
+    "WS_GUID",
+    "ws_accept_key",
+    "ws_client_frame",
+    "parse_ws_frames",
+    "decode_binary_delta",
+    "decode_chunks",
+    "split_sse_events",
+]
+
+WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frames past this size are a protocol violation for our tiny control
+#: and steering payloads — treat as an attack / corruption and drop.
+_MAX_WS_PAYLOAD = 16 * 1024 * 1024
+
+
+def ws_accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a ``Sec-WebSocket-Key`` (RFC 6455 §4.2.2)."""
+    digest = hashlib.sha1(client_key.strip().encode("ascii") + WS_GUID).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def ws_client_frame(payload: bytes, opcode: int) -> bytes:
+    """One complete masked (client->server) frame."""
+    mask = os.urandom(4)
+    length = len(payload)
+    if length < 126:
+        header = bytes((0x80 | opcode, 0x80 | length))
+    elif length < 65536:
+        header = bytes((0x80 | opcode, 0x80 | 126)) + struct.pack(">H", length)
+    else:
+        header = bytes((0x80 | opcode, 0x80 | 127)) + struct.pack(">Q", length)
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+    return header + mask + masked
+
+
+def parse_ws_frames(buf: bytearray, require_mask: bool) -> list[tuple[int, bytes]]:
+    """Consume every complete frame in ``buf``; return ``(opcode, payload)``.
+
+    Incremental: partial frames stay in ``buf`` for the next read.
+    ``require_mask=True`` is the server side (RFC 6455 §5.1: a server
+    MUST fail the connection on an unmasked client frame); ``False`` is
+    the client side, which must equally reject masked server frames.
+    Raises :class:`WebServerError` on protocol violations so the caller
+    can fail the connection.
+    """
+    frames: list[tuple[int, bytes]] = []
+    while True:
+        if len(buf) < 2:
+            return frames
+        first, second = buf[0], buf[1]
+        if first & 0x70:
+            raise WebServerError("WS frame with reserved bits set")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        if masked != require_mask:
+            raise WebServerError(
+                "WS frame masked wrong for direction "
+                f"(masked={masked}, require_mask={require_mask})"
+            )
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < 4:
+                return frames
+            length = struct.unpack_from(">H", buf, 2)[0]
+            offset = 4
+        elif length == 127:
+            if len(buf) < 10:
+                return frames
+            length = struct.unpack_from(">Q", buf, 2)[0]
+            offset = 10
+        if length > _MAX_WS_PAYLOAD:
+            raise WebServerError(f"WS frame payload {length} bytes is too large")
+        if opcode >= 0x8 and (length > 125 or not first & 0x80):
+            raise WebServerError("malformed WS control frame")
+        if masked:
+            if len(buf) < offset + 4 + length:
+                return frames
+            mask = bytes(buf[offset:offset + 4])
+            offset += 4
+            payload = bytes(
+                b ^ mask[i % 4]
+                for i, b in enumerate(buf[offset:offset + length])
+            )
+        else:
+            if len(buf) < offset + length:
+                return frames
+            payload = bytes(buf[offset:offset + length])
+        del buf[:offset + length]
+        # Continuation frames (opcode 0) are tolerated but collapsed
+        # into standalone payloads: our peers never fragment.
+        frames.append((opcode, payload))
+
+
+def decode_binary_delta(payload: bytes) -> dict:
+    """Decode a ``FRAME_WS_BINARY`` payload back into a delta dict.
+
+    Image components regain a ``blob`` bytes prop (the raw fixed-size
+    container) in place of their ``blob_offset``/``blob_len`` pointers
+    into the trailing blob section.
+    """
+    if len(payload) < 4:
+        raise WebServerError("binary delta shorter than its length prefix")
+    json_len = struct.unpack_from(">I", payload, 0)[0]
+    if 4 + json_len > len(payload):
+        raise WebServerError("binary delta JSON header is truncated")
+    delta = json.loads(payload[4:4 + json_len].decode("utf-8"))
+    blob_section = payload[4 + json_len:]
+    for comp in delta.get("components", ()):
+        props = comp.get("props", {})
+        if "blob_offset" in props:
+            start = props.pop("blob_offset")
+            length = props.pop("blob_len")
+            props["blob"] = blob_section[start:start + length]
+    return delta
+
+
+def decode_chunks(buf: bytearray) -> tuple[list[bytes], bool]:
+    """Consume complete HTTP/1.1 chunks from ``buf``.
+
+    Returns ``(payloads, ended)`` where ``ended`` is True once the
+    zero-length terminal chunk has been seen.  Partial chunks stay in
+    ``buf``.
+    """
+    payloads: list[bytes] = []
+    while True:
+        head_end = buf.find(b"\r\n")
+        if head_end < 0:
+            return payloads, False
+        size_token = bytes(buf[:head_end]).split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError:
+            raise WebServerError(f"malformed chunk size {size_token!r}")
+        total = head_end + 2 + size + 2
+        if len(buf) < total:
+            return payloads, False
+        if buf[total - 2:total] != b"\r\n":
+            raise WebServerError("chunk missing CRLF terminator")
+        if size == 0:
+            del buf[:total]
+            return payloads, True
+        payloads.append(bytes(buf[head_end + 2:total - 2]))
+        del buf[:total]
+
+
+def split_sse_events(buf: bytearray) -> list[tuple[int | None, bytes]]:
+    """Consume complete SSE events from ``buf``; return ``(id, data)``.
+
+    Comment-only events (heartbeats) are dropped.  ``data`` is the
+    joined ``data:`` payload; ``id`` the last ``id:`` field if present.
+    """
+    events: list[tuple[int | None, bytes]] = []
+    while True:
+        end = buf.find(b"\n\n")
+        if end < 0:
+            return events
+        block = bytes(buf[:end])
+        del buf[:end + 2]
+        event_id: int | None = None
+        data: list[bytes] = []
+        for line in block.split(b"\n"):
+            if line.startswith(b"data:"):
+                data.append(line[5:].lstrip())
+            elif line.startswith(b"id:"):
+                try:
+                    event_id = int(line[3:].strip())
+                except ValueError:
+                    event_id = None
+        if data:
+            events.append((event_id, b"\n".join(data)))

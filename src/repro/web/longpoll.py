@@ -9,6 +9,16 @@ driven by a deadline heap that the server's single IO loop consults for
 its select timeout.  Thousands of idle pollers therefore cost zero
 threads — the scheduler owns no threads at all; it is a passive,
 thread-safe registry the IO loop and publisher threads rendezvous on.
+
+A :class:`Subscriber` generalizes the waiter for push transports (SSE,
+WebSocket): where a waiter is popped by the first publish and the
+connection must re-park with a fresh request, a subscriber *stays
+registered* across publishes.  :meth:`LongPollScheduler.push_targets`
+returns (without removing) every subscriber behind the new head; the IO
+loop appends the pre-framed delta to each connection and advances the
+subscriber's cursor in place — zero re-parks, zero request parsing per
+event.  Subscribers have no deadline: they live until the connection
+closes or the session is dropped.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ import itertools
 import threading
 from typing import Any
 
-__all__ = ["Waiter", "LongPollScheduler"]
+__all__ = ["Waiter", "Subscriber", "LongPollScheduler"]
 
 
 class Waiter:
@@ -39,6 +49,35 @@ class Waiter:
                 f"deadline={self.deadline:.3f}, done={self.done})")
 
 
+class Subscriber:
+    """One persistent push stream: stays registered across publishes.
+
+    ``since`` is the delivery cursor and is advanced *in place* by the
+    owning IO loop as frames go out (only that loop touches it after
+    registration, so no lock is needed on the hot path).  ``transport``
+    names the wire framing for per-transport accounting ("sse", "ws");
+    ``framing`` names the delta encoding the event store should hand
+    back (see :meth:`EventSequenceStore.framed_delta`).
+    """
+
+    __slots__ = ("id", "key", "since", "handle", "transport", "framing", "done")
+
+    def __init__(self, id: int, key: str, since: int, handle: Any,
+                 transport: str, framing: str) -> None:
+        self.id = id
+        self.key = key
+        self.since = since
+        self.handle = handle  # opaque: the server stores the connection here
+        self.transport = transport
+        self.framing = framing
+        self.done = False  # unsubscribed or session dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Subscriber(id={self.id}, key={self.key!r}, "
+                f"since={self.since}, transport={self.transport!r}, "
+                f"done={self.done})")
+
+
 class LongPollScheduler:
     """Condition-variable-style registry of waiters plus a deadline wheel.
 
@@ -51,11 +90,14 @@ class LongPollScheduler:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._by_key: dict[str, dict[int, Waiter]] = {}
+        self._subs_by_key: dict[str, dict[int, Subscriber]] = {}
         self._heap: list[tuple[float, int, Waiter]] = []
         self._ids = itertools.count(1)
         self.registered_total = 0
         self.notified_total = 0
         self.expired_total = 0
+        self.subscribed_total = 0
+        self.pushed_total = 0
 
     def register(self, key: str, since: int, deadline: float, handle: Any = None) -> Waiter:
         """Park a poll: it will be returned by ``notify`` or ``expire_due``."""
@@ -105,6 +147,81 @@ class LongPollScheduler:
                 waiter.done = True
             return waiters
 
+    # -- persistent subscribers (SSE / WebSocket push streams) ---------------
+
+    def subscribe(self, key: str, since: int, handle: Any = None,
+                  transport: str = "sse", framing: str = "json") -> Subscriber:
+        """Register a persistent push stream on ``key``.
+
+        Unlike :meth:`register`, the record survives publishes: it is
+        returned by every :meth:`push_targets` call whose head passes
+        its cursor until :meth:`unsubscribe` or :meth:`drop_subscribers`
+        removes it.
+        """
+        with self._lock:
+            sub = Subscriber(next(self._ids), key, since, handle,
+                             transport, framing)
+            self._subs_by_key.setdefault(key, {})[sub.id] = sub
+            self.subscribed_total += 1
+            return sub
+
+    def unsubscribe(self, sub: Subscriber) -> bool:
+        """Remove a subscriber (connection closed); False if already gone."""
+        with self._lock:
+            if sub.done:
+                return False
+            sub.done = True
+            bucket = self._subs_by_key.get(sub.key)
+            if bucket is not None:
+                bucket.pop(sub.id, None)
+                if not bucket:
+                    del self._subs_by_key[sub.key]
+            return True
+
+    def push_targets(self, key: str, seq: int) -> list[Subscriber]:
+        """Publisher hook: every live subscriber on ``key`` behind ``seq``.
+
+        Subscribers are returned *without* being removed — delivery
+        advances each cursor in place on the owning IO loop.  Reading
+        ``since`` here races that advance benignly: a stale read only
+        re-queues a subscriber whose delivery re-check will no-op.
+        """
+        with self._lock:
+            bucket = self._subs_by_key.get(key)
+            if not bucket:
+                return []
+            targets = [s for s in bucket.values() if s.since < seq]
+            self.pushed_total += len(targets)
+            return targets
+
+    def drop_subscribers(self, key: str) -> list[Subscriber]:
+        """Pop every subscriber on ``key`` (session evicted/closed)."""
+        with self._lock:
+            bucket = self._subs_by_key.pop(key, None)
+            if not bucket:
+                return []
+            subs = list(bucket.values())
+            for sub in subs:
+                sub.done = True
+            return subs
+
+    def subscribers(self) -> int:
+        with self._lock:
+            return sum(len(b) for b in self._subs_by_key.values())
+
+    def subscribers_for(self, key: str) -> int:
+        with self._lock:
+            return len(self._subs_by_key.get(key, ()))
+
+    def subscriber_counts(self) -> dict[str, int]:
+        """Live subscribers by transport (for per-transport stats)."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for bucket in self._subs_by_key.values():
+                for sub in bucket.values():
+                    counts[sub.transport] = counts.get(sub.transport, 0) + 1
+        return counts
+
     def expire_due(self, now: float) -> list[Waiter]:
         """Pop every waiter whose deadline has passed (the wheel tick)."""
         expired: list[Waiter] = []
@@ -138,7 +255,10 @@ class LongPollScheduler:
         with self._lock:
             return {
                 "parked": sum(len(b) for b in self._by_key.values()),
+                "subscribers": sum(len(b) for b in self._subs_by_key.values()),
                 "registered_total": self.registered_total,
                 "notified_total": self.notified_total,
                 "expired_total": self.expired_total,
+                "subscribed_total": self.subscribed_total,
+                "pushed_total": self.pushed_total,
             }

@@ -34,6 +34,23 @@ once per version; all N clients receive the cached blob, and each poll
 delta is serialized once per ``(since, head_seq)`` window — waking N
 pollers on one publish costs ~O(1 encode + N writes), not O(N encodes).
 
+**Push transports** ride the same encode-once core without the
+per-event request/response cycle long polls pay.  ``GET
+/api/<sid>/stream`` turns the connection into a chunked-transfer SSE
+stream and ``GET /api/<sid>/ws`` upgrades it to a WebSocket (RFC 6455);
+either way the connection becomes a persistent
+:class:`~repro.web.longpoll.Subscriber` on its session's *owning*
+shard (the crc32 router migrates it once, at stream start).  A publish
+then walks the subscriber list and appends the pre-framed delta — SSE
+``data:`` chunk or WS frame, memoized per ``(since, head)`` window
+alongside the JSON encode — to each connection's write deque: zero
+re-parks, zero request parsing per event, still ~1 encode + N vectored
+writes per herd wake.  The WS path can additionally carry image blobs
+raw in binary frames (``?images=binary``) instead of base64-in-JSON,
+cutting image-event wire bytes by ~33%.  Persistent streams add zero
+threads: a subscriber is a ~100-byte record plus its connection's
+existing selector registration.
+
 The write path is zero-copy fan-out: a response is a freshly built
 header ``bytes`` plus a shared immutable body buffer, queued as
 ``memoryview``s on a per-connection deque and flushed with vectored
@@ -72,7 +89,19 @@ from collections import deque
 
 from repro.errors import ReproError, WebServerError
 from repro.steering.client import SteeringClient
-from repro.web.longpoll import LongPollScheduler, Waiter
+from repro.steering.events import (
+    FRAME_SSE,
+    FRAME_WS,
+    FRAME_WS_B64,
+    FRAME_WS_BINARY,
+    WS_CLOSE,
+    WS_PING,
+    WS_PONG,
+    sse_comment_chunk,
+    ws_server_frame,
+)
+from repro.web.framing import parse_ws_frames, ws_accept_key
+from repro.web.longpoll import LongPollScheduler, Subscriber, Waiter
 from repro.web.sharding import create_shard_listeners, default_shard_router
 from repro.web.static import INDEX_HTML
 
@@ -84,6 +113,8 @@ _MAX_BODY_BYTES = 4 * 1024 * 1024
 _MAX_IOV = 64  # buffers per vectored write (safely under IOV_MAX everywhere)
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 _INDEX_BYTES = INDEX_HTML.encode("utf-8")  # encoded once, shared by every GET /
+_SSE_TERMINAL = b"0\r\n\r\n"  # chunked-transfer end marker
+_TRANSPORTS = ("longpoll", "sse", "ws")
 
 _STATUS_TEXT = {
     200: "OK",
@@ -136,11 +167,15 @@ class _Handler:
     ``shard`` is the IO loop that currently owns this connection; it
     changes exactly at migration handoffs, between which only the owning
     loop's thread touches the handler.
+
+    ``mode`` starts as ``"http"`` (request/response parsing) and flips
+    once, irreversibly, to ``"sse"`` or ``"ws"`` when a stream route
+    claims the connection; ``subscriber`` then holds its registration.
     """
 
     __slots__ = ("shard", "sock", "addr", "inbuf", "outq", "out_bytes",
-                 "close_after", "waiter", "busy", "closed", "keep_alive",
-                 "last_activity", "want_write")
+                 "close_after", "waiter", "subscriber", "mode", "busy",
+                 "closed", "keep_alive", "last_activity", "want_write")
 
     def __init__(self, shard: "_IOShard", sock: socket.socket, addr) -> None:
         self.shard = shard
@@ -152,6 +187,8 @@ class _Handler:
         self.want_write = False  # EVENT_WRITE currently registered
         self.close_after = False
         self.waiter: Waiter | None = None  # the parked poll, if any
+        self.subscriber: Subscriber | None = None  # the push stream, if any
+        self.mode = "http"  # "http" | "sse" | "ws"
         self.busy = False  # a worker-pool job owns the next response
         self.closed = False
         self.keep_alive = True  # set per request; consumed by _send
@@ -245,6 +282,8 @@ class _IOShard:
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
         self._ready: deque[Waiter] = deque()  # popped by this loop only
+        self._push_queue: deque[Subscriber] = deque()  # publish -> push targets
+        self._farewells: deque[Subscriber] = deque()  # session evicted -> goodbye
         self._completions: deque = deque()  # (handler, code, body, ctype)
         # Connections handed to this shard: (handler, parsed request | None,
         # migrated?) — appended by peer shards / acceptors, popped here.
@@ -258,6 +297,10 @@ class _IOShard:
         self.migrations_in = 0
         self.migrations_out = 0
         self.accept_handoffs = 0  # connections this shard accepted for peers
+        # Per-transport delivery accounting (events + payload bytes).
+        self.transport_counters = {
+            t: {"delivered": 0, "bytes_sent": 0} for t in _TRANSPORTS
+        }
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -288,10 +331,21 @@ class _IOShard:
 
     def stats(self) -> dict:
         """This shard's slice of the ``/api/stats`` payload."""
+        active = self.scheduler.subscriber_counts()
+        transports = {
+            name: {
+                "active": (self.scheduler.pending() if name == "longpoll"
+                           else active.get(name, 0)),
+                **counters,
+            }
+            for name, counters in self.transport_counters.items()
+        }
         return {
             "shard": self.index,
             "io_threads": 1 if self.io_thread_alive() else 0,
             "parked_polls": self.scheduler.pending(),
+            "subscribers": self.scheduler.subscribers(),
+            "transports": transports,
             "polls_served": self.polls_served,
             "requests_served": self.requests_served,
             "bytes_sent": self.bytes_sent,
@@ -332,6 +386,8 @@ class _IOShard:
             now = time.monotonic()
             self._adopt_incoming()
             self._deliver_ready()
+            self._deliver_push()
+            self._deliver_farewells()
             self._deliver_completions()
             self._deliver_expired(now)
             if now >= next_housekeeping:
@@ -408,6 +464,9 @@ class _IOShard:
         if handler.waiter is not None:
             self.scheduler.cancel(handler.waiter)
             handler.waiter = None
+        if handler.subscriber is not None:
+            self.scheduler.unsubscribe(handler.subscriber)
+            handler.subscriber = None
         try:
             self._selector.unregister(handler.sock)
         except (KeyError, ValueError):
@@ -508,9 +567,21 @@ class _IOShard:
     # -- HTTP parsing -----------------------------------------------------------------
 
     def _process_input(self, handler: _Handler) -> None:
-        """Parse and dispatch as many buffered requests as possible."""
+        """Parse and dispatch as many buffered requests as possible.
+
+        Once a stream route has claimed the connection the HTTP parser
+        never runs again: WS input goes to the frame parser (ping/close
+        handling), SSE input is discarded (the stream is one-way).
+        """
+        if handler.mode == "ws":
+            self._process_ws_input(handler)
+            return
+        if handler.mode == "sse":
+            handler.inbuf.clear()
+            return
         while (not handler.closed and handler.shard is self
-               and handler.waiter is None and not handler.busy):
+               and handler.waiter is None and not handler.busy
+               and handler.mode == "http"):
             request = self._parse_one(handler)
             if request is None:
                 return
@@ -633,6 +704,10 @@ class _IOShard:
                 handler._send_json(store.snapshot())
         elif action == "poll":
             self._handle_poll(handler, request, sid, store)
+        elif action == "stream":
+            self._handle_stream(handler, request, sid, store)
+        elif action == "ws":
+            self._handle_ws_upgrade(handler, request, sid, store)
         elif action == "image":
             version = server._version_arg(request)
             handler._send(200, store.image_blob(version), "application/octet-stream")
@@ -755,7 +830,9 @@ class _IOShard:
         server._hook_store(sid, store)
         if store.seq > since or timeout <= 0:
             self.polls_served += 1
-            handler._send(200, store.delta_frame(since))
+            frame = store.delta_frame(since)
+            self._count_tx("longpoll", len(frame))
+            handler._send(200, frame)
             return
         # Park: register first, then re-check, so a publish racing this
         # request is either seen by the re-check or pops the waiter.
@@ -766,7 +843,9 @@ class _IOShard:
         if store.seq > since and self.scheduler.cancel(waiter):
             handler.waiter = None
             self.polls_served += 1
-            handler._send(200, store.delta_frame(since))
+            frame = store.delta_frame(since)
+            self._count_tx("longpoll", len(frame))
+            handler._send(200, frame)
         # else: the waiter is parked (or already in the ready queue); the
         # IO loop delivers the response.  Zero threads are held either way.
 
@@ -786,6 +865,7 @@ class _IOShard:
             self._process_input(handler)
             return
         self.polls_served += 1
+        self._count_tx("longpoll", len(frame))
         handler._send(200, frame)
         self._process_input(handler)  # a pipelined request may be waiting
 
@@ -829,6 +909,7 @@ class _IOShard:
                 continue
             handler.waiter = None
             self.polls_served += 1
+            self._count_tx("longpoll", len(frame))
             if handler.keep_alive:
                 # One render shared by the herd: header + frame in a
                 # single immutable buffer every connection references.
@@ -841,6 +922,197 @@ class _IOShard:
                 handler._send(200, frame)
             if not handler.closed and handler.inbuf:
                 self._process_input(handler)  # pipelined request waiting
+
+    # -- push streams (SSE / WebSocket subscribers) --------------------------------
+
+    def _count_tx(self, transport: str, nbytes: int) -> None:
+        counters = self.transport_counters[transport]
+        counters["delivered"] += 1
+        counters["bytes_sent"] += nbytes
+
+    def _handle_stream(self, handler: _Handler, request: _Request,
+                       sid: str, store) -> None:
+        """``GET /api/<sid>/stream``: become a chunked-transfer SSE stream."""
+        server = self.server
+        if not request.http11:
+            # A client error, not a missing route: answer 400 inline
+            # (the generic GET error path would call this a 404).
+            handler._send_json(
+                {"error": "stream requires HTTP/1.1 (chunked transfer)"},
+                code=400,
+            )
+            return
+        since = server._query_num(request, "since", "-1")
+        if since < 0:
+            # EventSource reconnects resume exactly like pollers resume
+            # with ?since: the id: line carries the head seq.
+            last_id = request.headers.get("last-event-id", "")
+            since = int(last_id) if last_id.isdigit() else 0
+        server._hook_store(sid, store)
+        handler.mode = "sse"
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
+            "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        ).encode("latin-1")
+        sub = self.scheduler.subscribe(sid, since, handler,
+                                       transport="sse", framing=FRAME_SSE)
+        handler.subscriber = sub
+        self._enqueue_and_flush(handler, (head, sse_comment_chunk(b"ok")))
+        if not handler.closed and store.seq > since:
+            self._push_one(sub)  # backlog behind the cursor goes out now
+
+    def _handle_ws_upgrade(self, handler: _Handler, request: _Request,
+                           sid: str, store) -> None:
+        """``GET /api/<sid>/ws``: RFC 6455 upgrade, then pushed deltas."""
+        server = self.server
+        # Handshake violations are client errors: answer 400 inline (the
+        # generic GET error path would call them 404s).
+        if request.headers.get("upgrade", "").lower() != "websocket":
+            handler._send_json(
+                {"error": "ws route requires an Upgrade: websocket handshake"},
+                code=400,
+            )
+            return
+        key = request.headers.get("sec-websocket-key", "")
+        if not key:
+            handler._send_json(
+                {"error": "ws handshake missing Sec-WebSocket-Key"}, code=400
+            )
+            return
+        images = request.query.get("images", [""])[0]
+        if images == "binary":
+            framing = FRAME_WS_BINARY  # blobs raw after the JSON header
+        elif images == "b64":
+            framing = FRAME_WS_B64  # blobs base64-inlined in the JSON
+        elif images in ("", "none"):
+            framing = FRAME_WS  # meta only; images fetched over HTTP
+        else:
+            handler._send_json(
+                {"error": f"unknown images mode {images!r}"}, code=400
+            )
+            return
+        since = server._query_num(request, "since", "0")
+        server._hook_store(sid, store)
+        head = (
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {ws_accept_key(key)}\r\n"
+            "Server: RICSA/2.0\r\n\r\n"
+        ).encode("latin-1")
+        handler.mode = "ws"
+        sub = self.scheduler.subscribe(sid, since, handler,
+                                       transport="ws", framing=framing)
+        handler.subscriber = sub
+        self._enqueue_and_flush(handler, (head,))
+        if not handler.closed and store.seq > since:
+            self._push_one(sub)
+        if not handler.closed and handler.inbuf:
+            self._process_ws_input(handler)  # frames sent before our 101
+
+    def _process_ws_input(self, handler: _Handler) -> None:
+        """Serve the client->server half of a WS connection (control frames)."""
+        try:
+            frames = parse_ws_frames(handler.inbuf, require_mask=True)
+        except WebServerError:
+            self._close(handler)
+            return
+        for opcode, payload in frames:
+            if handler.closed:
+                return
+            if opcode == WS_PING:
+                self._enqueue_and_flush(
+                    handler, (ws_server_frame(payload, WS_PONG),)
+                )
+            elif opcode == WS_CLOSE:
+                # Echo the status code (if any) and finish the closing
+                # handshake; close_after fires once the echo is flushed.
+                handler.close_after = True
+                self._enqueue_and_flush(
+                    handler, (ws_server_frame(payload[:2], WS_CLOSE),)
+                )
+                return
+            # Data and pong frames from the client carry nothing we act on.
+
+    def _deliver_push(self) -> None:
+        """Append fresh pre-framed deltas to woken subscribers.
+
+        Runs on the owning loop only — it is the only writer of each
+        subscriber's cursor, so delivery needs no lock beyond the
+        scheduler's internal one.  The whole queue is drained as one
+        batch so a lockstep herd (N subscribers at the same cursor)
+        pays one store lookup per session and one frame-cache hit per
+        (session, cursor, framing) group — mirroring the long-poll herd
+        path, which renders a single shared response buffer.
+        """
+        if not self._push_queue:
+            return
+        batch = list(self._push_queue)
+        self._push_queue.clear()
+        stores: dict[str, object] = {}
+        frames: dict[tuple, tuple] = {}
+        for sub in batch:
+            try:
+                self._push_one(sub, stores, frames)
+            except Exception:  # one bad connection must not kill the loop
+                if sub.handle is not None:
+                    self._close(sub.handle)
+
+    def _push_one(self, sub: Subscriber, stores: dict | None = None,
+                  frames: dict | None = None) -> None:
+        handler: _Handler = sub.handle
+        if (sub.done or handler is None or handler.closed
+                or handler.subscriber is not sub):
+            return
+        store = stores.get(sub.key) if stores is not None else None
+        if store is None:
+            try:
+                store = self.server.manager.events(sub.key)
+            except ReproError:  # session evicted between publish and delivery
+                self._farewell(sub)
+                return
+            if stores is not None:
+                stores[sub.key] = store
+        if store.seq <= sub.since:
+            return  # duplicate wake: an earlier delivery already covered it
+        group = (sub.key, sub.since, sub.framing)
+        framed = frames.get(group) if frames is not None else None
+        if framed is None:
+            framed = store.framed_delta_with_head(sub.since, sub.framing)
+            if frames is not None:
+                frames[group] = framed
+        frame, head = framed
+        sub.since = head  # advance to exactly what was framed
+        self._count_tx(sub.transport, len(frame))
+        self._enqueue_and_flush(handler, (frame,))
+
+    def _farewell(self, sub: Subscriber) -> None:
+        """End a push stream cleanly (its session is gone)."""
+        self.scheduler.unsubscribe(sub)
+        handler: _Handler = sub.handle
+        if handler is None or handler.closed:
+            return
+        if handler.subscriber is sub:
+            handler.subscriber = None
+        handler.close_after = True
+        if sub.transport == "ws":
+            goodbye = (ws_server_frame(b"\x03\xe8", WS_CLOSE),)  # 1000 normal
+        else:
+            goodbye = (sse_comment_chunk(b"session closed"), _SSE_TERMINAL)
+        self._enqueue_and_flush(handler, goodbye)
+
+    def _deliver_farewells(self) -> None:
+        while True:
+            try:
+                sub = self._farewells.popleft()
+            except IndexError:
+                return
+            try:
+                self._farewell(sub)
+            except Exception:  # one bad connection must not kill the loop
+                if sub.handle is not None:
+                    self._close(sub.handle)
 
     def _enqueue_and_flush(self, handler: _Handler, buffers) -> None:
         """The single home of the write policy: queue ``buffers`` (by
@@ -878,6 +1150,10 @@ class _IOShard:
                 dropped = owner.scheduler.drop_key(sid)
                 if dropped:
                     owner._ready.extend(dropped)
+                subs = owner.scheduler.drop_subscribers(sid)
+                if subs:
+                    owner._farewells.extend(subs)
+                if dropped or subs:
                     owner._wake()
         # Reap half-open keep-alive connections past the advertised
         # Keep-Alive timeout.  `last_activity` only advances on
@@ -886,7 +1162,23 @@ class _IOShard:
         # backlog never reached the write budget — drop it as slow
         # rather than holding its fd and queued buffers forever.
         cutoff = time.monotonic() - server.keepalive_timeout
+        beat_cutoff = time.monotonic() - server.keepalive_timeout / 2
         for handler in list(self._handlers):
+            sub = handler.subscriber
+            if sub is not None:
+                # Push streams are never idle-reaped: an idle stream is a
+                # quiet simulation, not a dead client.  Heartbeat instead
+                # (WS ping / SSE comment) — a dead peer RSTs the next
+                # write, a stalled one accumulates backlog until the
+                # write budget drops it.
+                if handler.last_activity < beat_cutoff and not handler.closed:
+                    beat = (ws_server_frame(b"", WS_PING)
+                            if sub.transport == "ws" else sse_comment_chunk())
+                    try:
+                        self._enqueue_and_flush(handler, (beat,))
+                    except Exception:
+                        self._close(handler)
+                continue
             if (handler.waiter is not None or handler.busy
                     or handler.last_activity >= cutoff):
                 continue
@@ -1056,6 +1348,10 @@ class AjaxWebServer:
         """Waiters parked across every shard's scheduler."""
         return sum(shard.scheduler.pending() for shard in self._shards)
 
+    def subscribers(self) -> int:
+        """Live push subscribers (SSE + WS) across every shard."""
+        return sum(shard.scheduler.subscribers() for shard in self._shards)
+
     def stats(self) -> dict:
         """The ``GET /api/stats`` payload: per-shard + merged + executor.
 
@@ -1064,6 +1360,15 @@ class AjaxWebServer:
         list carries the per-loop breakdown.
         """
         shard_stats = [shard.stats() for shard in self._shards]
+        transports = {
+            name: {"active": 0, "delivered": 0, "bytes_sent": 0}
+            for name in _TRANSPORTS
+        }
+        for s in shard_stats:
+            for name, t in s["transports"].items():
+                agg = transports[name]
+                for field in agg:
+                    agg[field] += t[field]
         return {
             "requests_served": sum(s["requests_served"] for s in shard_stats),
             "polls_served": sum(s["polls_served"] for s in shard_stats),
@@ -1072,6 +1377,8 @@ class AjaxWebServer:
                 s["slow_client_disconnects"] for s in shard_stats
             ),
             "parked_polls": sum(s["parked_polls"] for s in shard_stats),
+            "subscribers": sum(s["subscribers"] for s in shard_stats),
+            "transports": transports,
             "io_threads": self.io_thread_count(),
             "worker_threads": self.worker_thread_count(),
             "shard_count": len(self._shards),
@@ -1135,12 +1442,14 @@ class AjaxWebServer:
                 return
             self._hooked.add(store)
         store.add_listener(lambda seq, sid=sid: self._on_publish(sid, seq))
-        # Parked waiters read nothing while they wait; expose them as
-        # live demand (a waiter count) so the executor's backpressure
-        # probe never demotes a watched session.
-        store.attach_demand_probe(
-            lambda sid=sid: self._shard_of(sid).scheduler.pending_for(sid)
-        )
+        # Parked waiters and push subscribers read nothing while they
+        # wait; expose them as live demand (a watcher count) so the
+        # executor's backpressure probe never demotes a watched session.
+        def demand(sid=sid) -> int:
+            scheduler = self._shard_of(sid).scheduler
+            return scheduler.pending_for(sid) + scheduler.subscribers_for(sid)
+
+        store.attach_demand_probe(demand)
 
     def _on_publish(self, sid: str, seq: int) -> None:
         """Called from publisher (simulation) threads after every event.
@@ -1150,13 +1459,18 @@ class AjaxWebServer:
         """
         shard = self._shard_of(sid)
         ready = shard.scheduler.notify(sid, seq)
+        targets = shard.scheduler.push_targets(sid, seq)
         if ready:
             shard._ready.extend(ready)
+        if targets:
+            shard._push_queue.extend(targets)
+        if ready or targets:
             shard._wake()
 
     # -- routing helpers ---------------------------------------------------------------
 
-    _SESSION_ACTIONS = {"state", "poll", "image", "image.png", "steer", "view", "stop"}
+    _SESSION_ACTIONS = {"state", "poll", "stream", "ws", "image", "image.png",
+                        "steer", "view", "stop"}
 
     #: Snapshots past this many components are serialized off the IO loop.
     SNAPSHOT_OFFLOAD_COMPONENTS = 32

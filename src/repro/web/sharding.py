@@ -13,12 +13,15 @@ Scaling the serving plane horizontally means running K selector loops
   socketpairs — same topology, one extra handoff per connection.
 * **Session routing** — :func:`default_shard_router` maps a session id
   to the shard that *owns* it.  All of a session's parked long polls
-  live on one shard's :class:`~repro.web.longpoll.LongPollScheduler`,
-  so a publish wakes exactly one loop and the whole herd shares one
-  rendered response buffer.  The hash is deterministic (``crc32``, not
-  the salted builtin ``hash``) so ownership is stable across threads
-  and restarts; a connection that lands on the wrong shard is migrated
-  once and stays put.
+  *and* its persistent push subscribers (SSE/WebSocket streams) live on
+  one shard's :class:`~repro.web.longpoll.LongPollScheduler`, so a
+  publish wakes exactly one loop and the whole herd shares one rendered
+  response buffer.  The hash is deterministic (``crc32``, not the
+  salted builtin ``hash``) so ownership is stable across threads and
+  restarts; a connection that lands on the wrong shard is migrated
+  once and stays put — for a stream that one-time migration happens at
+  stream start, before the upgrade, and the connection is pinned to the
+  owner loop for its whole life.
 
 The shards share everything content-shaped — the per-session
 ``EventSequenceStore`` and its encode-once ``DeltaFrameCache`` buffers —
