@@ -22,11 +22,19 @@ updates: repeated long polls (the default, what the embedded page does),
 a Server-Sent Events stream, or a WebSocket.  All three ride the same
 encode-once delta core; the streamed transports hold one connection open
 instead of re-requesting per update.
+
+``--emulate-slow N`` adds N viewers throttled to an emulated 1 Mbit/s
+modem link (rate from the simulated bottleneck in
+``repro.net.channel``) and prints the live tier gauge while the
+adaptive controller demotes them — watch the slow viewers slide down
+the tier ladder while the LAN client keeps full quality and nobody is
+disconnected.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -37,9 +45,10 @@ from repro.web import AjaxWebServer, SteeringWebClient
 from repro.web.client import TRANSPORTS
 
 
-def _parse_args() -> tuple[float, str]:
+def _parse_args() -> tuple[float, str, int]:
     serve_extra = 0.0
     transport = "longpoll"
+    emulate_slow = 0
     argv = sys.argv
     if "--serve" in argv:
         idx = argv.index("--serve")
@@ -49,18 +58,68 @@ def _parse_args() -> tuple[float, str]:
         if idx + 1 >= len(argv) or argv[idx + 1] not in TRANSPORTS:
             sys.exit(f"--transport must be one of {'/'.join(TRANSPORTS)}")
         transport = argv[idx + 1]
-    return serve_extra, transport
+    if "--emulate-slow" in argv:
+        idx = argv.index("--emulate-slow")
+        emulate_slow = int(argv[idx + 1]) if idx + 1 < len(argv) else 2
+    return serve_extra, transport, emulate_slow
+
+
+def _spawn_slow_viewers(port: int, sid: str, n: int):
+    """Start ``n`` WebSocket viewers throttled to an emulated modem link.
+
+    Reuses the benchmark's paced stream client: image blobs ride inline
+    (``images=b64``) so the payloads actually stress the slow link, the
+    drain rate is capped at the simulated bottleneck bandwidth, and a
+    small receive buffer keeps the backlog server-visible — exactly the
+    congestion signal the adaptive controller reacts to.
+    """
+    from repro.experiments.web_concurrency import (
+        _WSClient,
+        emulated_slow_bandwidth,
+    )
+
+    bandwidth = emulated_slow_bandwidth(mbits=1.0)
+    stop = threading.Event()
+    gate = threading.Barrier(n + 1)
+    viewers = []
+    for _ in range(n):
+        viewer = _WSClient(port, sid, stop, gate)
+        viewer.images = "b64"
+        viewer.recv_bytes = 4096
+        viewer.recv_interval = 4096 / bandwidth
+        viewer.rcvbuf = 8192
+        viewer.start()
+        viewers.append(viewer)
+    gate.wait()
+    return stop, viewers, bandwidth
+
+
+def _print_tiers(server: AjaxWebServer, label: str) -> None:
+    stats = server.stats()
+    gauge = " ".join(
+        f"tier{i}={n}" for i, n in enumerate(stats["tiers"])
+    )
+    print(f"  [{label}] live tiers: {gauge}  "
+          f"(demotions {stats['tier_demotions']}, "
+          f"promotions {stats['tier_promotions']}, "
+          f"slow disconnects {stats['slow_client_disconnects']})")
 
 
 def main() -> None:
-    serve_extra, transport = _parse_args()
+    serve_extra, transport, emulate_slow = _parse_args()
 
     topology, roles = build_paper_testbed(with_cross_traffic=False)
     print("calibrating cost models ...")
     cm = CentralManager(topology, roles, calibration=default_calibration(0))
     client = SteeringClient(cm)
 
-    with AjaxWebServer(client, port=0) as server:
+    # A small kernel send buffer makes slow-reader backlog visible to the
+    # adaptive controller quickly enough to watch within the demo's run.
+    server_kwargs: dict = {}
+    if emulate_slow > 0:
+        server_kwargs = {"sndbuf": 65536, "housekeeping_interval": 0.2}
+
+    with AjaxWebServer(client, port=0, **server_kwargs) as server:
         print(f"Ajax web server listening on {server.url}")
         print(f"client transport: {transport}")
         print("starting bow-shock simulation (VH1 sweeps + RICSA hooks) ...")
@@ -87,6 +146,15 @@ def main() -> None:
         print(f"configured loop: {bowshock.decision.vrt.loop_description()}")
         print(f"sessions: {sorted(client.manager.sessions())}")
 
+        slow_stop = None
+        slow_viewers = []
+        if emulate_slow > 0:
+            slow_stop, slow_viewers, bandwidth = _spawn_slow_viewers(
+                server.port, "bowshock", emulate_slow
+            )
+            print(f"emulating {emulate_slow} slow viewer(s) at "
+                  f"{bandwidth * 8 / 1e6:.1f} Mbit/s (simulated bottleneck)")
+
         web = SteeringWebClient(server.url, session="bowshock")
         props = web.wait_for_component(
             "image", polls=60, timeout=3.0, transport=transport
@@ -110,6 +178,8 @@ def main() -> None:
             props = web.wait_for_component(
                 "image", polls=60, timeout=3.0, transport=transport
             )
+            if slow_viewers:
+                _print_tiers(server, f"v{props['version']}")
             if props["version"] >= target_version:
                 break
         after = web.fetch_png()
@@ -121,6 +191,23 @@ def main() -> None:
             stats = server.stats()["transports"][transport]
             print(f"{transport} stream delivered {stats['delivered']} deltas "
                   f"({stats['bytes_sent']} bytes) with zero re-parked polls")
+
+        if slow_viewers and slow_stop is not None:
+            _print_tiers(server, "final")
+            # Let the throttled readers catch up to the degraded frames
+            # before stopping: quiet for 0.75s means the backlog drained.
+            deadline = time.monotonic() + 8.0
+            while time.monotonic() < deadline:
+                if time.monotonic() - max(v.last_rx for v in slow_viewers) > 0.75:
+                    break
+                time.sleep(0.1)
+            slow_stop.set()
+            for viewer in slow_viewers:
+                viewer.join(timeout=5.0)
+            tiers_seen = sorted(v.max_tier_seen for v in slow_viewers)
+            errors = sum(v.errors for v in slow_viewers)
+            print(f"slow viewers saw tiers {tiers_seen} "
+                  f"({errors} reconnects) — degraded, never disconnected")
 
         if serve_extra > 0:
             print(f"\nopen {server.url} in a browser (pick a session at the top);")

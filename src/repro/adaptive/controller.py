@@ -1,0 +1,144 @@
+"""Online per-client QoS controller: the paper's DP mapping, re-run live.
+
+The offline experiments map a visualization pipeline onto a measured
+topology once (:func:`repro.mapping.dp.map_pipeline` with EPB estimates
+from :mod:`repro.net.measurement`).  This controller closes that loop in
+the serving path: each client's passive :class:`ClientLinkEstimator`
+yields a live :class:`~repro.net.measurement.PathEstimate`, and the
+controller re-runs the *same* DP over a two-node delivery topology
+(server --link--> client) once per candidate tier, picking the cheapest
+tier whose predicted end-to-end frame delay fits the staleness budget.
+
+Using ``map_pipeline`` for a two-node graph is deliberately heavier than
+an arithmetic shortcut: the decision flows through the identical cost
+model and feasibility machinery as the offline figures, so the ladder's
+operating points and the paper's mapping cannot drift apart.  The DP on
+this topology costs a handful of relaxations, and decisions are made on
+the housekeeping cadence, so the price is immaterial.
+
+Hysteresis: demotion (or staying put) only needs the predicted delay to
+fit the budget, while *promotion* to a better tier requires fitting
+``promote_margin`` of the budget — a client must show clear headroom
+before getting more expensive frames, which keeps borderline links from
+flapping between tiers at every decision.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.tiers import MAX_TIER, TIER_LADDER, clamp_tier
+from repro.mapping.dp import map_pipeline
+from repro.net.measurement import PathEstimate
+from repro.net.topology import LinkSpec, NodeSpec, Topology
+from repro.viz.pipeline import ModuleSpec, VisualizationPipeline
+
+__all__ = ["AdaptiveDeliveryController"]
+
+_SERVER = "server"
+_CLIENT = "client"
+
+#: Per-byte display cost charged to the client node (decode + blit); the
+#: same order as the ``display`` module of ``standard_pipeline``.
+_DISPLAY_COMPLEXITY = 1.0e-9
+
+
+class AdaptiveDeliveryController:
+    """Maps live link estimates to delivery tiers via the DP cost model.
+
+    Parameters
+    ----------
+    image_bytes:
+        Tier-0 image payload size (the store's fixed container size).
+        Deeper tiers scale it by their ``payload_fraction``.
+    staleness_budget:
+        Maximum acceptable predicted delay (seconds) for delivering one
+        frame to a client; the knob the degrade-before-disconnect
+        machinery is built around.
+    promote_margin:
+        Fraction of the budget a *better* tier must fit within before a
+        client is promoted into it (hysteresis; see module docstring).
+    """
+
+    __slots__ = (
+        "image_bytes",
+        "staleness_budget",
+        "promote_margin",
+        "_pipelines",
+        "_topology",
+    )
+
+    def __init__(
+        self,
+        image_bytes: int = 256 * 1024,
+        staleness_budget: float = 0.25,
+        promote_margin: float = 0.5,
+    ) -> None:
+        if image_bytes <= 0:
+            raise ValueError(f"image_bytes must be > 0, got {image_bytes}")
+        if staleness_budget <= 0.0:
+            raise ValueError(f"staleness_budget must be > 0, got {staleness_budget}")
+        if not 0.0 < promote_margin <= 1.0:
+            raise ValueError(f"promote_margin must be in (0, 1], got {promote_margin}")
+        self.image_bytes = int(image_bytes)
+        self.staleness_budget = float(staleness_budget)
+        self.promote_margin = float(promote_margin)
+
+        # One delivery pipeline per tier, built once: the source emits a
+        # tier-scaled frame which the client's display module consumes.
+        self._pipelines = tuple(
+            VisualizationPipeline(
+                [
+                    ModuleSpec("frame-source", "source"),
+                    ModuleSpec("deliver", "display", complexity=_DISPLAY_COMPLEXITY),
+                ],
+                source_bytes=max(1.0, self.image_bytes * tier.payload_fraction),
+            )
+            for tier in TIER_LADDER
+        )
+        # Two-node delivery topology; the spec bandwidth is a placeholder
+        # that every decision overrides with the live EPB measurement.
+        self._topology = Topology.from_specs(
+            [
+                NodeSpec(_SERVER, capabilities=frozenset({"source"})),
+                NodeSpec(_CLIENT, capabilities=frozenset({"display"})),
+            ],
+            [LinkSpec(_SERVER, _CLIENT, bandwidth=1.0, prop_delay=0.0)],
+        )
+
+    def tier_bytes(self, tier: int) -> int:
+        """Approximate image payload bytes at ``tier``."""
+        return max(1, int(self.image_bytes * TIER_LADDER[clamp_tier(tier)].payload_fraction))
+
+    def predicted_delay(self, tier: int, estimate: PathEstimate) -> float:
+        """DP-predicted frame delay for ``tier`` over the estimated link."""
+        result = map_pipeline(
+            self._pipelines[clamp_tier(tier)],
+            self._topology,
+            _SERVER,
+            _CLIENT,
+            bandwidths={(_SERVER, _CLIENT): estimate.epb},
+        )
+        return result.delay + max(estimate.d_min, 0.0)
+
+    def decide(
+        self,
+        estimate: PathEstimate | None,
+        current_tier: int = 0,
+        max_tier: int = MAX_TIER,
+    ) -> int:
+        """Pick the tier for a client given its live estimate.
+
+        ``max_tier`` is the deepest tier the client accepts (its
+        ``min_quality`` hint); ``None`` estimates (cold start /
+        unconstrained link) keep the current tier.
+        """
+        floor = clamp_tier(max_tier)
+        current = min(clamp_tier(current_tier), floor)
+        if estimate is None or estimate.epb <= 0.0:
+            return current
+        for tier in TIER_LADDER[: floor + 1]:
+            budget = self.staleness_budget
+            if tier.index < current:
+                budget *= self.promote_margin
+            if self.predicted_delay(tier.index, estimate) <= budget:
+                return tier.index
+        return floor

@@ -1,0 +1,77 @@
+"""Per-connection link estimation from write-path backlog observations.
+
+The serving tier already knows, for every connection, when bytes were
+queued (backlog grew) and when the kernel accepted them (a flush drained
+the queue).  :class:`ClientLinkEstimator` turns exactly those two
+signals into an online :class:`~repro.net.measurement.PathEstimate`
+without any active probing: while a backlog exists the client — not the
+server — is the bottleneck, so the drain rate over that window *is* the
+effective path bandwidth of Section 4.3, observed passively.
+
+The feeding discipline matters: a fast client whose writes always
+complete inline never opens a constrained window, so no throughput
+samples are recorded and :meth:`estimate` stays ``None`` (cold start).
+That is deliberate — an unconstrained link gives no information about
+its capacity, and the controller treats "no estimate" as "keep full
+quality".
+"""
+
+from __future__ import annotations
+
+from repro.net.measurement import EwmaThroughputEstimator, PathEstimate
+
+__all__ = ["ClientLinkEstimator"]
+
+
+class ClientLinkEstimator:
+    """EWMA link estimate driven by backlog/drain events of one connection.
+
+    Call :meth:`on_backlog` whenever the connection's output queue is
+    non-empty after an enqueue, and :meth:`on_drain` after every flush
+    with the bytes the kernel accepted and the backlog that remains.
+    Throughput samples are recorded only inside a constrained window
+    (backlog was observed and had to wait for drains); the time from the
+    first queued byte until the backlog empties becomes a drain-latency
+    sample.
+    """
+
+    __slots__ = ("ewma", "_window_since", "_backlog_since")
+
+    def __init__(self, alpha: float = 0.25, min_samples: int = 3) -> None:
+        self.ewma = EwmaThroughputEstimator(alpha=alpha, min_samples=min_samples)
+        # Start of the current drain-rate measurement window, or None
+        # when the link is unconstrained.
+        self._window_since: float | None = None
+        # When the current backlog first appeared (staleness clock).
+        self._backlog_since: float | None = None
+
+    def on_backlog(self, backlog: int, now: float) -> None:
+        """Backlog state after an enqueue: ``backlog`` queued bytes at ``now``."""
+        if backlog <= 0:
+            self._window_since = None
+            self._backlog_since = None
+            return
+        if self._window_since is None:
+            self._window_since = now
+        if self._backlog_since is None:
+            self._backlog_since = now
+
+    def on_drain(self, sent: int, backlog: int, now: float) -> None:
+        """A flush moved ``sent`` bytes; ``backlog`` bytes remain queued."""
+        if self._window_since is not None:
+            if sent > 0:
+                self.ewma.add_sample(sent, now - self._window_since)
+            self._window_since = now if backlog > 0 else None
+        if backlog <= 0 and self._backlog_since is not None:
+            self.ewma.add_latency(now - self._backlog_since)
+            self._backlog_since = None
+
+    def backlog_age(self, now: float) -> float:
+        """Seconds the oldest still-queued byte has waited (0.0 if none)."""
+        if self._backlog_since is None:
+            return 0.0
+        return max(0.0, now - self._backlog_since)
+
+    def estimate(self) -> PathEstimate | None:
+        """Live path estimate, or ``None`` while unmeasured (cold start)."""
+        return self.ewma.estimate()

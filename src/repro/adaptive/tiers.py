@@ -1,0 +1,69 @@
+"""The fixed delivery-tier ladder shared by the store, server and client.
+
+A tier names one point on the quality/bandwidth trade-off the online
+controller picks per client: how much the ``viz/image`` payload is
+downscaled before encoding and whether intermediate frames are skipped
+(snapshot mode) when even the smallest frames cannot keep up.  The
+ladder is deliberately small and fixed — the controller's job is to
+*choose* among pre-agreed operating points, not to invent encodings —
+so every layer (event-store cache keys, scheduler records, wire deltas,
+stats gauges) can key on a tiny integer.
+
+This module is pure data with no imports from the steering or web
+packages, so :mod:`repro.steering.events` can use the ladder for its
+tiered encodes while :mod:`repro.adaptive.controller` (which pulls in
+the DP mapper) uses it for decisions, without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeliveryTier", "TIER_LADDER", "MAX_TIER", "clamp_tier"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryTier:
+    """One operating point of the adaptive delivery plane.
+
+    Attributes
+    ----------
+    index:
+        Position in the ladder; 0 is full quality, higher is cheaper.
+    name:
+        Human-readable label (stats, demo output).
+    scale:
+        Linear downscale factor applied to image payloads before the
+        tiered encode (pixels shrink by ``scale ** 2``).
+    snapshot_only:
+        When True, a delta collapses to the *newest* image event only —
+        intermediate frames a client this slow could never display in
+        time are skipped (counted in the delta's ``skipped_images``),
+        trading temporal resolution for staleness.
+    """
+
+    index: int
+    name: str
+    scale: int
+    snapshot_only: bool
+
+    @property
+    def payload_fraction(self) -> float:
+        """Approximate image-payload size relative to tier 0."""
+        return 1.0 / float(self.scale * self.scale)
+
+
+#: The fixed ladder: full -> half -> quarter resolution -> snapshot-skip.
+TIER_LADDER: tuple[DeliveryTier, ...] = (
+    DeliveryTier(0, "full", 1, False),
+    DeliveryTier(1, "half", 2, False),
+    DeliveryTier(2, "quarter", 4, False),
+    DeliveryTier(3, "snapshot", 4, True),
+)
+
+MAX_TIER = len(TIER_LADDER) - 1
+
+
+def clamp_tier(tier: int) -> int:
+    """``tier`` forced onto the ladder (malformed client hints and all)."""
+    return min(max(int(tier), 0), MAX_TIER)

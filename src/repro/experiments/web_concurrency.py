@@ -32,9 +32,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.costmodel.calibration import default_calibration
+from repro.des import Simulator
+from repro.net.channel import build_sim_path
 from repro.net.testbed import build_paper_testbed
+from repro.net.topology import LinkSpec, NodeSpec, Topology
 from repro.steering.central_manager import CentralManager
 from repro.steering.client import SteeringClient
+from repro.steering.manager import SessionManager
 from repro.steering.events import (
     FRAME_WS_B64,
     FRAME_WS_BINARY,
@@ -54,15 +58,18 @@ from repro.web.framing import (
 from repro.web.server import AjaxWebServer
 
 __all__ = [
+    "AdaptiveDeliveryResult",
     "ConcurrencyCell",
     "ShardScalingResult",
     "TransportCompareResult",
     "WebConcurrencyResult",
     "bench_shard_router",
     "default_client_counts",
+    "emulated_slow_bandwidth",
     "ensure_fd_capacity",
     "measure_image_frame_sizes",
     "read_http_response",
+    "run_adaptive_delivery",
     "run_web_concurrency",
     "run_shard_scaling",
     "run_transport_compare",
@@ -300,6 +307,13 @@ class _StreamClientBase(threading.Thread):
     :meth:`_consume` (parse transport frames out of the buffer).
     The same ``warmup`` discard as :class:`_PollClient` keeps the
     connect/subscribe storm out of the latency samples.
+
+    ``recv_bytes`` / ``recv_interval`` emulate a bandwidth-limited
+    reader: capping each receive and sleeping between receives bounds
+    the drain rate at ``recv_bytes / recv_interval`` bytes/s, and a
+    small ``rcvbuf`` keeps the kernel from absorbing the backlog — the
+    congestion becomes server-visible, which is what the adaptive
+    delivery plane reacts to.  Defaults leave the client unthrottled.
     """
 
     warmup = 0.0
@@ -311,11 +325,16 @@ class _StreamClientBase(threading.Thread):
         self.sid = sid
         self.stop_event = stop
         self.start_gate = start_gate
+        self.recv_bytes = 65536
+        self.recv_interval = 0.0
+        self.rcvbuf: int | None = None
+        self.last_rx = 0.0  # when the last chunk arrived (drain detection)
         self.polls = 0  # deltas received (the push analogue of a poll)
         self.events = 0
         self.dropped = 0
         self.errors = 0
         self.since = 0
+        self.max_tier_seen = 0
         self._skip_until = 0.0
         self.latencies: list[float] = []
         self._raw: list[tuple[float, bytes]] = []
@@ -343,6 +362,8 @@ class _StreamClientBase(threading.Thread):
             self.polls += 1
             self.since = delta.get("version", self.since)
             self.dropped += delta.get("dropped", 0)
+            self.max_tier_seen = max(self.max_tier_seen,
+                                     delta.get("tier", 0))
             for comp in delta.get("components", []):
                 self.events += 1
                 t_pub = comp.get("props", {}).get("t_pub")
@@ -369,18 +390,24 @@ class _StreamClientBase(threading.Thread):
                         )
                         sock.setsockopt(socket.IPPROTO_TCP,
                                         socket.TCP_NODELAY, 1)
+                        if self.rcvbuf is not None:
+                            sock.setsockopt(socket.SOL_SOCKET,
+                                            socket.SO_RCVBUF, self.rcvbuf)
                         self._open(sock, buf)
                         # per-client warm-up: samples before this stream
                         # settled measure the harness storm, not serving
                         self._skip_until = time.monotonic() + self.warmup
                         sock.settimeout(0.5)  # bounds the stop-check latency
                         self._consume(sock, buf, time.monotonic())
-                    chunk = sock.recv(65536)
+                    chunk = sock.recv(self.recv_bytes)
                     now = time.monotonic()
                     if not chunk:
                         raise ConnectionError("stream closed")
                     buf += chunk
+                    self.last_rx = now
                     self._consume(sock, buf, now)
+                    if self.recv_interval > 0.0:
+                        time.sleep(self.recv_interval)
                 except (socket.timeout, TimeoutError):
                     continue
                 except Exception:
@@ -424,15 +451,24 @@ _BENCH_WS_KEY = "d2ViLWNvbmN1cnJlbmN5LWJlbmNo"  # any 16-byte base64 token
 
 
 class _WSClient(_StreamClientBase):
-    """One persistent WebSocket browser stand-in."""
+    """One persistent WebSocket browser stand-in.
+
+    ``images="b64"`` subscribes with image blobs inlined in the text
+    frames — the framing the adaptive benchmark uses so delivered bytes
+    actually track the tier ladder's payload fractions.
+    """
+
+    images: str | None = None
 
     def _open(self, sock: socket.socket, buf: bytearray) -> None:
+        images_q = (b"&images=%s" % self.images.encode("ascii")
+                    if self.images else b"")
         sock.sendall(
-            b"GET /api/%s/ws?since=%d HTTP/1.1\r\n"
+            b"GET /api/%s/ws?since=%d%s HTTP/1.1\r\n"
             b"Host: 127.0.0.1\r\n"
             b"Upgrade: websocket\r\nConnection: Upgrade\r\n"
             b"Sec-WebSocket-Key: %s\r\n\r\n"
-            % (self.sid.encode("ascii"), self.since,
+            % (self.sid.encode("ascii"), self.since, images_q,
                _BENCH_WS_KEY.encode("ascii"))
         )
         _read_response_head(sock, buf, 101)
@@ -822,3 +858,261 @@ def run_transport_compare(
                     best = cell
             result.cells.append(best)
     return result
+
+
+# -- adaptive delivery: mixed LAN + slow-link fleet ---------------------------------
+
+
+def emulated_slow_bandwidth(mbits: float = 1.0) -> float:
+    """Effective bytes/s of the emulated slow client link.
+
+    Derived through :mod:`repro.net.channel` rather than hardcoded: the
+    paced bench client drains at the bottleneck bandwidth of a simulated
+    one-hop path with the given nominal rate, so the "slow client" in
+    the fleet is the same slow client the offline experiments model.
+    """
+    topo = Topology.from_specs(
+        [NodeSpec("server"), NodeSpec("modem")],
+        [LinkSpec("server", "modem", mbits * 1e6 / 8.0, 0.02, 0.0, 0.0, "none")],
+    )
+    path = build_sim_path(Simulator(), topo, ["server", "modem"],
+                          no_cross_traffic=True)
+    return path.bottleneck_bandwidth()
+
+
+@dataclass
+class AdaptiveDeliveryResult:
+    """Mixed-fleet outcome: the degrade-not-disconnect story in numbers.
+
+    ``baseline_fast_p99_ms`` comes from a uniform all-fast fleet on the
+    same server configuration; the guard compares the mixed fleet's
+    fast-side wake p99 against it — slow clients must cost tiers, not
+    everyone else's latency.
+    """
+
+    fast_clients: int
+    slow_clients: int
+    duration: float
+    publish_hz: float
+    slow_bandwidth: float          # bytes/s the slow readers drain at
+    baseline_fast_p99_ms: float
+    fast_p99_ms: float
+    fast_p99_ratio: float          # mixed / baseline (guard: <= 1.5)
+    slow_disconnects: int          # guard: == 0 (degrade, don't drop)
+    slow_tier_floor: int           # min over slow clients of deepest tier seen
+    slow_tier_ceiling: int         # max over slow clients of deepest tier seen
+    tier_demotions: int
+    tier_promotions: int
+    live_tiers: list = field(default_factory=list)  # gauge mid-run
+    images_published: int = 0
+    encodes_per_version: float = 0.0
+    tier_encodes: int = 0
+    json_encodes_per_wake: float = 0.0
+    frame_groups: int = 0          # upper bound of (tier, framing) groups
+    slow_events: int = 0
+    fast_events: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+    def to_table(self) -> str:
+        return "\n".join([
+            "Adaptive delivery - mixed fleet (fast LAN + emulated slow links)",
+            f"  fleet: {self.fast_clients} fast + {self.slow_clients} slow "
+            f"@ {self.slow_bandwidth / 1e3:.0f} KB/s, "
+            f"{self.publish_hz:.0f} Hz x {self.duration:.1f}s",
+            f"  fast wake p99: {self.fast_p99_ms:.2f} ms "
+            f"(uniform baseline {self.baseline_fast_p99_ms:.2f} ms, "
+            f"ratio {self.fast_p99_ratio:.2f})",
+            f"  slow clients: tier {self.slow_tier_floor}"
+            f"-{self.slow_tier_ceiling}, "
+            f"{self.slow_disconnects} disconnects, "
+            f"{self.slow_events} events delivered",
+            f"  tiers mid-run {self.live_tiers}, "
+            f"{self.tier_demotions} demotions / "
+            f"{self.tier_promotions} promotions",
+            f"  encodes: {self.encodes_per_version:.2f}/version full, "
+            f"{self.tier_encodes} tiered, "
+            f"{self.json_encodes_per_wake:.2f} json/wake "
+            f"(<= {self.frame_groups} frame groups)",
+        ])
+
+
+def _run_adaptive_cell(
+    cm: CentralManager,
+    n_fast: int,
+    n_slow: int,
+    duration: float,
+    publish_hz: float,
+    slow_bandwidth: float,
+    file_size: int,
+    staleness_budget: float,
+) -> dict:
+    """One mixed-fleet run; returns raw counters for the result builder.
+
+    All clients ride WS with b64-inlined images so delivered bytes track
+    the tier ladder's payload fractions; slow clients pace their reads
+    at ``slow_bandwidth`` and shrink their receive window so the backlog
+    is server-visible (the server additionally caps SO_SNDBUF).
+    """
+    client = SteeringClient(cm, manager=SessionManager(cm, file_size=file_size))
+    with AjaxWebServer(client, port=0, housekeeping_interval=0.2,
+                       write_budget=1024 * 1024, sndbuf=65536,
+                       staleness_budget=staleness_budget) as server:
+        store = client.manager.open_monitor("adapt")
+        stop = threading.Event()
+        gate = threading.Barrier(n_fast + n_slow + 2)
+        published = [0]
+
+        def publisher() -> None:
+            interval = 1.0 / publish_hz
+            gate.wait()
+            deadline = time.monotonic() + duration
+            shade = 0
+            while time.monotonic() < deadline:
+                shade += 1
+                store.publish_image(
+                    _tiny_image(shade), cycle=shade,
+                    meta={"t_pub": time.monotonic()},
+                )
+                published[0] += 1
+                time.sleep(interval)
+
+        fleet: list[_WSClient] = []
+        for _ in range(n_fast + n_slow):
+            c = _WSClient(server.port, "adapt", stop, gate)
+            c.images = "b64"
+            c.warmup = 0.25 * duration
+            fleet.append(c)
+        slow_fleet = fleet[n_fast:]
+        for c in slow_fleet:
+            c.recv_bytes = 4096
+            c.recv_interval = c.recv_bytes / slow_bandwidth
+            c.rcvbuf = 8192
+        pub = threading.Thread(target=publisher, daemon=True,
+                               name="bench-adaptive-pub")
+        for t in [pub, *fleet]:
+            t.start()
+        gc.collect()
+        gc.disable()
+        try:
+            gate.wait()
+            pub.join(timeout=duration + 30.0)
+            time.sleep(0.3)  # let fast clients drain the tail
+            # gauge while the fleet is still connected: which tiers the
+            # controller is actually running connections on
+            live_stats = server.stats()
+        finally:
+            gc.enable()
+        if n_slow:
+            # paced readers are seconds behind the head by design; let
+            # them drain down to their degraded (small) frames so the
+            # client-observed tier reflects the demotion.  Drained ==
+            # no slow reader has received a chunk for a while (their
+            # inter-chunk pacing gap is ~recv_interval, far shorter).
+            deadline = time.monotonic() + max(8.0, 2.0 * duration)
+            while time.monotonic() < deadline:
+                last = max((c.last_rx for c in slow_fleet), default=0.0)
+                if last and time.monotonic() - last > 0.75:
+                    break
+                time.sleep(0.1)
+        stop.set()
+        for t in fleet:
+            t.join(timeout=30.0)
+        final_stats = server.stats()
+        fast_lat = sorted(
+            x for c in fleet[:n_fast] for x in c.latencies
+        )
+        return {
+            "published": published[0],
+            "encode_count": store.encode_count,
+            "tier_encodes": store.tier_encode_count,
+            "json_encodes": store.json_encodes,
+            "fast_p99_ms": 1e3 * _quantile(fast_lat, 0.99),
+            "fast_events": sum(c.events for c in fleet[:n_fast]),
+            "slow_events": sum(c.events for c in slow_fleet),
+            "slow_tiers": [c.max_tier_seen for c in slow_fleet],
+            "slow_disconnects": final_stats["slow_client_disconnects"],
+            "tier_demotions": final_stats["tier_demotions"],
+            "tier_promotions": final_stats["tier_promotions"],
+            "live_tiers": live_stats["tiers"],
+            "errors": sum(c.errors for c in fleet),
+        }
+
+
+def run_adaptive_delivery(
+    fast_clients: int = 16,
+    slow_clients: int = 4,
+    duration: float = 3.0,
+    publish_hz: float = 5.0,
+    slow_link_mbits: float = 1.0,
+    file_size: int = 64 * 1024,
+    staleness_budget: float = 0.25,
+    cm: CentralManager | None = None,
+    repeats: int = 1,
+) -> AdaptiveDeliveryResult:
+    """The mixed-fleet adaptive-delivery experiment.
+
+    Two runs on identical server configuration: a uniform all-fast
+    baseline, then the mixed fleet with ``slow_clients`` readers paced
+    at the emulated modem rate.  The claims the artifact guards:
+
+    * slow clients are *downgraded* (deepest tier seen > 0) and never
+      disconnected by the write-budget reaper,
+    * the fast herd's wake p99 stays within 1.5x of the uniform
+      baseline — slow links cost their own quality, nobody else's
+      latency,
+    * JSON encodes per wake stay ~1 per (tier, framing) frame group
+      (bounded here by 1 shared fast-herd group + one straggler window
+      per slow client), not ~1 per client.
+
+    ``repeats`` keeps the run with the lowest fast p99 on each side,
+    the same best-of-N the latency sweeps use.
+    """
+    if cm is None:
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+    slow_bandwidth = emulated_slow_bandwidth(slow_link_mbits)
+    baseline_p99 = None
+    mixed = None
+    for _ in range(max(1, int(repeats))):
+        base = _run_adaptive_cell(
+            cm, fast_clients, 0, duration, publish_hz,
+            slow_bandwidth, file_size, staleness_budget,
+        )
+        if baseline_p99 is None or base["fast_p99_ms"] < baseline_p99:
+            baseline_p99 = base["fast_p99_ms"]
+        cell = _run_adaptive_cell(
+            cm, fast_clients, slow_clients, duration, publish_hz,
+            slow_bandwidth, file_size, staleness_budget,
+        )
+        if mixed is None or cell["fast_p99_ms"] < mixed["fast_p99_ms"]:
+            mixed = cell
+    wakes = max(mixed["published"], 1)
+    return AdaptiveDeliveryResult(
+        fast_clients=fast_clients,
+        slow_clients=slow_clients,
+        duration=duration,
+        publish_hz=publish_hz,
+        slow_bandwidth=round(slow_bandwidth, 1),
+        baseline_fast_p99_ms=round(baseline_p99, 3),
+        fast_p99_ms=round(mixed["fast_p99_ms"], 3),
+        fast_p99_ratio=round(
+            mixed["fast_p99_ms"] / max(baseline_p99, 1e-9), 3
+        ),
+        slow_disconnects=mixed["slow_disconnects"],
+        slow_tier_floor=min(mixed["slow_tiers"], default=0),
+        slow_tier_ceiling=max(mixed["slow_tiers"], default=0),
+        tier_demotions=mixed["tier_demotions"],
+        tier_promotions=mixed["tier_promotions"],
+        live_tiers=list(mixed["live_tiers"]),
+        images_published=mixed["published"],
+        encodes_per_version=round(mixed["encode_count"] / wakes, 3),
+        tier_encodes=mixed["tier_encodes"],
+        json_encodes_per_wake=round(mixed["json_encodes"] / wakes, 3),
+        frame_groups=1 + slow_clients,
+        slow_events=mixed["slow_events"],
+        fast_events=mixed["fast_events"],
+        errors=mixed["errors"],
+    )

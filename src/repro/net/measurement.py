@@ -7,6 +7,17 @@ a linear model ``d(P, r) ~ r / EPB(P) + d_min`` to the measured delays.
 :func:`measure_path` performs the active probe against a simulated
 :class:`~repro.net.channel.SimPath`; :func:`estimate_path_bandwidth` does
 the regression and returns a :class:`PathEstimate`.
+
+:class:`EwmaThroughputEstimator` is the *passive* sibling the serving
+tier uses online: instead of probe trains it folds opportunistic
+(bytes, elapsed) drain observations from a live connection into
+exponentially weighted moving averages of throughput and drain latency,
+and reports the same :class:`PathEstimate` shape so the DP mapper
+consumes live estimates exactly like probed ones.  Because it runs on
+the web server's hot path it must never divide by zero or report a
+half-baked fit: degenerate samples are rejected sample-by-sample and
+:meth:`EwmaThroughputEstimator.estimate` returns ``None`` until the
+cold-start window has seen ``min_samples`` good observations.
 """
 
 from __future__ import annotations
@@ -20,7 +31,13 @@ from repro.errors import CalibrationError
 from repro.net.channel import SimPath
 from repro.net.packet import Datagram, PacketKind
 
-__all__ = ["PathEstimate", "estimate_path_bandwidth", "measure_path", "DEFAULT_PROBE_SIZES"]
+__all__ = [
+    "PathEstimate",
+    "EwmaThroughputEstimator",
+    "estimate_path_bandwidth",
+    "measure_path",
+    "DEFAULT_PROBE_SIZES",
+]
 
 #: Probe message sizes (bytes) spanning two orders of magnitude, as the
 #: "test messages of various sizes" of Section 4.3.
@@ -49,6 +66,87 @@ class PathEstimate:
     def transport_time(self, nbytes: float) -> float:
         """Predicted delay for a message of ``nbytes`` (the DP's b input)."""
         return nbytes / self.epb + self.d_min
+
+
+class EwmaThroughputEstimator:
+    """Online EWMA of observed throughput and drain latency.
+
+    Feed it opportunistic observations from a live connection:
+    :meth:`add_sample` with (bytes drained, elapsed seconds) whenever the
+    peer accepted data, :meth:`add_latency` with the time a backlog took
+    to fully drain.  :meth:`estimate` folds both into a
+    :class:`PathEstimate` (``epb`` = EWMA bytes/s, ``d_min`` = EWMA drain
+    latency) once at least ``min_samples`` throughput observations have
+    arrived; before that — the cold start — it returns ``None`` so a
+    controller treats the link as unmeasured rather than acting on one
+    noisy sample.
+
+    Guards, because this runs on the serving hot path with bursty and
+    empty windows: a sample with non-positive elapsed time (two drains
+    in the same clock tick) or non-positive byte count is rejected —
+    never a divide-by-zero — and rejected samples do not advance the
+    cold-start count.  ``r2`` is reported as 0.0: an EWMA is not a
+    regression and claims no goodness of fit.
+    """
+
+    __slots__ = ("alpha", "min_samples", "n_samples", "_bps", "_latency")
+
+    def __init__(self, alpha: float = 0.25, min_samples: int = 3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise CalibrationError(f"EWMA alpha must be in (0, 1], got {alpha}")
+        if min_samples < 1:
+            raise CalibrationError("min_samples must be >= 1")
+        self.alpha = float(alpha)
+        self.min_samples = int(min_samples)
+        self.n_samples = 0
+        self._bps: float | None = None
+        self._latency: float | None = None
+
+    def add_sample(self, nbytes: float, elapsed: float) -> bool:
+        """Fold one (bytes, elapsed) drain observation; False if rejected."""
+        if elapsed <= 0.0 or nbytes <= 0.0:
+            return False  # zero-width window or empty burst: no information
+        rate = nbytes / elapsed
+        if self._bps is None:
+            self._bps = rate
+        else:
+            self._bps = self.alpha * rate + (1.0 - self.alpha) * self._bps
+        self.n_samples += 1
+        return True
+
+    def add_latency(self, seconds: float) -> bool:
+        """Fold one drain-latency observation; False if rejected."""
+        if seconds < 0.0:
+            return False
+        if self._latency is None:
+            self._latency = float(seconds)
+        else:
+            self._latency = (self.alpha * seconds
+                             + (1.0 - self.alpha) * self._latency)
+        return True
+
+    @property
+    def throughput(self) -> float | None:
+        """Current EWMA bytes/s (``None`` before the first good sample)."""
+        return self._bps
+
+    @property
+    def drain_latency(self) -> float:
+        """Current EWMA drain latency in seconds (0.0 before any sample)."""
+        return self._latency if self._latency is not None else 0.0
+
+    def estimate(self) -> PathEstimate | None:
+        """The live :class:`PathEstimate`, or ``None`` during cold start."""
+        if self.n_samples < self.min_samples:
+            return None
+        if self._bps is None or self._bps <= 0.0:
+            return None  # defensive: n_samples only grows on good samples
+        return PathEstimate(
+            epb=self._bps,
+            d_min=self.drain_latency,
+            r2=0.0,
+            n_samples=self.n_samples,
+        )
 
 
 def estimate_path_bandwidth(

@@ -15,19 +15,31 @@ Three properties matter at scale:
   ``encode_count`` / ``png_encode_count`` make the once-per-version
   guarantee testable.
 * **Shared delta frames** — a poll response is fully determined by the
-  ``(since, head_seq)`` window it covers, so the serialized JSON bytes
-  are memoized in a small :class:`DeltaFrameCache`.  When a publish
-  wakes N waiters parked at the same cursor, one ``json.dumps`` is paid
-  and all N connections share the immutable frame; ``json_encodes``
-  makes the encode-once wake path testable the same way ``encode_count``
-  does for images.  The cache also memoizes *framed* variants of the
-  same window (:meth:`framed_delta`): the chunked SSE ``data:`` wrapper
-  and the WebSocket frame header are computed once per delta alongside
-  the JSON encode, so a herd of push subscribers shares one pre-framed
-  buffer exactly like a herd of woken pollers shares one JSON frame.
-  The WebSocket binary variant (``FRAME_WS_BINARY``) carries image
-  blobs raw after the JSON header instead of base64-inlined in it,
-  cutting image-event bytes on the wire by the base64 overhead (~33%).
+  ``(since, head_seq, framing, tier)`` window it covers, so the
+  serialized JSON bytes are memoized in a small :class:`DeltaFrameCache`.
+  When a publish wakes N waiters parked at the same cursor, one
+  ``json.dumps`` is paid per (framing, tier) group and all N connections
+  share the immutable frame; ``json_encodes`` makes the encode-once wake
+  path testable the same way ``encode_count`` does for images.  The
+  cache also memoizes *framed* variants of the same window
+  (:meth:`framed_delta`): the chunked SSE ``data:`` wrapper and the
+  WebSocket frame header are computed once per delta alongside the JSON
+  encode, so a herd of push subscribers shares one pre-framed buffer
+  exactly like a herd of woken pollers shares one JSON frame.  The
+  WebSocket binary variant (``FRAME_WS_BINARY``) carries image blobs
+  raw after the JSON header instead of base64-inlined in it, cutting
+  image-event bytes on the wire by the base64 overhead (~33%).  The
+  enlarged key space is bounded per store: entry- and byte-capped LRU
+  with an ``evictions`` counter, so a client hopping across delivery
+  tiers recycles cache slots instead of growing the cache.
+* **Tiered image encodes** — the adaptive delivery plane
+  (:mod:`repro.adaptive`) assigns slow clients a delivery tier from the
+  fixed :data:`~repro.adaptive.tiers.TIER_LADDER`.  A tier > 0 delta
+  serves the same events but with image payloads downscaled by the
+  tier's factor (encoded lazily, once per (version, scale), counted in
+  ``tier_encode_count``) and — for snapshot tiers — only the *newest*
+  image event, with the elided ones counted in ``skipped_images``.
+  Every delta carries its ``tier`` so clients know what they got.
 * **Gap detection** — the event log is a bounded ring.  A slow poller
   whose cursor has fallen off the tail receives ``dropped`` (the number
   of events it can never see) instead of a silent gap, and can resync
@@ -52,7 +64,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import WebServerError
+from repro.adaptive.tiers import TIER_LADDER, clamp_tier
+from repro.errors import DataFormatError, WebServerError
 from repro.viz.image import Image, decode_fixed_size, encode_fixed_size
 
 __all__ = [
@@ -145,15 +158,29 @@ class SessionEvent:
 
 
 class _ImageRecord:
-    """Cached encodings for one published image version."""
+    """Cached encodings for one published image version.
 
-    __slots__ = ("seq", "cycle", "blob", "meta", "_png", "_png_lock")
+    ``blob`` is the tier-0 (full quality) fixed-size container, encoded
+    eagerly at publish time.  ``image`` retains the published pixels so
+    delivery tiers can encode downscaled variants lazily — once per
+    (version, scale), cached in ``_tier_blobs``/``_tier_pngs`` under the
+    record lock.  Memory stays bounded by the store's ``image_capacity``
+    ring exactly as before; a retained record just carries its pixels
+    alongside its container.
+    """
 
-    def __init__(self, seq: int, cycle: int, blob: bytes, meta: dict) -> None:
+    __slots__ = ("seq", "cycle", "blob", "meta", "image",
+                 "_tier_blobs", "_tier_pngs", "_png", "_png_lock")
+
+    def __init__(self, seq: int, cycle: int, blob: bytes, meta: dict,
+                 image: Image | None = None) -> None:
         self.seq = seq
         self.cycle = cycle
         self.blob = blob
         self.meta = meta
+        self.image = image
+        self._tier_blobs: dict[int, bytes] = {}  # scale -> container
+        self._tier_pngs: dict[int, bytes] = {}  # scale -> PNG
         self._png: bytes | None = None
         self._png_lock = threading.Lock()
 
@@ -164,17 +191,24 @@ class _ImageRecord:
 
 
 class DeltaFrameCache:
-    """Bounded LRU of serialized JSON delta frames keyed by ``(since, head_seq)``.
+    """Bounded LRU of serialized delta frames.
 
-    A delta — components past ``since``, the ``dropped`` gap count and
-    the ``timeout`` flag — is a pure function of its key, so the encoded
-    bytes can be shared by every waiter parked at the same cursor.  The
-    cache is tiny by design: on a herd wake nearly all waiters share one
-    key, and a handful of stragglers at older cursors each add one entry
-    that the LRU bound reclaims as the head advances.
+    Keys are ``(since, head_seq, framing, tier)`` windows: a delta —
+    components past ``since``, the ``dropped`` gap count, the ``timeout``
+    flag, the tier's image variant selection — is a pure function of its
+    key, so the encoded bytes can be shared by every waiter parked at
+    the same cursor in the same (framing, tier) group.  The cache is
+    tiny by design: on a herd wake nearly all waiters share a handful of
+    keys, and stragglers at older cursors (or clients hopping between
+    tiers) each add one entry that the LRU bound reclaims as the head
+    advances.  The entry/byte caps are *per store across every (framing,
+    tier) variant* — the enlarged key space changes what gets cached,
+    never how much; ``evictions`` counts reclaimed entries so the bound
+    is observable.
     """
 
-    __slots__ = ("capacity", "byte_limit", "bytes", "_frames", "hits", "misses")
+    __slots__ = ("capacity", "byte_limit", "bytes", "_frames",
+                 "hits", "misses", "evictions")
 
     def __init__(self, capacity: int = 16,
                  byte_limit: int = 8 * 1024 * 1024) -> None:
@@ -185,11 +219,12 @@ class DeltaFrameCache:
         self.capacity = int(capacity)
         self.byte_limit = int(byte_limit)
         self.bytes = 0
-        self._frames: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        self._frames: OrderedDict[tuple, bytes] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get(self, key: tuple[int, int]) -> bytes | None:
+    def get(self, key: tuple) -> bytes | None:
         frame = self._frames.get(key)
         if frame is None:
             self.misses += 1
@@ -198,7 +233,7 @@ class DeltaFrameCache:
         self.hits += 1
         return frame
 
-    def put(self, key: tuple[int, int], frame: bytes) -> None:
+    def put(self, key: tuple, frame: bytes) -> None:
         old = self._frames.pop(key, None)
         if old is not None:
             self.bytes -= len(old)
@@ -212,6 +247,7 @@ class DeltaFrameCache:
         ):
             _, evicted = self._frames.popitem(last=False)
             self.bytes -= len(evicted)
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -250,6 +286,7 @@ class EventSequenceStore:
         self._last_poll = time.monotonic()
         self.encode_count = 0
         self.png_encode_count = 0
+        self.tier_encode_count = 0
         self.json_encodes = 0
         self.dropped_events = 0
         self.dropped_images = 0
@@ -387,7 +424,7 @@ class EventSequenceStore:
         with self._cond:
             self.encode_count += 1
             seq = self._seq + 1  # the seq _append_locked is about to assign
-            record = _ImageRecord(seq, cycle, blob, meta)
+            record = _ImageRecord(seq, cycle, blob, meta, image=image)
             self._images.append(record)
             while len(self._images) > self.image_capacity:
                 self._images.popleft()
@@ -416,43 +453,88 @@ class EventSequenceStore:
 
     # -- polling -----------------------------------------------------------------
 
-    def _delta_locked(self, since: int) -> dict:
+    def _delta_locked(self, since: int, tier: int = 0) -> dict:
         first = self._events[0].seq if self._events else self._seq + 1
         dropped = max(0, min(first - 1, self._seq) - since)
         components = [e.to_component() for e in self._events if e.seq > since]
-        return {
+        skipped = 0
+        if tier and TIER_LADDER[tier].snapshot_only:
+            # Snapshot tier: a client this slow can never display the
+            # intermediate frames in time — keep only the newest image
+            # event and account for the elided ones.
+            newest = None
+            for comp in components:
+                if comp["id"] == "image":
+                    newest = comp
+            if newest is not None:
+                kept = []
+                for comp in components:
+                    if comp["id"] == "image" and comp is not newest:
+                        skipped += 1
+                        continue
+                    kept.append(comp)
+                components = kept
+        if tier:
+            for comp in components:
+                if comp["id"] == "image":
+                    comp["props"]["tier"] = tier
+        delta = {
             "version": self._seq,
             "components": components,
             "dropped": dropped,
             "timeout": self._seq <= since,
+            "tier": tier,
         }
+        if skipped:
+            delta["skipped_images"] = skipped
+        return delta
 
-    def delta(self, since: int) -> dict:
+    def delta(self, since: int, tier: int = 0) -> dict:
         """Events past ``since`` (non-blocking), with gap accounting."""
         self._last_poll = time.monotonic()
         with self._cond:
-            return self._delta_locked(since)
+            return self._delta_locked(since, clamp_tier(tier))
 
-    def _inline_delta_locked(self, since: int, b64: bool) -> tuple[dict, list[bytes]]:
-        """Delta whose image events carry their blobs (push transports).
+    def _inline_delta_locked(
+        self, since: int, tier: int
+    ) -> tuple[dict, list[tuple[dict, _ImageRecord]]]:
+        """Delta plus the (component, record) pairs needing inline blobs.
 
         A push subscriber has no request/response channel to fetch
         ``/api/<sid>/image?v=N`` over, so the blob rides in the delta.
-        ``b64=True`` inlines it as ``blob_b64`` in the JSON (the legacy
-        base64-in-JSON shape); ``b64=False`` records ``blob_offset`` /
-        ``blob_len`` into a raw blob section appended after the JSON in
-        the binary frame, and returns the blobs for the caller to
-        append.  Blobs already evicted from the image ring are skipped —
+        Only the pairing happens under the store lock; the caller
+        attaches the (possibly tier-encoded) blobs outside it via
+        :meth:`_attach_blobs`, so publishers never block behind an image
+        encode.  Blobs already evicted from the image ring are skipped —
         the meta event still arrives, exactly like the poll path.
         """
-        delta = self._delta_locked(since)
-        by_seq = {record.seq: record.blob for record in self._images}
+        delta = self._delta_locked(since, tier)
+        by_seq = {record.seq: record for record in self._images}
+        pending: list[tuple[dict, _ImageRecord]] = []
+        for comp in delta["components"]:
+            record = by_seq.get(comp["version"]) if comp["id"] == "image" else None
+            if record is not None:
+                pending.append((comp, record))
+        return delta, pending
+
+    def _attach_blobs(
+        self,
+        pending: list[tuple[dict, _ImageRecord]],
+        tier: int,
+        b64: bool,
+    ) -> list[bytes]:
+        """Fill inline-blob props; returns raw blobs for the binary frame.
+
+        ``b64=True`` inlines each blob as ``blob_b64`` in the component
+        JSON (the legacy base64-in-JSON shape); ``b64=False`` records
+        ``blob_offset``/``blob_len`` into a raw blob section the caller
+        appends after the JSON in the binary frame.  Caller must NOT
+        hold the store lock (tier encodes happen here).
+        """
         blobs: list[bytes] = []
         offset = 0
-        for comp in delta["components"]:
-            blob = by_seq.get(comp["version"]) if comp["id"] == "image" else None
-            if blob is None:
-                continue
+        for comp, record in pending:
+            blob = self._record_tier_blob(record, tier)
             if b64:
                 comp["props"]["blob_b64"] = base64.b64encode(blob).decode("ascii")
             else:
@@ -460,35 +542,38 @@ class EventSequenceStore:
                 comp["props"]["blob_len"] = len(blob)
                 blobs.append(blob)
                 offset += len(blob)
-        return delta, blobs
+        return blobs
 
-    def delta_frame(self, since: int) -> bytes:
+    def delta_frame(self, since: int, tier: int = 0) -> bytes:
         """Serialized JSON delta past ``since``, encoded once per window.
 
-        The response bytes for a ``(since, head_seq)`` window are
+        The response bytes for a ``(since, head_seq, tier)`` window are
         memoized, so a publish that wakes N waiters parked at the same
-        cursor costs one ``json.dumps`` — the returned ``bytes`` object
-        is immutable and safe to share across N connection write queues
-        without copying.  ``json_encodes`` counts actual encodes.
+        cursor costs one ``json.dumps`` per tier group — the returned
+        ``bytes`` object is immutable and safe to share across N
+        connection write queues without copying.  ``json_encodes``
+        counts actual encodes.
         """
-        return self.framed_delta(since, FRAME_JSON)
+        return self.framed_delta(since, FRAME_JSON, tier)
 
-    def framed_delta(self, since: int, framing: str = FRAME_JSON) -> bytes:
+    def framed_delta(self, since: int, framing: str = FRAME_JSON,
+                     tier: int = 0) -> bytes:
         """The delta past ``since``, pre-framed for one wire transport.
 
-        Every framing of a ``(since, head_seq)`` window is memoized in
-        the same :class:`DeltaFrameCache`, keyed ``(since, head,
-        framing)``.  The SSE and WS text framings *wrap* the shared JSON
-        frame — when a herd mixes pollers and subscribers, they all ride
-        one ``json.dumps`` and each transport pays only its (memoized)
-        header bytes.  The inline-image framings (``ws+b64``,
-        ``ws+bin``) carry different JSON and honestly cost their own
-        encode, still one per window however many subscribers share it.
+        Every framing of a ``(since, head_seq, tier)`` window is
+        memoized in the same :class:`DeltaFrameCache`, keyed ``(since,
+        head, framing, tier)``.  The SSE and WS text framings *wrap* the
+        shared JSON frame — when a herd mixes pollers and subscribers at
+        one tier, they all ride one ``json.dumps`` and each transport
+        pays only its (memoized) header bytes.  The inline-image
+        framings (``ws+b64``, ``ws+bin``) carry different JSON and
+        honestly cost their own encode, still one per window however
+        many subscribers share it.
         """
-        return self.framed_delta_with_head(since, framing)[0]
+        return self.framed_delta_with_head(since, framing, tier)[0]
 
-    def framed_delta_with_head(self, since: int,
-                               framing: str = FRAME_JSON) -> tuple[bytes, int]:
+    def framed_delta_with_head(self, since: int, framing: str = FRAME_JSON,
+                               tier: int = 0) -> tuple[bytes, int]:
         """:meth:`framed_delta` plus the head seq the frame covers.
 
         The push path advances each subscriber's cursor to exactly the
@@ -497,28 +582,33 @@ class EventSequenceStore:
         """
         if framing not in FRAMINGS:
             raise WebServerError(f"unknown delta framing {framing!r}")
+        tier = clamp_tier(tier)
         self._last_poll = time.monotonic()
+        pending: list[tuple[dict, _ImageRecord]] = []
         with self._cond:
             head = self._seq
-            key = (since, head, framing)
+            key = (since, head, framing, tier)
             frame = self._frame_cache.get(key)
             if frame is not None:
                 return frame, head
-            base = (self._frame_cache.get((since, head, FRAME_JSON))
+            base = (self._frame_cache.get((since, head, FRAME_JSON, tier))
                     if framing in (FRAME_SSE, FRAME_WS) else None)
-            if framing == FRAME_WS_B64:
-                delta, blobs = self._inline_delta_locked(since, b64=True)
-            elif framing == FRAME_WS_BINARY:
-                delta, blobs = self._inline_delta_locked(since, b64=False)
+            if framing in (FRAME_WS_B64, FRAME_WS_BINARY):
+                delta, pending = self._inline_delta_locked(since, tier)
             elif base is None:
-                delta, blobs = self._delta_locked(since), []
+                delta = self._delta_locked(since, tier)
             else:
-                delta, blobs = None, []
-        # Serialize outside the lock so publishers never block behind a
-        # large encode; a racing caller of the same window may duplicate
-        # the encode (counted honestly), the cache keeps one winner.
+                delta = None
+        # Serialize (and tier-encode inline blobs) outside the lock so
+        # publishers never block behind a large encode; a racing caller
+        # of the same window may duplicate the encode (counted
+        # honestly), the cache keeps one winner.
         encoded = 0
+        blobs: list[bytes] = []
         if delta is not None:
+            if pending:
+                blobs = self._attach_blobs(pending, tier,
+                                           b64=framing == FRAME_WS_B64)
             base = json.dumps(delta).encode("utf-8")
             encoded = 1
         if framing == FRAME_JSON:
@@ -537,7 +627,7 @@ class EventSequenceStore:
             if encoded and framing in (FRAME_SSE, FRAME_WS):
                 # The wrapped framings share the JSON bytes: cache them
                 # under their own key too so a mixed herd never re-encodes.
-                self._frame_cache.put((since, head, FRAME_JSON), base)
+                self._frame_cache.put((since, head, FRAME_JSON, tier), base)
             self._frame_cache.put(key, frame)
         return frame, head
 
@@ -547,7 +637,9 @@ class EventSequenceStore:
                 "size": len(self._frame_cache),
                 "hits": self._frame_cache.hits,
                 "misses": self._frame_cache.misses,
+                "evictions": self._frame_cache.evictions,
                 "json_encodes": self.json_encodes,
+                "tier_encodes": self.tier_encode_count,
             }
 
     def wait_delta(self, since: int, timeout: float | None = None) -> dict:
@@ -596,11 +688,49 @@ class EventSequenceStore:
                     return record
         raise WebServerError(f"image version {version} no longer retained")
 
-    def image_blob(self, version: int | None = None) -> bytes:
-        """The fixed-size container, encoded once at publish time."""
-        return self.image_record(version).blob
+    def _record_tier_blob(self, record: _ImageRecord, tier: int) -> bytes:
+        """The fixed-size container for ``record`` at ``tier``.
 
-    def png_cached(self, version: int | None = None) -> bytes | None:
+        Tier 0 (scale 1) is the eagerly-encoded publish-time blob;
+        deeper tiers encode a downscaled variant lazily, once per
+        (version, scale) — tiers sharing a scale share the blob — into a
+        proportionally smaller container (``file_size / scale**2``,
+        grown toward ``file_size`` if a pathological payload does not
+        compress).  Caller must not hold the store lock.
+        """
+        spec = TIER_LADDER[tier]
+        if spec.scale == 1:
+            return record.blob
+        with record._png_lock:
+            blob = record._tier_blobs.get(spec.scale)
+            if blob is not None:
+                return blob
+            image = record.image
+            if image is None:
+                image = decode_fixed_size(record.blob)
+            small = image.downscale(spec.scale)
+            size = max(1024, self.file_size // (spec.scale * spec.scale))
+            while True:
+                try:
+                    blob = encode_fixed_size(small, size)
+                    break
+                except DataFormatError:
+                    if size >= self.file_size:
+                        blob = record.blob  # incompressible: serve full
+                        break
+                    size = min(self.file_size, size * 2)
+            record._tier_blobs[spec.scale] = blob
+        with self._cond:
+            self.tier_encode_count += 1
+        return blob
+
+    def image_blob(self, version: int | None = None, tier: int = 0) -> bytes:
+        """The fixed-size container; tier 0 encoded once at publish time,
+        deeper tiers encoded lazily once per (version, scale)."""
+        return self._record_tier_blob(self.image_record(version), clamp_tier(tier))
+
+    def png_cached(self, version: int | None = None,
+                   tier: int = 0) -> bytes | None:
         """The cached PNG for ``version``, or ``None`` on a cold cache.
 
         Lets the web tier answer warm requests inline and route the
@@ -608,17 +738,33 @@ class EventSequenceStore:
         Raises if the version is no longer retained, like
         :meth:`image_record`.
         """
-        return self.image_record(version)._png
-
-    def image_png(self, version: int | None = None) -> bytes:
-        """Browser PNG for ``version``; encoded at most once, then cached."""
         record = self.image_record(version)
+        spec = TIER_LADDER[clamp_tier(tier)]
+        if spec.scale == 1:
+            return record._png
         with record._png_lock:
-            if record._png is None:
-                record._png = decode_fixed_size(record.blob).to_png_bytes()
+            return record._tier_pngs.get(spec.scale)
+
+    def image_png(self, version: int | None = None, tier: int = 0) -> bytes:
+        """Browser PNG for ``version``; encoded at most once per scale."""
+        record = self.image_record(version)
+        spec = TIER_LADDER[clamp_tier(tier)]
+        if spec.scale == 1:
+            with record._png_lock:
+                if record._png is None:
+                    record._png = decode_fixed_size(record.blob).to_png_bytes()
+                    with self._cond:
+                        self.png_encode_count += 1
+                return record._png
+        blob = self._record_tier_blob(record, spec.index)
+        with record._png_lock:
+            png = record._tier_pngs.get(spec.scale)
+            if png is None:
+                png = decode_fixed_size(blob).to_png_bytes()
+                record._tier_pngs[spec.scale] = png
                 with self._cond:
                     self.png_encode_count += 1
-            return record._png
+            return png
 
     def wait_image(self, since: int = 0, timeout: float | None = None) -> _ImageRecord | None:
         """Block until an image newer than seq ``since`` exists."""

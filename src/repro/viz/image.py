@@ -57,6 +57,21 @@ class Image:
     def nbytes(self) -> int:
         return int(self.pixels.nbytes)
 
+    def downscale(self, factor: int) -> "Image":
+        """A ``factor``-x linearly downsampled copy (stride subsampling).
+
+        The adaptive delivery tiers use this to shrink a frame to
+        ``1/factor**2`` of its pixels before re-encoding for a
+        bandwidth-constrained client; stride subsampling keeps the
+        operation allocation-light on the serving path.  ``factor=1``
+        returns ``self`` unchanged.
+        """
+        if factor < 1:
+            raise ConfigurationError(f"downscale factor must be >= 1, got {factor}")
+        if factor == 1:
+            return self
+        return Image(np.ascontiguousarray(self.pixels[::factor, ::factor]))
+
     def nonblank_fraction(self, background=(0, 0, 0)) -> float:
         """Fraction of pixels differing from the background colour."""
         bg = np.asarray(background, dtype=np.uint8)

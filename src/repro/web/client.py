@@ -15,6 +15,13 @@ client's ``since`` cursor — a steering UI rides out a server restart or
 a dropped stream without losing its place (``reconnects`` counts the
 recoveries).  :meth:`events` is the unified entry point: one generator
 of delta dicts whichever transport carries them.
+
+Adaptive delivery surfaces here too: every delta carries the tier the
+server's QoS controller assigned the connection, mirrored into
+``client.tier`` (with ``tier_changes`` counting re-assignments), and a
+``min_quality`` constructor hint caps how far the server may degrade
+this client (0 pins full quality).  Image fetches default to the
+negotiated tier's encode.
 """
 
 from __future__ import annotations
@@ -55,16 +62,21 @@ class SteeringWebClient:
 
     def __init__(self, base_url: str, session: str | None = None,
                  timeout: float = 10.0, max_retries: int = 4,
-                 backoff_base: float = 0.05, backoff_cap: float = 2.0) -> None:
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 min_quality: int | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.session = session
         self.timeout = timeout
         self.max_retries = int(max_retries)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
+        self.min_quality = None if min_quality is None else int(min_quality)
         self.since = 0
+        self.tier = 0
         self.updates_received = 0
         self.dropped_seen = 0
+        self.skipped_images = 0
+        self.tier_changes = 0
         self.reconnects = 0
 
     # -- HTTP helpers ------------------------------------------------------------
@@ -147,6 +159,17 @@ class SteeringWebClient:
         self.since = max(self.since, delta.get("version", self.since))
         self.updates_received += len(delta.get("components", []))
         self.dropped_seen += delta.get("dropped", 0)
+        self.skipped_images += delta.get("skipped_images", 0)
+        tier = delta.get("tier")
+        if tier is not None and tier != self.tier:
+            self.tier_changes += 1
+            self.tier = tier
+
+    def _quality_query(self) -> str:
+        """The ``min_quality`` hint as a query suffix ('' when unset)."""
+        if self.min_quality is None:
+            return ""
+        return f"&min_quality={self.min_quality}"
 
     def poll(self, timeout: float = 5.0) -> dict:
         """One long poll; advances the cursor, reconnects transparently.
@@ -156,7 +179,9 @@ class SteeringWebClient:
         """
         def attempt() -> dict:
             return self._get_json(
-                self._api("poll") + f"?since={self.since}&timeout={timeout}",
+                self._api("poll")
+                + f"?since={self.since}&timeout={timeout}"
+                + self._quality_query(),
                 timeout=timeout + 5.0,
             )
 
@@ -232,7 +257,7 @@ class SteeringWebClient:
 
     def _timeout_delta(self) -> dict:
         return {"version": self.since, "components": [], "dropped": 0,
-                "timeout": True}
+                "tier": self.tier, "timeout": True}
 
     def _sse_stream(self, timeout: float = 5.0, images: str | None = None):
         """One SSE connection; yields deltas until it drops (then raises)."""
@@ -244,7 +269,8 @@ class SteeringWebClient:
             raise ConnectionError(f"stream connect failed: {exc}") from exc
         try:
             request = (
-                f"GET /api/{sid}/stream?since={self.since} HTTP/1.1\r\n"
+                f"GET /api/{sid}/stream?since={self.since}"
+                f"{self._quality_query()} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 f"Last-Event-ID: {self.since}\r\n"
                 "Accept: text/event-stream\r\n\r\n"
@@ -252,8 +278,12 @@ class SteeringWebClient:
             sock.sendall(request.encode("latin-1"))
             buf = bytearray()
             self._read_stream_head(sock, buf, expect_status=200)
-            sock.settimeout(timeout)
             eventbuf = bytearray()
+            # Heartbeat comments arriving faster than ``timeout`` would
+            # keep recv returning non-event bytes forever; the deadline
+            # keeps the every-``timeout``-seconds synthetic-delta
+            # contract regardless of server chatter.
+            quiet_deadline = time.monotonic() + timeout
             while True:
                 payloads, ended = decode_chunks(buf)
                 for payload in payloads:
@@ -262,12 +292,20 @@ class SteeringWebClient:
                     delta = json.loads(data.decode("utf-8"))
                     self._advance(delta)
                     yield delta
+                    quiet_deadline = time.monotonic() + timeout
                 if ended:
                     return  # server finished the stream (session closed)
+                remaining = quiet_deadline - time.monotonic()
+                if remaining <= 0:
+                    yield self._timeout_delta()
+                    quiet_deadline = time.monotonic() + timeout
+                    continue
                 try:
+                    sock.settimeout(remaining)
                     chunk = sock.recv(65536)
                 except TimeoutError:
                     yield self._timeout_delta()
+                    quiet_deadline = time.monotonic() + timeout
                     continue
                 except OSError as exc:
                     raise ConnectionError(f"stream read failed: {exc}") from exc
@@ -289,7 +327,8 @@ class SteeringWebClient:
             key = base64.b64encode(os.urandom(16)).decode("ascii")
             images_q = f"&images={images}" if images else ""
             request = (
-                f"GET /api/{sid}/ws?since={self.since}{images_q} HTTP/1.1\r\n"
+                f"GET /api/{sid}/ws?since={self.since}{images_q}"
+                f"{self._quality_query()} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 "Upgrade: websocket\r\nConnection: Upgrade\r\n"
                 f"Sec-WebSocket-Key: {key}\r\n"
@@ -300,7 +339,10 @@ class SteeringWebClient:
             headers = self._read_stream_head(sock, buf, expect_status=101)
             if headers.get("sec-websocket-accept") != ws_accept_key(key):
                 raise WebServerError("WS handshake returned a bad accept key")
-            sock.settimeout(timeout)
+            # Same quiet-deadline discipline as the SSE loop: server
+            # pings faster than ``timeout`` must not starve the caller
+            # of its periodic synthetic deltas.
+            quiet_deadline = time.monotonic() + timeout
             while True:
                 for opcode, payload in parse_ws_frames(buf, require_mask=False):
                     if opcode == WS_PING:
@@ -312,14 +354,23 @@ class SteeringWebClient:
                         delta = json.loads(payload.decode("utf-8"))
                         self._advance(delta)
                         yield delta
+                        quiet_deadline = time.monotonic() + timeout
                     elif opcode == WS_BINARY:
                         delta = decode_binary_delta(payload)
                         self._advance(delta)
                         yield delta
+                        quiet_deadline = time.monotonic() + timeout
+                remaining = quiet_deadline - time.monotonic()
+                if remaining <= 0:
+                    yield self._timeout_delta()
+                    quiet_deadline = time.monotonic() + timeout
+                    continue
                 try:
+                    sock.settimeout(remaining)
                     chunk = sock.recv(65536)
                 except TimeoutError:
                     yield self._timeout_delta()
+                    quiet_deadline = time.monotonic() + timeout
                     continue
                 except OSError as exc:
                     raise ConnectionError(f"ws read failed: {exc}") from exc
@@ -347,15 +398,33 @@ class SteeringWebClient:
 
     # -- images / steering ----------------------------------------------------------
 
-    def fetch_image(self, version: int | None = None) -> Image:
-        """Download and decode the latest fixed-size image file."""
-        suffix = f"?v={version}" if version else ""
-        return decode_fixed_size(self._get(self._api("image") + suffix))
+    def _image_query(self, version: int | None, tier: int | None) -> str:
+        params = []
+        if version:
+            params.append(f"v={version}")
+        if tier:
+            params.append(f"tier={int(tier)}")
+        return "?" + "&".join(params) if params else ""
 
-    def fetch_png(self, version: int | None = None) -> bytes:
-        """Download the browser-format PNG."""
-        suffix = f"?v={version}" if version else ""
-        return self._get(self._api("image.png") + suffix)
+    def fetch_image(self, version: int | None = None,
+                    tier: int | None = None) -> Image:
+        """Download and decode the latest fixed-size image file.
+
+        ``tier`` asks for the downscaled encode of that delivery tier
+        (defaults to the stream's negotiated tier; pass 0 for full
+        resolution regardless).
+        """
+        if tier is None:
+            tier = self.tier
+        blob = self._get(self._api("image") + self._image_query(version, tier))
+        return decode_fixed_size(blob)
+
+    def fetch_png(self, version: int | None = None,
+                  tier: int | None = None) -> bytes:
+        """Download the browser-format PNG (tier-scaled like fetch_image)."""
+        if tier is None:
+            tier = self.tier
+        return self._get(self._api("image.png") + self._image_query(version, tier))
 
     def steer(self, **params) -> dict:
         return self._post_json(self._api("steer"), params)
@@ -374,6 +443,7 @@ class SteeringWebClient:
         resp = self._post_json("/api/sessions", spec)
         self.session = resp["session"]
         self.since = 0
+        self.tier = 0
         return self.session
 
 

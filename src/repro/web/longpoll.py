@@ -57,19 +57,24 @@ class Subscriber:
     registration, so no lock is needed on the hot path).  ``transport``
     names the wire framing for per-transport accounting ("sse", "ws");
     ``framing`` names the delta encoding the event store should hand
-    back (see :meth:`EventSequenceStore.framed_delta`).
+    back (see :meth:`EventSequenceStore.framed_delta`).  ``tier`` is the
+    delivery tier the adaptive controller currently assigns this stream
+    — also updated only by the owning IO loop, read at every push to
+    pick the (framing, tier) frame group the subscriber shares.
     """
 
-    __slots__ = ("id", "key", "since", "handle", "transport", "framing", "done")
+    __slots__ = ("id", "key", "since", "handle", "transport", "framing",
+                 "tier", "done")
 
     def __init__(self, id: int, key: str, since: int, handle: Any,
-                 transport: str, framing: str) -> None:
+                 transport: str, framing: str, tier: int = 0) -> None:
         self.id = id
         self.key = key
         self.since = since
         self.handle = handle  # opaque: the server stores the connection here
         self.transport = transport
         self.framing = framing
+        self.tier = tier
         self.done = False  # unsubscribed or session dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -150,7 +155,8 @@ class LongPollScheduler:
     # -- persistent subscribers (SSE / WebSocket push streams) ---------------
 
     def subscribe(self, key: str, since: int, handle: Any = None,
-                  transport: str = "sse", framing: str = "json") -> Subscriber:
+                  transport: str = "sse", framing: str = "json",
+                  tier: int = 0) -> Subscriber:
         """Register a persistent push stream on ``key``.
 
         Unlike :meth:`register`, the record survives publishes: it is
@@ -160,7 +166,7 @@ class LongPollScheduler:
         """
         with self._lock:
             sub = Subscriber(next(self._ids), key, since, handle,
-                             transport, framing)
+                             transport, framing, tier)
             self._subs_by_key.setdefault(key, {})[sub.id] = sub
             self.subscribed_total += 1
             return sub

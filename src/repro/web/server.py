@@ -87,6 +87,9 @@ import urllib.parse
 import weakref
 from collections import deque
 
+from repro.adaptive.controller import AdaptiveDeliveryController
+from repro.adaptive.estimator import ClientLinkEstimator
+from repro.adaptive.tiers import MAX_TIER, clamp_tier
 from repro.errors import ReproError, WebServerError
 from repro.steering.client import SteeringClient
 from repro.steering.events import (
@@ -171,11 +174,18 @@ class _Handler:
     ``mode`` starts as ``"http"`` (request/response parsing) and flips
     once, irreversibly, to ``"sse"`` or ``"ws"`` when a stream route
     claims the connection; ``subscriber`` then holds its registration.
+
+    ``tier``/``max_tier``/``estimator`` are the adaptive delivery plane's
+    per-connection state: the current delivery tier (only the owning loop
+    writes it), the deepest tier the client accepts (its ``min_quality``
+    hint), and the passive link estimator the write path feeds.  All
+    three travel with the handler across shard migrations.
     """
 
     __slots__ = ("shard", "sock", "addr", "inbuf", "outq", "out_bytes",
                  "close_after", "waiter", "subscriber", "mode", "busy",
-                 "closed", "keep_alive", "last_activity", "want_write")
+                 "closed", "keep_alive", "last_activity", "want_write",
+                 "tier", "max_tier", "estimator")
 
     def __init__(self, shard: "_IOShard", sock: socket.socket, addr) -> None:
         self.shard = shard
@@ -193,6 +203,10 @@ class _Handler:
         self.closed = False
         self.keep_alive = True  # set per request; consumed by _send
         self.last_activity = time.monotonic()
+        self.tier = 0
+        self.max_tier = MAX_TIER
+        self.estimator = (ClientLinkEstimator()
+                          if shard.server.adaptive else None)
 
     # -- response construction -----------------------------------------------------
 
@@ -297,9 +311,16 @@ class _IOShard:
         self.migrations_in = 0
         self.migrations_out = 0
         self.accept_handoffs = 0  # connections this shard accepted for peers
+        self.tier_promotions = 0  # adaptive controller moved a client up
+        self.tier_demotions = 0  # ...or down (degrade-before-disconnect)
         # Per-transport delivery accounting (events + payload bytes).
+        # ``bytes_sent`` here counts every payload byte the transport
+        # queued — deltas AND heartbeat/farewell/control frames — so it
+        # reconciles against the shard's raw ``bytes_sent`` (which adds
+        # only HTTP response heads on top).
         self.transport_counters = {
-            t: {"delivered": 0, "bytes_sent": 0} for t in _TRANSPORTS
+            t: {"delivered": 0, "bytes_sent": 0, "heartbeats": 0, "farewells": 0}
+            for t in _TRANSPORTS
         }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -329,6 +350,25 @@ class _IOShard:
         except (BlockingIOError, OSError):
             pass  # wake byte already pending, or server shutting down
 
+    def _tier_gauges(self) -> list[int]:
+        """Open connections per delivery tier (approximate while running).
+
+        The handler set belongs to this shard's loop; a stats read from
+        another thread may race a mutation, so snapshotting retries and
+        degrades to an empty gauge rather than raising.
+        """
+        counts = [0] * (MAX_TIER + 1)
+        for _attempt in range(3):
+            try:
+                handlers = list(self._handlers)
+                break
+            except RuntimeError:  # set mutated mid-iteration
+                handlers = []
+        for handler in handlers:
+            if not handler.closed:
+                counts[handler.tier] += 1
+        return counts
+
     def stats(self) -> dict:
         """This shard's slice of the ``/api/stats`` payload."""
         active = self.scheduler.subscriber_counts()
@@ -353,6 +393,9 @@ class _IOShard:
             "migrations_in": self.migrations_in,
             "migrations_out": self.migrations_out,
             "accept_handoffs": self.accept_handoffs,
+            "tiers": self._tier_gauges(),
+            "tier_promotions": self.tier_promotions,
+            "tier_demotions": self.tier_demotions,
             "scheduler": self.scheduler.stats(),
         }
 
@@ -403,6 +446,15 @@ class _IOShard:
                 return
             sock.setblocking(False)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.server.sndbuf is not None:
+                # Cap the kernel send buffer so a slow reader's backlog
+                # becomes server-visible (and the adaptive plane can act)
+                # instead of hiding in socket buffers.
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                    self.server.sndbuf)
+                except OSError:  # pragma: no cover - platform quirk
+                    pass
             target = self.server._accept_target(self)
             if target is self:
                 handler = _Handler(self, sock, addr)
@@ -541,6 +593,12 @@ class _IOShard:
             handler.last_activity = time.monotonic()
             handler.out_bytes -= sent
             self.bytes_sent += sent
+            if handler.estimator is not None:
+                # Passive EPB measurement: inside a constrained window
+                # (backlog observed earlier) the drain rate IS the path
+                # bandwidth; unconstrained inline flushes are ignored.
+                handler.estimator.on_drain(sent, handler.out_bytes,
+                                           handler.last_activity)
             # Retire fully written buffers; slice the partial one in place
             # (a zero-copy narrowing of the memoryview, not a data copy).
             while sent > 0:
@@ -710,17 +768,29 @@ class _IOShard:
             self._handle_ws_upgrade(handler, request, sid, store)
         elif action == "image":
             version = server._version_arg(request)
-            handler._send(200, store.image_blob(version), "application/octet-stream")
+            tier = clamp_tier(server._query_num(request, "tier", "0"))
+            if tier:
+                # A tier variant may need its lazy downscale encode —
+                # CPU work that belongs on the worker pool, like the
+                # cold-PNG path below.
+                self._offload(handler, lambda: (
+                    200, store.image_blob(version, tier),
+                    "application/octet-stream",
+                ))
+            else:
+                handler._send(200, store.image_blob(version),
+                              "application/octet-stream")
         elif action == "image.png":
             version = server._version_arg(request)
-            cached = store.png_cached(version)  # raises 404-wise if evicted
+            tier = clamp_tier(server._query_num(request, "tier", "0"))
+            cached = store.png_cached(version, tier)  # raises 404-wise if evicted
             if cached is not None:
                 handler._send(200, cached, "image/png")
             else:
                 # Cold cache: the PNG re-encode is the priciest per-request
                 # CPU in the serving tier — run it off the IO loop.
                 self._offload(handler, lambda: (
-                    200, store.image_png(version), "image/png",
+                    200, store.image_png(version, tier), "image/png",
                 ))
         else:
             raise WebServerError(f"no route {request.path}")
@@ -827,10 +897,11 @@ class _IOShard:
         since = server._query_num(request, "since", "0")
         timeout = min(server._query_num(request, "timeout", "20", float),
                       _MAX_POLL_TIMEOUT)
+        server._apply_min_quality(handler, request)
         server._hook_store(sid, store)
         if store.seq > since or timeout <= 0:
             self.polls_served += 1
-            frame = store.delta_frame(since)
+            frame = store.delta_frame(since, handler.tier)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
             return
@@ -843,7 +914,7 @@ class _IOShard:
         if store.seq > since and self.scheduler.cancel(waiter):
             handler.waiter = None
             self.polls_served += 1
-            frame = store.delta_frame(since)
+            frame = store.delta_frame(since, handler.tier)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
         # else: the waiter is parked (or already in the ready queue); the
@@ -859,7 +930,7 @@ class _IOShard:
             store = self.server.manager.events(sid)
             # The whole woken herd shares one encoded frame per cursor —
             # this is the O(1 encode + N writes) wake path.
-            frame = store.delta_frame(waiter.since)
+            frame = store.delta_frame(waiter.since, handler.tier)
         except ReproError as exc:  # session evicted while parked
             handler._send_json({"error": str(exc)}, code=404)
             self._process_input(handler)
@@ -870,34 +941,38 @@ class _IOShard:
         self._process_input(handler)  # a pipelined request may be waiting
 
     def _deliver_ready(self) -> None:
-        """Respond to woken waiters, herd-batched by (session, cursor).
+        """Respond to woken waiters, herd-batched by (session, cursor, tier).
 
         A publish typically wakes N waiters parked at the same cursor;
         grouping them lets the whole herd share one delta frame *and*
         one fully rendered response buffer — the wake path costs one
-        encode plus N queue-appends and N vectored writes.
+        encode per tier group plus N queue-appends and N vectored writes.
         """
         while self._ready:  # publishers may append concurrently; re-check
-            groups: dict[tuple[str, int], list[Waiter]] = {}
+            groups: dict[tuple[str, int, int], list[Waiter]] = {}
             while True:
                 try:
                     waiter = self._ready.popleft()
                 except IndexError:
                     break
-                groups.setdefault((waiter.key, waiter.since), []).append(waiter)
-            for (sid, since), herd in groups.items():
+                handler = waiter.handle
+                tier = handler.tier if handler is not None else 0
+                groups.setdefault((waiter.key, waiter.since, tier),
+                                  []).append(waiter)
+            for (sid, since, tier), herd in groups.items():
                 try:
-                    self._respond_herd(sid, since, herd)
+                    self._respond_herd(sid, since, tier, herd)
                 except Exception:  # one bad herd must not kill the IO loop
                     for waiter in herd:
                         if waiter.handle is not None:
                             self._close(waiter.handle)
 
-    def _respond_herd(self, sid: str, since: int, herd: list[Waiter]) -> None:
+    def _respond_herd(self, sid: str, since: int, tier: int,
+                      herd: list[Waiter]) -> None:
         server = self.server
         try:
             store = server.manager.events(sid)
-            frame = store.delta_frame(since)
+            frame = store.delta_frame(since, tier)
         except ReproError:  # session evicted while parked
             for waiter in herd:
                 self._respond_waiter(waiter)
@@ -925,9 +1000,19 @@ class _IOShard:
 
     # -- push streams (SSE / WebSocket subscribers) --------------------------------
 
-    def _count_tx(self, transport: str, nbytes: int) -> None:
+    def _count_tx(self, transport: str, nbytes: int,
+                  kind: str | None = "delivered") -> None:
+        """Account ``nbytes`` of payload to ``transport``.
+
+        ``kind`` names the event counter to bump ("delivered",
+        "heartbeats", "farewells"); ``None`` counts bytes only (control
+        frames like WS pong/close echoes).  Every payload byte a
+        transport queues flows through here so the per-transport sums
+        reconcile against the shard's raw ``bytes_sent``.
+        """
         counters = self.transport_counters[transport]
-        counters["delivered"] += 1
+        if kind is not None:
+            counters[kind] += 1
         counters["bytes_sent"] += nbytes
 
     def _handle_stream(self, handler: _Handler, request: _Request,
@@ -948,6 +1033,7 @@ class _IOShard:
             # with ?since: the id: line carries the head seq.
             last_id = request.headers.get("last-event-id", "")
             since = int(last_id) if last_id.isdigit() else 0
+        server._apply_min_quality(handler, request)
         server._hook_store(sid, store)
         handler.mode = "sse"
         head = (
@@ -957,7 +1043,8 @@ class _IOShard:
             "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
         ).encode("latin-1")
         sub = self.scheduler.subscribe(sid, since, handler,
-                                       transport="sse", framing=FRAME_SSE)
+                                       transport="sse", framing=FRAME_SSE,
+                                       tier=handler.tier)
         handler.subscriber = sub
         self._enqueue_and_flush(handler, (head, sse_comment_chunk(b"ok")))
         if not handler.closed and store.seq > since:
@@ -994,6 +1081,7 @@ class _IOShard:
             )
             return
         since = server._query_num(request, "since", "0")
+        server._apply_min_quality(handler, request)
         server._hook_store(sid, store)
         head = (
             "HTTP/1.1 101 Switching Protocols\r\n"
@@ -1003,7 +1091,8 @@ class _IOShard:
         ).encode("latin-1")
         handler.mode = "ws"
         sub = self.scheduler.subscribe(sid, since, handler,
-                                       transport="ws", framing=framing)
+                                       transport="ws", framing=framing,
+                                       tier=handler.tier)
         handler.subscriber = sub
         self._enqueue_and_flush(handler, (head,))
         if not handler.closed and store.seq > since:
@@ -1022,16 +1111,16 @@ class _IOShard:
             if handler.closed:
                 return
             if opcode == WS_PING:
-                self._enqueue_and_flush(
-                    handler, (ws_server_frame(payload, WS_PONG),)
-                )
+                pong = ws_server_frame(payload, WS_PONG)
+                self._count_tx("ws", len(pong), kind=None)
+                self._enqueue_and_flush(handler, (pong,))
             elif opcode == WS_CLOSE:
                 # Echo the status code (if any) and finish the closing
                 # handshake; close_after fires once the echo is flushed.
                 handler.close_after = True
-                self._enqueue_and_flush(
-                    handler, (ws_server_frame(payload[:2], WS_CLOSE),)
-                )
+                echo = ws_server_frame(payload[:2], WS_CLOSE)
+                self._count_tx("ws", len(echo), kind=None)
+                self._enqueue_and_flush(handler, (echo,))
                 return
             # Data and pong frames from the client carry nothing we act on.
 
@@ -1076,10 +1165,11 @@ class _IOShard:
                 stores[sub.key] = store
         if store.seq <= sub.since:
             return  # duplicate wake: an earlier delivery already covered it
-        group = (sub.key, sub.since, sub.framing)
+        group = (sub.key, sub.since, sub.framing, sub.tier)
         framed = frames.get(group) if frames is not None else None
         if framed is None:
-            framed = store.framed_delta_with_head(sub.since, sub.framing)
+            framed = store.framed_delta_with_head(sub.since, sub.framing,
+                                                  sub.tier)
             if frames is not None:
                 frames[group] = framed
         frame, head = framed
@@ -1100,6 +1190,8 @@ class _IOShard:
             goodbye = (ws_server_frame(b"\x03\xe8", WS_CLOSE),)  # 1000 normal
         else:
             goodbye = (sse_comment_chunk(b"session closed"), _SSE_TERMINAL)
+        self._count_tx(sub.transport, sum(len(b) for b in goodbye),
+                       kind="farewells")
         self._enqueue_and_flush(handler, goodbye)
 
     def _deliver_farewells(self) -> None:
@@ -1127,8 +1219,69 @@ class _IOShard:
             handler.outq.append(memoryview(buf))
             handler.out_bytes += len(buf)
         self._flush(handler)
-        if not handler.closed and handler.out_bytes > self.server.write_budget:
+        if handler.closed:
+            return
+        if handler.estimator is not None:
+            handler.estimator.on_backlog(handler.out_bytes, time.monotonic())
+            if handler.out_bytes > 0:
+                self._maybe_degrade(handler)
+        if handler.out_bytes > self.server.write_budget:
             self._drop_slow(handler)
+
+    def _set_tier(self, handler: _Handler, tier: int) -> None:
+        """Move a connection onto ``tier`` (owning loop only), counted."""
+        tier = min(clamp_tier(tier), handler.max_tier)
+        if tier == handler.tier:
+            return
+        if tier > handler.tier:
+            self.tier_demotions += 1
+        else:
+            self.tier_promotions += 1
+        handler.tier = tier
+        if handler.subscriber is not None:
+            handler.subscriber.tier = tier
+
+    def _maybe_degrade(self, handler: _Handler) -> None:
+        """Inline degrade-before-disconnect, checked at every enqueue.
+
+        Two triggers, both strictly earlier than the write-budget reaper:
+        a backlog past half the budget sheds one tier per enqueued event
+        (frames shrink immediately, before the budget can fill), and a
+        backlog older than the staleness budget jumps straight to the
+        deepest allowed tier (snapshot-skipping) — the client is so far
+        behind that intermediate frames are pure liability.
+        """
+        server = self.server
+        if handler.tier >= handler.max_tier:
+            return
+        if handler.out_bytes > server.write_budget // 2:
+            self._set_tier(handler, handler.tier + 1)
+        elif (handler.estimator.backlog_age(time.monotonic())
+              > server.staleness_budget):
+            self._set_tier(handler, handler.max_tier)
+
+    def _retier(self) -> None:
+        """Controller pass at the housekeeping cadence (0 extra threads).
+
+        Every connection with a warm estimate gets the DP-mapped tier
+        for its measured link; cold (never-constrained) connections keep
+        their current tier — including promotions back toward full
+        quality once a once-slow link shows headroom.
+        """
+        controller = self.server.controller
+        if controller is None:
+            return
+        now = time.monotonic()
+        for handler in list(self._handlers):
+            est = handler.estimator
+            if est is None or handler.closed:
+                continue
+            if est.backlog_age(now) > self.server.staleness_budget:
+                self._set_tier(handler, handler.max_tier)
+                continue
+            tier = controller.decide(est.estimate(), handler.tier,
+                                     handler.max_tier)
+            self._set_tier(handler, tier)
 
     def _deliver_expired(self, now: float) -> None:
         for waiter in self.scheduler.expire_due(now):
@@ -1140,6 +1293,7 @@ class _IOShard:
 
     def _housekeeping(self) -> None:
         server = self.server
+        self._retier()  # adaptive controller pass: piggybacks, 0 threads
         if self.index == 0:
             # Session eviction is a service-wide sweep: run it once (on
             # shard 0) and push each evicted session's parked waiters to
@@ -1174,6 +1328,7 @@ class _IOShard:
                 if handler.last_activity < beat_cutoff and not handler.closed:
                     beat = (ws_server_frame(b"", WS_PING)
                             if sub.transport == "ws" else sse_comment_chunk())
+                    self._count_tx(sub.transport, len(beat), kind="heartbeats")
                     try:
                         self._enqueue_and_flush(handler, (beat,))
                     except Exception:
@@ -1228,6 +1383,9 @@ class AjaxWebServer:
         shards: int = 1,
         shard_router=None,
         use_reuseport: bool | None = None,
+        adaptive: bool = True,
+        staleness_budget: float = 0.25,
+        sndbuf: int | None = None,
     ) -> None:
         self.client = client
         self.manager = client.manager
@@ -1240,6 +1398,21 @@ class AjaxWebServer:
             raise WebServerError("write budget must be >= 1 byte")
         if shards < 1:
             raise WebServerError("shard count must be >= 1")
+        if staleness_budget <= 0.0:
+            raise WebServerError("staleness budget must be > 0 seconds")
+        # Adaptive delivery plane: per-connection passive link estimators
+        # feed a controller that re-runs the DP mapping with live
+        # estimates at the housekeeping cadence (no extra threads).
+        self.adaptive = bool(adaptive)
+        self.staleness_budget = float(staleness_budget)
+        self.sndbuf = None if sndbuf is None else int(sndbuf)
+        self.controller = (
+            AdaptiveDeliveryController(
+                image_bytes=self.manager.file_size,
+                staleness_budget=self.staleness_budget,
+            )
+            if self.adaptive else None
+        )
         self._keepalive_suffix = (
             "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
             "Connection: keep-alive\r\n"
@@ -1361,7 +1534,8 @@ class AjaxWebServer:
         """
         shard_stats = [shard.stats() for shard in self._shards]
         transports = {
-            name: {"active": 0, "delivered": 0, "bytes_sent": 0}
+            name: {"active": 0, "delivered": 0, "bytes_sent": 0,
+                   "heartbeats": 0, "farewells": 0}
             for name in _TRANSPORTS
         }
         for s in shard_stats:
@@ -1369,6 +1543,10 @@ class AjaxWebServer:
                 agg = transports[name]
                 for field in agg:
                     agg[field] += t[field]
+        tiers = [0] * (MAX_TIER + 1)
+        for s in shard_stats:
+            for i, n in enumerate(s["tiers"]):
+                tiers[i] += n
         return {
             "requests_served": sum(s["requests_served"] for s in shard_stats),
             "polls_served": sum(s["polls_served"] for s in shard_stats),
@@ -1379,6 +1557,10 @@ class AjaxWebServer:
             "parked_polls": sum(s["parked_polls"] for s in shard_stats),
             "subscribers": sum(s["subscribers"] for s in shard_stats),
             "transports": transports,
+            "adaptive": self.adaptive,
+            "tiers": tiers,
+            "tier_promotions": sum(s["tier_promotions"] for s in shard_stats),
+            "tier_demotions": sum(s["tier_demotions"] for s in shard_stats),
             "io_threads": self.io_thread_count(),
             "worker_threads": self.worker_thread_count(),
             "shard_count": len(self._shards),
@@ -1512,6 +1694,22 @@ class AjaxWebServer:
         if not request.query.get("v", [None])[0]:
             return None
         return cls._query_num(request, "v", "0")
+
+    def _apply_min_quality(self, handler: _Handler, request: _Request) -> None:
+        """Honour the client's ``min_quality`` hint on a delivery route.
+
+        ``min_quality`` is the deepest tier index the client accepts:
+        0 pins full quality (the server will disconnect rather than
+        degrade), absent means fully degradable.  The hint caps
+        ``max_tier`` and clamps the current tier under it.
+        """
+        if request.query.get("min_quality", [None])[0] is None:
+            return
+        handler.max_tier = clamp_tier(
+            self._query_num(request, "min_quality", str(MAX_TIER))
+        )
+        if handler.tier > handler.max_tier:
+            handler.tier = handler.max_tier
 
     # -- view operations -------------------------------------------------------------------
 

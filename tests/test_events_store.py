@@ -338,3 +338,102 @@ class TestPollDemandClock:
         assert png[:8] == b"\x89PNG\r\n\x1a\n"
         assert store.png_cached() == png
         assert store.png_encode_count == 1
+
+
+class TestTieredDelivery:
+    def test_delta_carries_its_tier(self):
+        store = EventSequenceStore()
+        store.publish_status("session", a=1)
+        store.publish_image(tiny_image(), cycle=1)
+        assert store.delta(0)["tier"] == 0
+        d = store.delta(0, tier=1)
+        assert d["tier"] == 1
+        image = next(c for c in d["components"] if c["id"] == "image")
+        assert image["props"]["tier"] == 1
+        # tier 0 deltas are byte-identical to the pre-adaptive shape
+        base = next(c for c in store.delta(0)["components"] if c["id"] == "image")
+        assert "tier" not in base["props"]
+
+    def test_snapshot_tier_keeps_only_newest_image(self):
+        store = EventSequenceStore()
+        store.publish_image(tiny_image(10), cycle=1)
+        store.publish_image(tiny_image(20), cycle=2)
+        store.publish_image(tiny_image(30), cycle=3)
+        d = store.delta(0, tier=3)
+        images = [c for c in d["components"] if c["id"] == "image"]
+        assert len(images) == 1
+        assert images[0]["props"]["cycle"] == 3
+        assert d["skipped_images"] == 2
+        # full-quality tier still replays every frame
+        full = store.delta(0)
+        assert len([c for c in full["components"] if c["id"] == "image"]) == 3
+        assert "skipped_images" not in full
+
+    def test_tier_blob_downscaled_and_encoded_once_per_scale(self):
+        store = EventSequenceStore()
+        v = store.publish_image(tiny_image(60), cycle=1)
+        half = [store.image_blob(v, tier=1) for _ in range(5)]
+        assert all(b is half[0] for b in half)
+        assert decode_fixed_size(half[0]).width == 4
+        assert store.tier_encode_count == 1
+        # tiers 2 and 3 share scale 4 -> one more encode, shared blob
+        quarter = store.image_blob(v, tier=2)
+        snap = store.image_blob(v, tier=3)
+        assert snap is quarter
+        assert decode_fixed_size(quarter).width == 2
+        assert store.tier_encode_count == 2
+        # the full-quality path is untouched
+        assert store.image_blob(v) is store.image_record(v).blob
+        assert store.encode_count == 1
+
+    def test_tier_png_cached_per_scale(self):
+        store = EventSequenceStore()
+        v = store.publish_image(tiny_image(90), cycle=1)
+        p1 = store.image_png(v, tier=1)
+        assert store.image_png(v, tier=1) is p1
+        assert store.png_cached(v, tier=1) is p1
+        assert store.png_cached(v, tier=2) is None
+        p2 = store.image_png(v, tier=2)
+        assert p2 is not p1
+        assert store.png_encode_count == 2
+
+    def test_frames_shared_within_a_tier_distinct_across(self):
+        store = EventSequenceStore()
+        store.publish_image(tiny_image(), cycle=1)
+        f0 = [store.delta_frame(0, tier=0) for _ in range(20)]
+        f1 = [store.delta_frame(0, tier=1) for _ in range(20)]
+        assert all(f is f0[0] for f in f0)
+        assert all(f is f1[0] for f in f1)
+        assert f0[0] is not f1[0]
+        assert store.json_encodes == 2  # one per (window, tier) group
+        assert json.loads(f1[0])["tier"] == 1
+
+    def test_wrapped_framings_share_the_tier_json_base(self):
+        from repro.steering.events import FRAME_SSE
+
+        store = EventSequenceStore()
+        store.publish_status("session", tick=1)
+        store.framed_delta(0, FRAME_SSE, tier=2)
+        assert store.json_encodes == 1
+        store.framed_delta(0, FRAME_SSE, tier=2)
+        assert store.json_encodes == 1  # SSE wrap cached, base cached
+        store.delta_frame(0, tier=2)
+        assert store.json_encodes == 1  # raw JSON reuses the same base
+
+    def test_tier_hopping_client_cannot_grow_the_cache(self):
+        """Satellite (b): the enlarged key space stays per-store bounded."""
+        store = EventSequenceStore(frame_cache_size=8)
+        store.publish_status("session", tick=1)
+        for i in range(200):
+            store.delta_frame(i % 3, tier=i % 4)
+        stats = store.frame_cache_stats()
+        assert stats["size"] <= 8
+        assert stats["evictions"] > 0
+        # evicted windows are re-encoded on demand, never an error
+        assert json.loads(store.delta_frame(0, tier=3))["tier"] == 3
+
+    def test_bad_tier_values_clamp(self):
+        store = EventSequenceStore()
+        store.publish_image(tiny_image(), cycle=1)
+        assert store.delta(0, tier=-5)["tier"] == 0
+        assert store.delta(0, tier=99)["tier"] == 3

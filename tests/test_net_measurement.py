@@ -99,3 +99,76 @@ class TestActiveMeasurement:
 
     def test_default_probe_sizes_span_two_decades(self):
         assert max(DEFAULT_PROBE_SIZES) / min(DEFAULT_PROBE_SIZES) >= 100
+
+
+class TestEwmaEstimator:
+    def _est(self, **kw):
+        from repro.net.measurement import EwmaThroughputEstimator
+        return EwmaThroughputEstimator(**kw)
+
+    def test_cold_start_returns_none_until_min_samples(self):
+        est = self._est(min_samples=3)
+        assert est.estimate() is None
+        assert est.add_sample(1e5, 0.1)
+        assert est.add_sample(1e5, 0.1)
+        assert est.estimate() is None  # 2 of 3: still cold
+        assert est.add_sample(1e5, 0.1)
+        live = est.estimate()
+        assert live is not None
+        assert live.epb == pytest.approx(1e6)
+        assert live.n_samples == 3
+
+    def test_zero_elapsed_window_rejected_without_dividing(self):
+        est = self._est(min_samples=1)
+        assert not est.add_sample(1e5, 0.0)
+        assert not est.add_sample(1e5, -0.5)
+        assert est.n_samples == 0
+        assert est.estimate() is None
+
+    def test_empty_burst_rejected(self):
+        est = self._est(min_samples=1)
+        assert not est.add_sample(0, 0.1)
+        assert not est.add_sample(-10, 0.1)
+        assert est.estimate() is None
+
+    def test_rejected_samples_do_not_advance_cold_start(self):
+        est = self._est(min_samples=2)
+        est.add_sample(1e5, 0.1)
+        for _ in range(10):
+            est.add_sample(0, 0.0)  # bursty garbage window
+        assert est.estimate() is None
+        est.add_sample(1e5, 0.1)
+        assert est.estimate() is not None
+
+    def test_ewma_tracks_a_rate_shift(self):
+        est = self._est(alpha=0.5, min_samples=1)
+        est.add_sample(1e6, 1.0)  # 1 MB/s
+        for _ in range(8):
+            est.add_sample(1e5, 1.0)  # drops to 100 KB/s
+        live = est.estimate()
+        assert live.epb < 2e5  # converged near the new rate
+
+    def test_latency_guard_and_ewma(self):
+        est = self._est(alpha=0.5, min_samples=1)
+        assert not est.add_latency(-0.1)
+        assert est.drain_latency == 0.0
+        assert est.add_latency(0.2)
+        assert est.add_latency(0.1)
+        assert est.drain_latency == pytest.approx(0.15)
+        est.add_sample(1e5, 0.1)
+        assert est.estimate().d_min == pytest.approx(0.15)
+
+    def test_r2_reported_as_zero(self):
+        est = self._est(min_samples=1)
+        est.add_sample(1e5, 0.1)
+        assert est.estimate().r2 == 0.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(CalibrationError):
+            self._est(alpha=0.0)
+        with pytest.raises(CalibrationError):
+            self._est(alpha=1.5)
+
+    def test_rejects_bad_min_samples(self):
+        with pytest.raises(CalibrationError):
+            self._est(min_samples=0)
