@@ -4,19 +4,17 @@ Each benchmark regenerates one paper artifact (DESIGN.md §4) and
 registers its paper-style table via ``record_report`` so everything is
 printed in the terminal summary after the pytest-benchmark stats.
 ``BENCH_*.json`` artifacts go through :func:`write_json_artifact`,
-which writes atomically so a CI kill mid-run can never leave (and CI
-never uploads) a truncated artifact.
+which writes atomically (fsync before rename, via the hardened helper
+in :mod:`repro.obs.atomic`) so a CI kill — or a power cut — mid-run can
+never leave (and CI never uploads) a truncated artifact.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-
 import pytest
 
 from repro.experiments.reporting import drain_bench_reports, record_bench_report
+from repro.obs.atomic import atomic_write_json, merge_json_file
 
 # The registry lives in the library (not this module) because pytest may
 # import this conftest under a different module name than the benchmark
@@ -26,17 +24,15 @@ record_report = record_bench_report
 
 
 def write_json_artifact(path, payload: dict) -> None:
-    """Serialize ``payload`` to ``path`` atomically (temp file + rename).
+    """Serialize ``payload`` to ``path`` atomically (fsync + rename).
 
-    A benchmark process killed mid-``write_text`` leaves a truncated
-    JSON file that CI would happily upload as the run's artifact; the
-    rename makes the artifact either the complete new payload or the
-    previous one, never a prefix.
+    A benchmark process killed mid-write leaves a truncated JSON file
+    that CI would happily upload as the run's artifact; the fsync'd
+    temp-file + rename makes the artifact either the complete new
+    payload or the previous one, never a prefix — even across a crash
+    of the machine, not just the process.
     """
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload, sort_keys=False)
 
 
 def merge_json_artifact(path, updates: dict) -> None:
@@ -47,15 +43,7 @@ def merge_json_artifact(path, updates: dict) -> None:
     grid keys while the shard job rewrites only ``shard_scaling``, and
     whichever ran is layered over the committed version of the rest.
     """
-    path = Path(path)
-    try:
-        existing = json.loads(path.read_text())
-        if not isinstance(existing, dict):
-            existing = {}
-    except (OSError, ValueError):
-        existing = {}
-    existing.update(updates)
-    write_json_artifact(path, existing)
+    merge_json_file(path, updates, sort_keys=False)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -594,3 +594,109 @@ class TestBenchAdaptiveDelivery:
         assert adaptive_sweep.tier_encodes > 0, (
             "slow clients never received a tiered encode"
         )
+
+
+# -- observability: recorder-on vs recorder-off overhead guard ----------------------
+
+OBS_SESSIONS = 2 if QUICK else 4
+OBS_CLIENTS = 100
+OBS_DURATION = 1.0 if QUICK else 2.0
+OBS_PUBLISH_HZ = 25.0
+# Recording on (metrics sampled every 0.25 s + every publish journaled)
+# may cost at most 15% of the recording-off wake p99.  Sub-ms baselines
+# are scheduler noise: the denominator is floored like every p99 guard
+# in this file.
+OBS_P99_RATIO_LIMIT = 1.15
+OBS_P99_FLOOR_MS = P99_FLOOR_MS
+
+
+def _obs_guard_holds(result) -> bool:
+    limit = OBS_P99_RATIO_LIMIT * max(result.off.wake_p99_ms, OBS_P99_FLOOR_MS)
+    return result.on.wake_p99_ms <= limit
+
+
+@pytest.fixture(scope="module")
+def obs_sweep():
+    from repro.experiments.web_concurrency import run_obs_overhead
+
+    # Ratio of two latency cells on a shared runner: re-measure the pair
+    # when noise inverts the guard, same retry policy as the transport
+    # and adaptive sweeps.
+    attempts = 3
+    for attempt in range(attempts):
+        _wait_for_lingering_sims()
+        result = run_obs_overhead(
+            sessions=OBS_SESSIONS,
+            clients=OBS_CLIENTS,
+            duration=OBS_DURATION,
+            publish_hz=OBS_PUBLISH_HZ,
+            repeats=2,
+        )
+        if _obs_guard_holds(result) or attempt == attempts - 1:
+            return result
+
+
+class TestBenchObsOverhead:
+    def test_bench_obs_overhead(self, benchmark, obs_sweep):
+        from repro.experiments.web_concurrency import run_obs_overhead
+
+        result = benchmark.pedantic(
+            lambda: run_obs_overhead(
+                sessions=OBS_SESSIONS,
+                clients=OBS_CLIENTS,
+                duration=OBS_DURATION,
+                publish_hz=OBS_PUBLISH_HZ,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        record_report(obs_sweep.to_table())
+        artifact = Path(__file__).resolve().parent.parent / "BENCH_web_concurrency.json"
+        merge_json_artifact(artifact, {"obs_overhead": obs_sweep.to_dict()})
+        assert result.on.obs_samples > 0
+
+    def test_recording_actually_ran(self, benchmark, obs_sweep):
+        """The on-cell must prove capture happened: metric samples taken
+        on the housekeeping tick and published events journaled by the
+        publish tap — otherwise the overhead guard measures nothing."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert obs_sweep.on.obs_enabled and not obs_sweep.off.obs_enabled
+        assert obs_sweep.on.obs_samples > 0, obs_sweep.to_table()
+        assert obs_sweep.on.obs_events_journaled > 0, obs_sweep.to_table()
+        assert obs_sweep.off.obs_samples == 0
+        assert obs_sweep.on.errors == 0 and obs_sweep.off.errors == 0
+        # Capture rides the housekeeping tick + publish tap: the in-memory
+        # recorder must not change the server's fixed thread budget.
+        assert obs_sweep.on.server_threads == EXPECTED_SERVER_THREADS
+        assert obs_sweep.off.server_threads == EXPECTED_SERVER_THREADS
+
+    def test_recording_keeps_wake_p99_within_budget(self, benchmark, obs_sweep):
+        """The ops-tier overhead guard: 100-client wake p99 with the
+        recorder + journal on stays within 1.15x of recording off (the
+        capture path adds zero threads and no per-delivery encodes)."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        limit = OBS_P99_RATIO_LIMIT * max(obs_sweep.off.wake_p99_ms,
+                                          OBS_P99_FLOOR_MS)
+        record_report(
+            f"Obs overhead - {OBS_CLIENTS}-client wake p99: "
+            f"recording off {obs_sweep.off.wake_p99_ms:.2f} ms vs "
+            f"on {obs_sweep.on.wake_p99_ms:.2f} ms "
+            f"({obs_sweep.p99_ratio:.2f}x)"
+        )
+        assert obs_sweep.on.wake_p99_ms <= limit, (
+            f"recording-on wake p99 {obs_sweep.on.wake_p99_ms} ms exceeds "
+            f"{OBS_P99_RATIO_LIMIT}x the recording-off p99 "
+            f"{obs_sweep.off.wake_p99_ms} ms (floor {OBS_P99_FLOOR_MS} ms)"
+        )
+
+    def test_encode_once_survives_recording(self, benchmark, obs_sweep):
+        """The journal tap rides the existing publish path: JSON encodes
+        per wake must stay ~1 with recording on — capture must never add
+        per-client or per-delivery encodes."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert obs_sweep.on.json_encodes_per_wake == pytest.approx(1.0, abs=0.5), (
+            obs_sweep.to_table()
+        )
+        assert obs_sweep.on.encodes_per_version == pytest.approx(1.0), (
+            obs_sweep.to_table()
+        )

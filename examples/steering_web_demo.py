@@ -29,6 +29,21 @@ modem link (rate from the simulated bottleneck in
 adaptive controller demotes them — watch the slow viewers slide down
 the tier ladder while the LAN client keeps full quality and nobody is
 disconnected.
+
+``--dashboard [PATH]`` turns on the durable ops tier: every published
+event is journaled, metrics are sampled on the housekeeping tick, and
+the server additionally serves
+
+* ``GET /dashboard`` — a dependency-free live ops page (sparkline
+  charts of wake latency, bytes/s, tier distribution, executor load),
+* ``GET /api/metrics`` — recorder/journal/store health + series names,
+* ``GET /api/metrics/history?series=&since=&step=`` — windowed samples,
+* ``POST /api/replay/<sid>`` — re-hydrate a finished session's journal
+  as a fresh read-only session (``{"rate_hz": N}`` paces it live).
+
+With a PATH argument the metrics and journal also persist to a
+WAL-mode SQLite file there, so dashboard history and replay survive a
+server restart.
 """
 
 from __future__ import annotations
@@ -45,10 +60,11 @@ from repro.web import AjaxWebServer, SteeringWebClient
 from repro.web.client import TRANSPORTS
 
 
-def _parse_args() -> tuple[float, str, int]:
+def _parse_args() -> tuple[float, str, int, object]:
     serve_extra = 0.0
     transport = "longpoll"
     emulate_slow = 0
+    dashboard: object = False
     argv = sys.argv
     if "--serve" in argv:
         idx = argv.index("--serve")
@@ -61,7 +77,14 @@ def _parse_args() -> tuple[float, str, int]:
     if "--emulate-slow" in argv:
         idx = argv.index("--emulate-slow")
         emulate_slow = int(argv[idx + 1]) if idx + 1 < len(argv) else 2
-    return serve_extra, transport, emulate_slow
+    if "--dashboard" in argv:
+        idx = argv.index("--dashboard")
+        # Optional PATH operand: persist metrics + journal to SQLite there.
+        if idx + 1 < len(argv) and not argv[idx + 1].startswith("--"):
+            dashboard = argv[idx + 1]
+        else:
+            dashboard = True
+    return serve_extra, transport, emulate_slow, dashboard
 
 
 def _spawn_slow_viewers(port: int, sid: str, n: int):
@@ -106,7 +129,7 @@ def _print_tiers(server: AjaxWebServer, label: str) -> None:
 
 
 def main() -> None:
-    serve_extra, transport, emulate_slow = _parse_args()
+    serve_extra, transport, emulate_slow, dashboard = _parse_args()
 
     topology, roles = build_paper_testbed(with_cross_traffic=False)
     print("calibrating cost models ...")
@@ -118,10 +141,21 @@ def main() -> None:
     server_kwargs: dict = {}
     if emulate_slow > 0:
         server_kwargs = {"sndbuf": 65536, "housekeeping_interval": 0.2}
+    if dashboard:
+        server_kwargs["obs"] = dashboard  # True, or the SQLite path
+        # Sample often enough that the sparklines move within the demo.
+        server_kwargs.setdefault("housekeeping_interval", 0.5)
 
     with AjaxWebServer(client, port=0, **server_kwargs) as server:
         print(f"Ajax web server listening on {server.url}")
         print(f"client transport: {transport}")
+        if dashboard:
+            print(f"ops dashboard:  {server.url}/dashboard")
+            print(f"  metrics API:  {server.url}/api/metrics  "
+                  f"and /api/metrics/history?series=&since=&step=")
+            print(f"  replay API:   POST {server.url}/api/replay/<session>")
+            if isinstance(dashboard, str):
+                print(f"  durable store: {dashboard} (history survives restart)")
         print("starting bow-shock simulation (VH1 sweeps + RICSA hooks) ...")
         bowshock = client.start(
             simulator="bowshock",

@@ -150,6 +150,9 @@ class ConcurrencyCell:
     shards: int = 1
     transport: str = "longpoll"
     event_rate: float = 0.0  # events delivered per second across all clients
+    obs_enabled: bool = False  # metrics recorder + journal running?
+    obs_samples: int = 0  # metric samples captured during the cell
+    obs_events_journaled: int = 0  # published events the journal recorded
 
     def to_dict(self) -> dict:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
@@ -499,10 +502,14 @@ def _run_cell(
     shards: int = 1,
     shard_router=None,
     transport: str = "longpoll",
+    obs: bool = False,
+    housekeeping_interval: float = 5.0,
 ) -> ConcurrencyCell:
     client = SteeringClient(cm)
-    with AjaxWebServer(client, port=0, housekeeping_interval=5.0,
-                       shards=shards, shard_router=shard_router) as server:
+    with AjaxWebServer(client, port=0,
+                       housekeeping_interval=housekeeping_interval,
+                       shards=shards, shard_router=shard_router,
+                       obs=obs) as server:
         stores = [
             client.manager.open_monitor(f"bench{i}") for i in range(n_sessions)
         ]
@@ -576,6 +583,11 @@ def _run_cell(
         json_encodes = sum(s.json_encodes for s in stores)
         wakes = total_images
         events_delivered = sum(c.events for c in clients)
+        obs_samples = obs_journaled = 0
+        if server.obs is not None:
+            obs_stats = server.obs.stats()
+            obs_samples = obs_stats["recorder"]["samples_taken"]
+            obs_journaled = obs_stats["journal"]["events_recorded"]
         return ConcurrencyCell(
             shards=shards,
             transport=transport,
@@ -596,6 +608,9 @@ def _run_cell(
             json_encodes_per_wake=round(json_encodes / max(wakes, 1), 3),
             dropped=sum(c.dropped for c in clients),
             errors=sum(c.errors for c in clients),
+            obs_enabled=bool(obs),
+            obs_samples=obs_samples,
+            obs_events_journaled=obs_journaled,
         )
 
 
@@ -1115,4 +1130,95 @@ def run_adaptive_delivery(
         slow_events=mixed["slow_events"],
         fast_events=mixed["fast_events"],
         errors=mixed["errors"],
+    )
+
+
+# -- observability: recorder-on vs recorder-off overhead ----------------------------
+
+
+@dataclass
+class ObsOverheadResult:
+    """Recorder-on vs recorder-off cells on one server configuration.
+
+    The durable ops tier's capture path rides the shard-0 housekeeping
+    tick (metrics) and the publish tap (journal) — zero extra threads —
+    so the wake p99 with recording on must stay within a small factor
+    of the recording-off baseline, and the encode-once invariant
+    (``json_encodes_per_wake`` ~ 1) must hold unchanged.
+    """
+
+    sessions: int
+    clients: int
+    duration: float
+    publish_hz: float
+    off: ConcurrencyCell = None
+    on: ConcurrencyCell = None
+
+    @property
+    def p99_ratio(self) -> float:
+        return self.on.wake_p99_ms / max(self.off.wake_p99_ms, 1e-9)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "web_obs_overhead",
+            "sessions": self.sessions,
+            "clients": self.clients,
+            "duration": self.duration,
+            "publish_hz": self.publish_hz,
+            "p99_ratio": round(self.p99_ratio, 3),
+            "off": self.off.to_dict(),
+            "on": self.on.to_dict(),
+        }
+
+    def to_table(self) -> str:
+        lines = [
+            "Observability overhead - recorder on vs off",
+            f"  {'recording':>9} {'clients':>8} {'polls/s':>10} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'json/wake':>9} "
+            f"{'samples':>8} {'journaled':>9}",
+        ]
+        for label, c in (("off", self.off), ("on", self.on)):
+            lines.append(
+                f"  {label:>9} {c.clients:>8} {c.poll_rate:>10.1f} "
+                f"{c.wake_p50_ms:>8.2f} {c.wake_p99_ms:>8.2f} "
+                f"{c.json_encodes_per_wake:>9.2f} "
+                f"{c.obs_samples:>8} {c.obs_events_journaled:>9}"
+            )
+        lines.append(f"  wake p99 on/off ratio: {self.p99_ratio:.2f}x")
+        return "\n".join(lines)
+
+
+def run_obs_overhead(
+    sessions: int = 4,
+    clients: int = 100,
+    duration: float = 1.0,
+    publish_hz: float = 25.0,
+    cm: CentralManager | None = None,
+    repeats: int = 1,
+) -> ObsOverheadResult:
+    """Measure the serving cost of turning the durable ops tier on.
+
+    Identical (sessions x clients) cells, recorder off then on, on the
+    same CentralManager.  The on-cell shortens the housekeeping
+    interval so metric sampling actually happens inside the short bench
+    window — strictly *more* capture work than the 1 s production
+    cadence, making the guard conservative.  ``repeats`` keeps the
+    lowest-p99 run per side, like every latency sweep here.
+    """
+    ensure_fd_capacity(2 * clients + 256)
+    if cm is None:
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+    off = on = None
+    for _ in range(max(1, int(repeats))):
+        cell = _run_cell(cm, sessions, clients, duration, publish_hz)
+        if off is None or cell.wake_p99_ms < off.wake_p99_ms:
+            off = cell
+        cell = _run_cell(cm, sessions, clients, duration, publish_hz,
+                         obs=True, housekeeping_interval=0.25)
+        if on is None or cell.wake_p99_ms < on.wake_p99_ms:
+            on = cell
+    return ObsOverheadResult(
+        sessions=sessions, clients=clients, duration=duration,
+        publish_hz=publish_hz, off=off, on=on,
     )

@@ -1,0 +1,91 @@
+"""Crash-safe file writes shared by BENCH artifacts and the obs store.
+
+The benchmark artifacts introduced the temp-file + ``os.replace`` idiom
+so a crashed CI job can never leave a truncated ``BENCH_*.json``.  That
+idiom has a hole: ``os.replace`` is atomic with respect to *readers*,
+but after a power loss the rename can survive while the temp file's
+data blocks do not — leaving an atomically-installed empty file.  The
+helpers here close it by fsyncing the temp file before the rename and
+the directory after it, and both the benchmark ``conftest`` and the obs
+store's sidecar metadata files delegate here so the discipline has one
+home.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_json", "merge_json_file"]
+
+
+def _fsync_dir(path: str) -> None:
+    """Persist a directory entry (best effort — not all FSes allow it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers (and crashes) see old or new.
+
+    Durability order: temp write -> flush -> fsync(file) -> rename ->
+    fsync(directory).  A crash at any point leaves either the complete
+    old file or the complete new one, never a truncation.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".tmp.", suffix="." + os.path.basename(path)
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(directory)
+
+
+def atomic_write_json(path: str | os.PathLike, payload: Any, *,
+                      indent: int = 2, sort_keys: bool = True) -> None:
+    """Atomically write ``payload`` as pretty-printed JSON."""
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def merge_json_file(path: str | os.PathLike, updates: dict, *,
+                    indent: int = 2, sort_keys: bool = True) -> dict:
+    """Merge top-level ``updates`` into the JSON object at ``path``.
+
+    Missing or corrupt existing files are treated as empty so one bad
+    artifact never wedges the writer; the merged object is written back
+    atomically and returned.
+    """
+    path = os.fspath(path)
+    merged: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            existing = json.load(fh)
+        if isinstance(existing, dict):
+            merged.update(existing)
+    except (OSError, ValueError):
+        pass
+    merged.update(updates)
+    atomic_write_json(path, merged, indent=indent, sort_keys=sort_keys)
+    return merged

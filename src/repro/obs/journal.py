@@ -1,0 +1,218 @@
+"""Per-session event journal: persist published events, replay them later.
+
+Every :class:`~repro.steering.events.EventSequenceStore` the session
+manager creates gets a *tap*: after each publish (outside the store
+lock) the journal records the event row verbatim — status and steering
+events always; image events keep their meta row always while the encoded
+blob is stored content-addressed (blake2b digest) under a byte-budget
+LRU, so identical frames are stored once and a long run cannot grow the
+blob pool unboundedly.  With an :class:`~repro.obs.store.ObsStore`
+attached the same rows ride the store's single writer thread to SQLite,
+which is what makes replay survive eviction *and* server restart.
+
+Replay is :meth:`rehydrate`: rebuild a fresh ``EventSequenceStore`` by
+re-appending the journaled rows with their **original sequence
+numbers** (``EventSequenceStore.restore_event`` preserves seq and props
+verbatim), so the rebuilt store serves a byte-identical JSON delta
+sequence through the existing long-poll/SSE/WS surface.  Image rows
+whose blob fell out of the byte budget are restored meta-only and
+counted — the replay response reports them as ``skipped_images``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import WebServerError
+from repro.steering.events import EventSequenceStore, SessionEvent
+
+__all__ = ["SessionJournal", "restore_row"]
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def restore_row(events: EventSequenceStore, row: dict,
+                blob: bytes | None) -> int:
+    """Re-append one journaled row into ``events`` at its original seq."""
+    return events.restore_event(
+        row["kind"], row["component"], row["cycle"], row["props"],
+        seq=row["seq"], blob=blob,
+    )
+
+
+class SessionJournal:
+    """Bounded in-memory journal with optional SQLite durability."""
+
+    def __init__(
+        self,
+        store=None,
+        blob_budget_bytes: int = 32 * 1024 * 1024,
+        event_cap: int = 4096,
+        session_cap: int = 64,
+    ) -> None:
+        if event_cap < 1 or session_cap < 1 or blob_budget_bytes < 1:
+            raise WebServerError("journal caps must be >= 1")
+        self.store = store
+        self.blob_budget_bytes = int(blob_budget_bytes)
+        self.event_cap = int(event_cap)
+        self.session_cap = int(session_cap)
+        self._lock = threading.Lock()
+        self._events: OrderedDict[str, list[dict]] = OrderedDict()
+        self._blobs: OrderedDict[str, bytes] = OrderedDict()
+        self._blob_bytes = 0
+        self.events_recorded = 0
+        self.blobs_recorded = 0
+        self.blob_evictions = 0
+        self.events_dropped = 0
+        self.sessions_dropped = 0
+
+    # -- capture -----------------------------------------------------------------
+
+    def attach(self, sid: str, events: EventSequenceStore) -> None:
+        """Tap ``events`` so every publish lands in this journal.
+
+        Must run before the session's first publish so journaled seqs
+        are contiguous from 1 — the session manager attaches right
+        after constructing the store.
+        """
+        with self._lock:
+            self._register_locked(sid)
+        events.attach_tap(
+            lambda event, blob, sid=sid: self.record(sid, event, blob))
+
+    def _register_locked(self, sid: str) -> None:
+        rows = self._events.get(sid)
+        if rows is None:
+            self._events[sid] = []
+            while len(self._events) > self.session_cap:
+                self._events.popitem(last=False)
+                self.sessions_dropped += 1
+        else:
+            self._events.move_to_end(sid)
+
+    def record(self, sid: str, event: SessionEvent,
+               blob: bytes | None = None) -> None:
+        """Append one published event (the tap; runs on the publisher)."""
+        digest = None
+        if blob is not None:
+            digest = _digest(blob)
+            self._put_blob(digest, blob)
+        row = {
+            "seq": event.seq,
+            "ts": time.time(),
+            "kind": event.kind,
+            "component": event.component,
+            "cycle": event.cycle,
+            "props": dict(event.props),
+            "digest": digest,
+        }
+        with self._lock:
+            self._register_locked(sid)
+            rows = self._events[sid]
+            rows.append(row)
+            if len(rows) > self.event_cap:
+                del rows[0]
+                self.events_dropped += 1
+            self.events_recorded += 1
+        if self.store is not None:
+            self.store.enqueue_event(sid, row)
+
+    def _put_blob(self, digest: str, blob: bytes) -> None:
+        with self._lock:
+            known = digest in self._blobs
+            if known:
+                self._blobs.move_to_end(digest)
+            else:
+                self._blobs[digest] = blob
+                self._blob_bytes += len(blob)
+                self.blobs_recorded += 1
+                while self._blob_bytes > self.blob_budget_bytes and len(self._blobs) > 1:
+                    _, evicted = self._blobs.popitem(last=False)
+                    self._blob_bytes -= len(evicted)
+                    self.blob_evictions += 1
+        if self.store is not None and not known:
+            self.store.enqueue_blob(digest, blob)
+
+    # -- queries -----------------------------------------------------------------
+
+    def sessions(self) -> list[str]:
+        with self._lock:
+            names = set(self._events)
+        if self.store is not None:
+            names.update(self.store.journal_sids())
+        return sorted(names)
+
+    def rows(self, sid: str) -> list[dict]:
+        """The journaled rows for ``sid`` (memory first, then SQLite)."""
+        with self._lock:
+            rows = self._events.get(sid)
+            if rows:
+                return list(rows)
+        if self.store is not None:
+            self.store.flush()
+            rows = self.store.read_events(sid)
+            if rows:
+                return rows
+        raise WebServerError(f"no journal for session {sid!r}")
+
+    def blob(self, digest: str | None) -> bytes | None:
+        if digest is None:
+            return None
+        with self._lock:
+            blob = self._blobs.get(digest)
+            if blob is not None:
+                self._blobs.move_to_end(digest)
+                return blob
+        if self.store is not None:
+            return self.store.read_blob(digest)
+        return None
+
+    # -- replay ------------------------------------------------------------------
+
+    def empty_store_for(self, rows: list[dict],
+                        file_size: int = 256 * 1024) -> EventSequenceStore:
+        """A fresh store sized so every journaled row stays retained."""
+        images = sum(1 for row in rows if row["kind"] == "image")
+        return EventSequenceStore(
+            file_size=file_size,
+            capacity=max(len(rows), 1) + 16,
+            image_capacity=max(images, 1),
+        )
+
+    def rehydrate(self, sid: str,
+                  file_size: int = 256 * 1024) -> tuple[EventSequenceStore, int]:
+        """Rebuild ``sid``'s event store from the journal.
+
+        Returns ``(store, skipped_images)`` where ``skipped_images``
+        counts image events restored meta-only because their blob fell
+        out of the byte budget (clients fetching those versions get the
+        same "no longer retained" answer a live slow poller gets).
+        """
+        rows = self.rows(sid)
+        events = self.empty_store_for(rows, file_size=file_size)
+        skipped = 0
+        for row in rows:
+            blob = None
+            if row["kind"] == "image":
+                blob = self.blob(row["digest"])
+                if blob is None:
+                    skipped += 1
+            restore_row(events, row, blob)
+        return events, skipped
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "sessions": len(self._events),
+                "events_recorded": self.events_recorded,
+                "blobs_recorded": self.blobs_recorded,
+                "blob_bytes": self._blob_bytes,
+                "blob_evictions": self.blob_evictions,
+                "events_dropped": self.events_dropped,
+                "sessions_dropped": self.sessions_dropped,
+            }

@@ -207,7 +207,7 @@ class DeltaFrameCache:
     is observable.
     """
 
-    __slots__ = ("capacity", "byte_limit", "bytes", "_frames",
+    __slots__ = ("capacity", "byte_limit", "bytes", "_frames", "_saved",
                  "hits", "misses", "evictions")
 
     def __init__(self, capacity: int = 16,
@@ -220,6 +220,7 @@ class DeltaFrameCache:
         self.byte_limit = int(byte_limit)
         self.bytes = 0
         self._frames: OrderedDict[tuple, bytes] = OrderedDict()
+        self._saved: dict[tuple, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -233,21 +234,30 @@ class DeltaFrameCache:
         self.hits += 1
         return frame
 
-    def put(self, key: tuple, frame: bytes) -> None:
+    def put(self, key: tuple, frame: bytes, saved: int = 0) -> None:
         old = self._frames.pop(key, None)
         if old is not None:
             self.bytes -= len(old)
         self._frames[key] = frame
         self.bytes += len(frame)
+        if saved:
+            self._saved[key] = saved
+        else:
+            self._saved.pop(key, None)
         # Bounded by entries AND bytes (the newest frame always stays, so
         # large deltas are still served shared — they just do not pin the
         # cache's memory once the herd has moved on).
         while len(self._frames) > self.capacity or (
             self.bytes > self.byte_limit and len(self._frames) > 1
         ):
-            _, evicted = self._frames.popitem(last=False)
+            victim, evicted = self._frames.popitem(last=False)
             self.bytes -= len(evicted)
+            self._saved.pop(victim, None)
             self.evictions += 1
+
+    def saved_for(self, key: tuple) -> int:
+        """Bytes a tiered frame saved vs tier-0 delivery of its window."""
+        return self._saved.get(key, 0)
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -279,6 +289,7 @@ class EventSequenceStore:
         self._components: dict[str, dict] = {}
         self._component_seq: dict[str, int] = {}
         self._listeners: list[Callable[[int], None]] = []
+        self._taps: list[Callable[[SessionEvent, bytes | None], None]] = []
         self._demand_probes: list[Callable[[], bool]] = []
         self._frame_cache = DeltaFrameCache(frame_cache_size)
         # Poll-demand clock: starts "recently polled" so a fresh session
@@ -378,10 +389,30 @@ class EventSequenceStore:
             if fn in self._listeners:
                 self._listeners.remove(fn)
 
+    def attach_tap(self, fn: Callable[[SessionEvent, bytes | None], None]) -> None:
+        """Call ``fn(event, blob)`` after every publish, outside the lock.
+
+        Taps are the journal's capture point: they see the appended
+        event verbatim (plus the encoded blob for image events) on the
+        publisher's thread, after listeners.  A failing tap is isolated
+        — observability must never break publishing.
+        """
+        with self._cond:
+            self._taps.append(fn)
+
+    def _fire_taps(self, event: SessionEvent, blob: bytes | None,
+                   taps: list) -> None:
+        for fn in taps:
+            try:
+                fn(event, blob)
+            except Exception:
+                pass
+
     # -- publishing --------------------------------------------------------------
 
-    def _append_locked(self, kind: str, component: str, cycle: int, props: dict) -> int:
-        # Caller holds self._cond; returns the new seq.  Single home for
+    def _append_locked(self, kind: str, component: str, cycle: int,
+                       props: dict) -> SessionEvent:
+        # Caller holds self._cond; returns the new event.  Single home for
         # the append invariant (seq, ring trim, merged component view).
         self._seq += 1
         event = SessionEvent(self._seq, kind, component, cycle, props)
@@ -403,17 +434,19 @@ class EventSequenceStore:
             del self._components[victim]
             del self._component_seq[victim]
             self.dropped_components += 1
-        return self._seq
+        return event
 
     def _append(self, kind: str, component: str, cycle: int, props: dict) -> int:
         # Caller must NOT hold self._cond.
         with self._cond:
-            seq = self._append_locked(kind, component, cycle, props)
+            event = self._append_locked(kind, component, cycle, props)
             listeners = list(self._listeners)
+            taps = list(self._taps)
             self._cond.notify_all()
         for fn in listeners:
-            fn(seq)
-        return seq
+            fn(event.seq)
+        self._fire_taps(event, None, taps)
+        return event.seq
 
     def publish_image(self, image: Image, cycle: int = 0, meta: dict | None = None) -> int:
         """Encode ``image`` once, cache the blob, append an image event."""
@@ -429,14 +462,55 @@ class EventSequenceStore:
             while len(self._images) > self.image_capacity:
                 self._images.popleft()
                 self.dropped_images += 1
-            self._append_locked(
+            event = self._append_locked(
                 "image", "image", cycle, {"version": seq, "cycle": cycle, **meta}
             )
             listeners = list(self._listeners)
+            taps = list(self._taps)
             self._cond.notify_all()
         for fn in listeners:
             fn(seq)
+        self._fire_taps(event, blob, taps)
         return seq
+
+    def restore_event(self, kind: str, component: str, cycle: int,
+                      props: dict, *, seq: int | None = None,
+                      blob: bytes | None = None) -> int:
+        """Re-append a journaled event, preserving its original sequence.
+
+        The replay path: a rehydrated store must serve byte-identical
+        delta frames, so the event's ``seq`` and ``props`` are restored
+        verbatim (``seq`` may only move forward — replays are
+        append-only like live publishes).  For image events the
+        journaled blob re-enters the image ring as-is — no re-encode,
+        ``encode_count`` untouched — and a ``None`` blob restores the
+        meta event alone, exactly the view a live client has after the
+        blob left the ring.  Listeners fire (paced replays wake parked
+        waiters through the normal publish path) but taps do not: a
+        replayed session is never re-journaled.
+        """
+        props = dict(props)
+        with self._cond:
+            if seq is not None:
+                if seq <= self._seq:
+                    raise WebServerError(
+                        f"cannot restore seq {seq}: store already at {self._seq}"
+                    )
+                self._seq = seq - 1
+            if kind == "image" and blob is not None:
+                meta = {k: v for k, v in props.items()
+                        if k not in ("version", "cycle")}
+                record = _ImageRecord(self._seq + 1, cycle, blob, meta)
+                self._images.append(record)
+                while len(self._images) > self.image_capacity:
+                    self._images.popleft()
+                    self.dropped_images += 1
+            event = self._append_locked(kind, component, cycle, props)
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for fn in listeners:
+            fn(event.seq)
+        return event.seq
 
     def publish_status(self, component: str = "session", cycle: int = 0, /,
                        **props: Any) -> int:
@@ -453,7 +527,8 @@ class EventSequenceStore:
 
     # -- polling -----------------------------------------------------------------
 
-    def _delta_locked(self, since: int, tier: int = 0) -> dict:
+    def _delta_locked(self, since: int, tier: int = 0,
+                      skipped_out: list[int] | None = None) -> dict:
         first = self._events[0].seq if self._events else self._seq + 1
         dropped = max(0, min(first - 1, self._seq) - since)
         components = [e.to_component() for e in self._events if e.seq > since]
@@ -471,6 +546,8 @@ class EventSequenceStore:
                 for comp in components:
                     if comp["id"] == "image" and comp is not newest:
                         skipped += 1
+                        if skipped_out is not None:
+                            skipped_out.append(comp["version"])
                         continue
                     kept.append(comp)
                 components = kept
@@ -496,7 +573,8 @@ class EventSequenceStore:
             return self._delta_locked(since, clamp_tier(tier))
 
     def _inline_delta_locked(
-        self, since: int, tier: int
+        self, since: int, tier: int,
+        skipped_out: list[int] | None = None,
     ) -> tuple[dict, list[tuple[dict, _ImageRecord]]]:
         """Delta plus the (component, record) pairs needing inline blobs.
 
@@ -508,7 +586,7 @@ class EventSequenceStore:
         encode.  Blobs already evicted from the image ring are skipped —
         the meta event still arrives, exactly like the poll path.
         """
-        delta = self._delta_locked(since, tier)
+        delta = self._delta_locked(since, tier, skipped_out)
         by_seq = {record.seq: record for record in self._images}
         pending: list[tuple[dict, _ImageRecord]] = []
         for comp in delta["components"]:
@@ -522,8 +600,9 @@ class EventSequenceStore:
         pending: list[tuple[dict, _ImageRecord]],
         tier: int,
         b64: bool,
-    ) -> list[bytes]:
-        """Fill inline-blob props; returns raw blobs for the binary frame.
+    ) -> tuple[list[bytes], int]:
+        """Fill inline-blob props; returns raw blobs for the binary frame
+        plus the payload bytes the tier saved vs inlining the full blobs.
 
         ``b64=True`` inlines each blob as ``blob_b64`` in the component
         JSON (the legacy base64-in-JSON shape); ``b64=False`` records
@@ -533,8 +612,12 @@ class EventSequenceStore:
         """
         blobs: list[bytes] = []
         offset = 0
+        saved = 0
         for comp, record in pending:
             blob = self._record_tier_blob(record, tier)
+            if tier:
+                diff = len(record.blob) - len(blob)
+                saved += diff * 4 // 3 if b64 else diff
             if b64:
                 comp["props"]["blob_b64"] = base64.b64encode(blob).decode("ascii")
             else:
@@ -542,7 +625,7 @@ class EventSequenceStore:
                 comp["props"]["blob_len"] = len(blob)
                 blobs.append(blob)
                 offset += len(blob)
-        return blobs
+        return blobs, max(0, saved)
 
     def delta_frame(self, since: int, tier: int = 0) -> bytes:
         """Serialized JSON delta past ``since``, encoded once per window.
@@ -585,6 +668,8 @@ class EventSequenceStore:
         tier = clamp_tier(tier)
         self._last_poll = time.monotonic()
         pending: list[tuple[dict, _ImageRecord]] = []
+        skipped_versions: list[int] = []
+        saved = 0
         with self._cond:
             head = self._seq
             key = (since, head, framing, tier)
@@ -594,11 +679,23 @@ class EventSequenceStore:
             base = (self._frame_cache.get((since, head, FRAME_JSON, tier))
                     if framing in (FRAME_SSE, FRAME_WS) else None)
             if framing in (FRAME_WS_B64, FRAME_WS_BINARY):
-                delta, pending = self._inline_delta_locked(since, tier)
+                delta, pending = self._inline_delta_locked(
+                    since, tier, skipped_versions)
             elif base is None:
-                delta = self._delta_locked(since, tier)
+                delta = self._delta_locked(since, tier, skipped_versions)
             else:
                 delta = None
+                # Wrapped framing reusing a cached JSON base: inherit the
+                # base window's savings so the gauge stays per-delivery.
+                saved = self._frame_cache.saved_for(
+                    (since, head, FRAME_JSON, tier))
+            if skipped_versions:
+                # Snapshot tier elided these image events entirely; the
+                # payload a tier-0 client would have received for them
+                # (full blob each) is the capacity-planning saving.
+                by_seq = {r.seq: len(r.blob) for r in self._images}
+                raw = sum(by_seq.get(v, 0) for v in skipped_versions)
+                saved += raw * 4 // 3 if framing == FRAME_WS_B64 else raw
         # Serialize (and tier-encode inline blobs) outside the lock so
         # publishers never block behind a large encode; a racing caller
         # of the same window may duplicate the encode (counted
@@ -607,8 +704,9 @@ class EventSequenceStore:
         blobs: list[bytes] = []
         if delta is not None:
             if pending:
-                blobs = self._attach_blobs(pending, tier,
-                                           b64=framing == FRAME_WS_B64)
+                blobs, inline_saved = self._attach_blobs(
+                    pending, tier, b64=framing == FRAME_WS_B64)
+                saved += inline_saved
             base = json.dumps(delta).encode("utf-8")
             encoded = 1
         if framing == FRAME_JSON:
@@ -627,9 +725,24 @@ class EventSequenceStore:
             if encoded and framing in (FRAME_SSE, FRAME_WS):
                 # The wrapped framings share the JSON bytes: cache them
                 # under their own key too so a mixed herd never re-encodes.
-                self._frame_cache.put((since, head, FRAME_JSON, tier), base)
-            self._frame_cache.put(key, frame)
+                self._frame_cache.put((since, head, FRAME_JSON, tier), base,
+                                      saved=saved)
+            self._frame_cache.put(key, frame, saved=saved)
         return frame, head
+
+    def frame_saved(self, since: int, head: int, framing: str,
+                    tier: int = 0) -> int:
+        """Bytes the tiered frame for this window saved vs tier 0.
+
+        The per-tier ``bytes_saved`` gauge's source: downscaled inline
+        blobs count their size difference (scaled by the base64 factor
+        for the b64 framing), snapshot-elided image events count the
+        full blob a tier-0 client would have received.  Computed when
+        the frame is built, read per delivery from the cache entry.
+        """
+        with self._cond:
+            return self._frame_cache.saved_for(
+                (since, head, framing, clamp_tier(tier)))
 
     def frame_cache_stats(self) -> dict:
         with self._cond:

@@ -71,6 +71,7 @@ class SessionManager:
         executor_workers: int | None = None,
         dedicated_threads: bool = False,
         executor_backend: str = "thread",
+        journal=None,
     ) -> None:
         if capacity < 1:
             raise WebServerError("session capacity must be >= 1")
@@ -95,6 +96,26 @@ class SessionManager:
         self._executor = executor
         self._owns_executor = executor is None
         self._executor_lock = threading.Lock()
+        # Observability: a SessionJournal-like object (attach(sid, events))
+        # tapped into every store this manager creates, before the first
+        # publish, so journaled sequences are contiguous from 1.
+        self.journal = journal
+
+    def attach_journal(self, journal) -> None:
+        """Install (or replace) the journal tapped into new sessions.
+
+        Existing sessions' stores are tapped too, so a server wired with
+        observability after the manager was built still journals the
+        sessions already live (their earlier events are simply absent —
+        the journal starts where the tap starts).
+        """
+        self.journal = journal
+        if journal is None:
+            return
+        with self._lock:
+            live = [(sid, e.session.events) for sid, e in self._sessions.items()]
+        for sid, events in live:
+            journal.attach(sid, events)
 
     # -- the shared executor -----------------------------------------------------
 
@@ -183,6 +204,8 @@ class SessionManager:
             events = EventSequenceStore(
                 file_size=self.file_size, capacity=self.event_capacity
             )
+            if self.journal is not None:
+                self.journal.attach(sid, events)
             session = SteeringSession(
                 self.cm, events=events, session_id=sid, **session_kwargs
             )
@@ -207,9 +230,35 @@ class SessionManager:
             events = EventSequenceStore(
                 file_size=self.file_size, capacity=self.event_capacity
             )
+            if self.journal is not None:
+                self.journal.attach(session_id, events)
             session = SteeringSession.monitor_only(session_id, events, meta=meta)
             self._sessions[session_id] = ManagedSession(session, now, now)
         return events
+
+    def adopt_monitor(
+        self, session_id: str, events: EventSequenceStore,
+        meta: dict | None = None,
+    ) -> SteeringSession:
+        """Register a monitor session around an externally built store.
+
+        The replay path: the store was rehydrated from the journal with
+        its original sequence numbers, so adoption must neither re-tap
+        it into the journal (a replay is never re-journaled) nor publish
+        an announcement event (the sequence is already exact).  The
+        resulting session is read-only by construction — ``steer`` and
+        ``request_shutdown`` raise monitor-only errors.
+        """
+        now = self._clock()
+        with self._lock:
+            if session_id in self._sessions:
+                raise WebServerError(f"session {session_id!r} already exists")
+            self._make_room_locked(now)
+            session = SteeringSession.monitor_only(
+                session_id, events, meta=meta, announce=False
+            )
+            self._sessions[session_id] = ManagedSession(session, now, now)
+        return session
 
     # -- lookup / attachment -----------------------------------------------------
 

@@ -110,8 +110,14 @@ class SteeringSession:
         session_id: str,
         events: EventSequenceStore,
         meta: dict | None = None,
+        announce: bool = True,
     ) -> "SteeringSession":
-        """A session that serves externally published events (no simulation)."""
+        """A session that serves externally published events (no simulation).
+
+        ``announce=False`` skips the initial status publish — the replay
+        path adopts stores whose event sequence was rehydrated verbatim
+        and must not grow by an extra announcement event.
+        """
         session = cls.__new__(cls)
         session.cm = None
         session.events = events
@@ -138,7 +144,8 @@ class SteeringSession:
         session._thread = None
         session._thread_error = None
         session._lock = threading.Lock()
-        events.publish_status("session", **session.meta)
+        if announce:
+            events.publish_status("session", **session.meta)
         return session
 
     def _require_simulation(self) -> None:

@@ -438,6 +438,50 @@ class SteeringWebClient:
     def sessions(self) -> dict:
         return self._get_json("/api/sessions")
 
+    # -- observability (metrics + journal replay) -----------------------------------
+
+    def server_stats(self) -> dict:
+        """The merged ``/api/stats`` payload."""
+        return self._get_json("/api/stats")
+
+    def metrics(self) -> dict:
+        """Recorder/journal/store health plus the known series names."""
+        return self._get_json("/api/metrics")
+
+    def metrics_history(self, series=(), since: float = 0.0,
+                        step: float = 0.0, limit: int = 2000) -> dict:
+        """Windowed samples from ``/api/metrics/history``.
+
+        ``series`` is an iterable of series names (empty means all),
+        ``since`` a wall-clock lower bound, ``step`` an optional
+        downsampling bucket in seconds.
+        """
+        query = urllib.parse.urlencode({
+            "series": ",".join(series),
+            "since": since, "step": step, "limit": int(limit),
+        })
+        return self._get_json(f"/api/metrics/history?{query}")
+
+    def replay(self, session: str | None = None, target: str | None = None,
+               rate_hz: float = 0.0) -> "SteeringWebClient":
+        """Replay a journaled session; a client bound to the replay.
+
+        ``session`` defaults to this client's session; ``rate_hz > 0``
+        paces the restore on the server (scrub the run live) instead of
+        rebuilding it instantly.  The returned client polls the replay
+        session through the ordinary delta surface (read-only: steering
+        it raises).
+        """
+        source = session or self.resolve_session()
+        body: dict = {}
+        if target is not None:
+            body["session"] = target
+        if rate_hz:
+            body["rate_hz"] = float(rate_hz)
+        resp = self._post_json(f"/api/replay/{source}", body)
+        return SteeringWebClient(self.base_url, session=resp["session"],
+                                 timeout=self.timeout)
+
     def create_session(self, **spec) -> str:
         """Ask the server to start a new steered session; adopts it."""
         resp = self._post_json("/api/sessions", spec)

@@ -34,7 +34,8 @@ __all__ = ["Waiter", "Subscriber", "LongPollScheduler"]
 class Waiter:
     """One parked long poll: where it waits, since when, until when."""
 
-    __slots__ = ("id", "key", "since", "deadline", "handle", "done")
+    __slots__ = ("id", "key", "since", "deadline", "handle", "done",
+                 "woken_at")
 
     def __init__(self, id: int, key: str, since: int, deadline: float, handle: Any) -> None:
         self.id = id
@@ -43,6 +44,9 @@ class Waiter:
         self.deadline = deadline
         self.handle = handle  # opaque: the server stores the parked connection here
         self.done = False  # satisfied, expired or cancelled; heap entries may linger
+        # Stamped (monotonic) by the publish wake path so the serving
+        # shard can gauge wake->response latency for the ops dashboard.
+        self.woken_at = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Waiter(id={self.id}, key={self.key!r}, since={self.since}, "

@@ -91,8 +91,10 @@ from repro.adaptive.controller import AdaptiveDeliveryController
 from repro.adaptive.estimator import ClientLinkEstimator
 from repro.adaptive.tiers import MAX_TIER, clamp_tier
 from repro.errors import ReproError, WebServerError
+from repro.obs import Observability
 from repro.steering.client import SteeringClient
 from repro.steering.events import (
+    FRAME_JSON,
     FRAME_SSE,
     FRAME_WS,
     FRAME_WS_B64,
@@ -106,7 +108,7 @@ from repro.steering.events import (
 from repro.web.framing import parse_ws_frames, ws_accept_key
 from repro.web.longpoll import LongPollScheduler, Subscriber, Waiter
 from repro.web.sharding import create_shard_listeners, default_shard_router
-from repro.web.static import INDEX_HTML
+from repro.web.static import DASHBOARD_HTML, INDEX_HTML
 
 __all__ = ["AjaxWebServer"]
 
@@ -116,6 +118,7 @@ _MAX_BODY_BYTES = 4 * 1024 * 1024
 _MAX_IOV = 64  # buffers per vectored write (safely under IOV_MAX everywhere)
 _HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 _INDEX_BYTES = INDEX_HTML.encode("utf-8")  # encoded once, shared by every GET /
+_DASHBOARD_BYTES = DASHBOARD_HTML.encode("utf-8")  # GET /dashboard, same deal
 _SSE_TERMINAL = b"0\r\n\r\n"  # chunked-transfer end marker
 _TRANSPORTS = ("longpoll", "sse", "ws")
 
@@ -273,6 +276,33 @@ class _WorkerPool:
                 pass
 
 
+class _ReplayPump:
+    """One paced replay: journaled rows restored on the owning shard's loop.
+
+    ``POST /api/replay/<sid>`` with ``rate_hz > 0`` adopts an *empty*
+    rehydrated store and registers a pump on the target session's owning
+    shard; that loop restores one journaled row per interval, folding
+    the next due time into its select timeout — paced replay costs zero
+    threads, exactly like parked polls and push streams.  Each restore
+    fires the store's listeners, so connected clients are woken through
+    the normal publish path and can scrub the run "live".
+    """
+
+    __slots__ = ("sid", "events", "rows", "journal", "interval",
+                 "next_due", "pos", "skipped")
+
+    def __init__(self, sid: str, events, rows: list[dict], journal,
+                 interval: float) -> None:
+        self.sid = sid
+        self.events = events
+        self.rows = rows
+        self.journal = journal
+        self.interval = max(1e-3, float(interval))
+        self.next_due = time.monotonic() + self.interval
+        self.pos = 0
+        self.skipped = 0  # image rows whose blob left the byte budget
+
+
 class _IOShard:
     """One selector IO loop: its accept socket, scheduler and connections.
 
@@ -303,7 +333,9 @@ class _IOShard:
         # migrated?) — appended by peer shards / acceptors, popped here.
         self._incoming: deque = deque()
         self._handlers: set[_Handler] = set()
+        self._replays: list[_ReplayPump] = []  # paced replays this loop pumps
         self._thread: threading.Thread | None = None
+        self.started_mono = time.monotonic()  # refreshed by start()
         self.polls_served = 0
         self.requests_served = 0
         self.bytes_sent = 0
@@ -313,6 +345,14 @@ class _IOShard:
         self.accept_handoffs = 0  # connections this shard accepted for peers
         self.tier_promotions = 0  # adaptive controller moved a client up
         self.tier_demotions = 0  # ...or down (degrade-before-disconnect)
+        # Satellite gauges for the ops tier: per-tier downscale savings
+        # (full-tier bytes minus sent bytes, accumulated per delivered
+        # delta) and an EWMA of publish-wake -> response latency sampled
+        # on woken long-poll waiters (push subscribers are delivered in
+        # the same loop pass, so waiters are the representative sample).
+        self.tier_bytes_saved = [0] * (MAX_TIER + 1)
+        self.wake_ewma_ms = 0.0
+        self.wakes_measured = 0
         # Per-transport delivery accounting (events + payload bytes).
         # ``bytes_sent`` here counts every payload byte the transport
         # queued — deltas AND heartbeat/farewell/control frames — so it
@@ -326,6 +366,7 @@ class _IOShard:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
+        self.started_mono = time.monotonic()
         if self.listen is not None:
             self._selector.register(self.listen, selectors.EVENT_READ,
                                     ("accept", None))
@@ -349,6 +390,15 @@ class _IOShard:
             self._wake_w.send(b"\x00")
         except (BlockingIOError, OSError):
             pass  # wake byte already pending, or server shutting down
+
+    def _note_wake(self, seconds: float) -> None:
+        """Fold one wake->response latency sample into the shard EWMA."""
+        ms = seconds * 1000.0
+        if self.wakes_measured == 0:
+            self.wake_ewma_ms = ms
+        else:
+            self.wake_ewma_ms = 0.9 * self.wake_ewma_ms + 0.1 * ms
+        self.wakes_measured += 1
 
     def _tier_gauges(self) -> list[int]:
         """Open connections per delivery tier (approximate while running).
@@ -396,6 +446,13 @@ class _IOShard:
             "tiers": self._tier_gauges(),
             "tier_promotions": self.tier_promotions,
             "tier_demotions": self.tier_demotions,
+            "tier_bytes_saved": list(self.tier_bytes_saved),
+            "bytes_saved": sum(self.tier_bytes_saved),
+            "wake_ewma_ms": self.wake_ewma_ms,
+            "wakes_measured": self.wakes_measured,
+            "replays_active": len(self._replays),
+            "timestamp": time.time(),
+            "uptime_s": time.monotonic() - self.started_mono,
             "scheduler": self.scheduler.stats(),
         }
 
@@ -410,6 +467,9 @@ class _IOShard:
             deadline = self.scheduler.next_deadline()
             if deadline is not None:
                 timeout = min(timeout, max(0.0, deadline - now))
+            replay_due = self._next_replay_due()
+            if replay_due is not None:
+                timeout = min(timeout, max(0.0, replay_due - now))
             timeout = min(timeout, max(0.0, next_housekeeping - now))
             for key, events in self._selector.select(timeout=timeout):
                 kind, handler = key.data
@@ -428,6 +488,8 @@ class _IOShard:
                         self._close(handler)
             now = time.monotonic()
             self._adopt_incoming()
+            if self._replays:
+                self._pump_replays(now)
             self._deliver_ready()
             self._deliver_push()
             self._deliver_farewells()
@@ -698,6 +760,9 @@ class _IOShard:
         if request.method == "GET" and request.path == "/":
             handler._send(200, _INDEX_BYTES, "text/html; charset=utf-8")
             return
+        if request.method == "GET" and request.path == "/dashboard":
+            handler._send(200, _DASHBOARD_BYTES, "text/html; charset=utf-8")
+            return
         if request.method not in ("GET", "POST"):
             handler._send_json({"error": f"method {request.method}"}, code=400)
             return
@@ -712,6 +777,22 @@ class _IOShard:
                 self._create_session(handler, request)
             else:
                 handler._send_json(server.manager.sessions())
+            return
+        if action == "metrics":
+            if request.method != "GET":
+                raise WebServerError(f"no route {request.path}")
+            self._handle_metrics(handler)
+            return
+        if action == "metrics.history":
+            if request.method != "GET":
+                raise WebServerError(f"no route {request.path}")
+            self._handle_metrics_history(handler, request)
+            return
+        if action == "replay":
+            if request.method != "POST":
+                raise WebServerError(f"no route {request.path}")
+            assert sid is not None
+            self._handle_replay(handler, request, sid)
             return
         assert sid is not None
         owner = server._shard_of(sid)
@@ -873,6 +954,96 @@ class _IOShard:
 
         self._offload(handler, job)
 
+    # -- observability routes (metrics history, journal replay) ---------------------
+
+    def _obs_or_raise(self):
+        obs = self.server.obs
+        if obs is None:
+            raise WebServerError(
+                "observability disabled: start the server with obs=True")
+        return obs
+
+    def _handle_metrics(self, handler: _Handler) -> None:
+        """``GET /api/metrics``: recorder/journal/store health + series."""
+        obs = self._obs_or_raise()
+
+        def job() -> tuple[int, bytes, str]:
+            payload = obs.stats()
+            payload["series"] = obs.recorder.series_names()
+            return 200, json.dumps(payload).encode("utf-8"), "application/json"
+
+        self._offload(handler, job)
+
+    def _handle_metrics_history(self, handler: _Handler,
+                                request: _Request) -> None:
+        """``GET /api/metrics/history?series=&since=&step=``: windowed samples.
+
+        Serves from the in-memory rings; when ``since`` predates the ring
+        the SQLite store (if configured) backfills, so a dashboard reload
+        after a server restart still sees the run's history.  The read
+        runs on the worker pool — a disk-backed window must never stall
+        parked polls.
+        """
+        obs = self._obs_or_raise()
+        server = self.server
+        raw = request.query.get("series", [""])[0]
+        series = [s for s in raw.split(",") if s] or None
+        since = server._query_num(request, "since", "0", float)
+        step = server._query_num(request, "step", "0", float)
+        limit = server._query_num(request, "limit", "2000")
+
+        def job() -> tuple[int, bytes, str]:
+            payload = {
+                "now": time.time(),
+                "series": obs.recorder.history(series, since=since,
+                                               step=step, limit=limit),
+            }
+            return 200, json.dumps(payload).encode("utf-8"), "application/json"
+
+        self._offload(handler, job)
+
+    def _handle_replay(self, handler: _Handler, request: _Request,
+                       sid: str) -> None:
+        """``POST /api/replay/<sid>``: re-hydrate a journaled session.
+
+        The journaled event sequence of ``sid`` — typically finished or
+        evicted — comes back as a fresh *read-only* session serving the
+        full delta/long-poll/SSE/WS surface.  ``rate_hz`` > 0 paces the
+        restore on the owning shard's IO loop (scrub a run "live");
+        otherwise the store is rebuilt instantly on the worker pool.
+        """
+        obs = self._obs_or_raise()
+        server = self.server
+        body = request.json_body()
+        target = str(body.get("session") or f"replay-{sid}")
+        rate_hz = float(body.get("rate_hz", 0) or 0)
+
+        def job() -> tuple[int, bytes, str]:
+            journal = obs.journal
+            rows = journal.rows(sid)  # raises WebServerError if unknown
+            if rate_hz > 0:
+                events = journal.empty_store_for(
+                    rows, server.manager.file_size)
+                skipped = 0  # pump counts its own skips as it goes
+            else:
+                events, skipped = journal.rehydrate(
+                    sid, server.manager.file_size)
+            server.manager.adopt_monitor(target, events,
+                                         meta={"replay_of": sid})
+            if rate_hz > 0:
+                owner = server._shard_of(target)
+                owner._replays.append(_ReplayPump(
+                    target, events, rows, journal, 1.0 / rate_hz))
+                owner._wake()
+            payload = {
+                "ok": True, "session": target, "replay_of": sid,
+                "events": len(rows), "paced": rate_hz > 0,
+                "skipped_images": skipped,
+            }
+            return 200, json.dumps(payload).encode("utf-8"), "application/json"
+
+        self._offload(handler, job)
+
     def _deliver_completions(self) -> None:
         """Send worker-pool results; runs on the owning loop only."""
         while True:
@@ -901,7 +1072,11 @@ class _IOShard:
         server._hook_store(sid, store)
         if store.seq > since or timeout <= 0:
             self.polls_served += 1
-            frame = store.delta_frame(since, handler.tier)
+            frame, head = store.framed_delta_with_head(since, FRAME_JSON,
+                                                       handler.tier)
+            if handler.tier:
+                self.tier_bytes_saved[handler.tier] += store.frame_saved(
+                    since, head, FRAME_JSON, handler.tier)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
             return
@@ -914,7 +1089,11 @@ class _IOShard:
         if store.seq > since and self.scheduler.cancel(waiter):
             handler.waiter = None
             self.polls_served += 1
-            frame = store.delta_frame(since, handler.tier)
+            frame, head = store.framed_delta_with_head(since, FRAME_JSON,
+                                                       handler.tier)
+            if handler.tier:
+                self.tier_bytes_saved[handler.tier] += store.frame_saved(
+                    since, head, FRAME_JSON, handler.tier)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
         # else: the waiter is parked (or already in the ready queue); the
@@ -930,12 +1109,19 @@ class _IOShard:
             store = self.server.manager.events(sid)
             # The whole woken herd shares one encoded frame per cursor —
             # this is the O(1 encode + N writes) wake path.
-            frame = store.delta_frame(waiter.since, handler.tier)
+            frame, head = store.framed_delta_with_head(waiter.since,
+                                                       FRAME_JSON,
+                                                       handler.tier)
         except ReproError as exc:  # session evicted while parked
             handler._send_json({"error": str(exc)}, code=404)
             self._process_input(handler)
             return
         self.polls_served += 1
+        if handler.tier:
+            self.tier_bytes_saved[handler.tier] += store.frame_saved(
+                waiter.since, head, FRAME_JSON, handler.tier)
+        if waiter.woken_at:
+            self._note_wake(time.monotonic() - waiter.woken_at)
         self._count_tx("longpoll", len(frame))
         handler._send(200, frame)
         self._process_input(handler)  # a pipelined request may be waiting
@@ -972,11 +1158,15 @@ class _IOShard:
         server = self.server
         try:
             store = server.manager.events(sid)
-            frame = store.delta_frame(since, tier)
+            frame, head = store.framed_delta_with_head(since, FRAME_JSON,
+                                                       tier)
         except ReproError:  # session evicted while parked
             for waiter in herd:
                 self._respond_waiter(waiter)
             return
+        saved = (store.frame_saved(since, head, FRAME_JSON, tier)
+                 if tier else 0)
+        now = time.monotonic()
         shared: bytes | None = None
         for waiter in herd:
             handler: _Handler = waiter.handle
@@ -984,6 +1174,10 @@ class _IOShard:
                 continue
             handler.waiter = None
             self.polls_served += 1
+            if tier:
+                self.tier_bytes_saved[tier] += saved
+            if waiter.woken_at:
+                self._note_wake(now - waiter.woken_at)
             self._count_tx("longpoll", len(frame))
             if handler.keep_alive:
                 # One render shared by the herd: header + frame in a
@@ -1173,6 +1367,9 @@ class _IOShard:
             if frames is not None:
                 frames[group] = framed
         frame, head = framed
+        if sub.tier:
+            self.tier_bytes_saved[sub.tier] += store.frame_saved(
+                sub.since, head, sub.framing, sub.tier)
         sub.since = head  # advance to exactly what was framed
         self._count_tx(sub.transport, len(frame))
         self._enqueue_and_flush(handler, (frame,))
@@ -1283,6 +1480,41 @@ class _IOShard:
                                      handler.max_tier)
             self._set_tier(handler, tier)
 
+    # -- paced replays (journal -> live session, 0 threads) -------------------------
+
+    def _next_replay_due(self) -> float | None:
+        """Earliest paced-replay due time (folds into the select timeout)."""
+        if not self._replays:
+            return None
+        return min(pump.next_due for pump in self._replays)
+
+    def _pump_replays(self, now: float) -> None:
+        """Restore due journal rows into replay stores (this loop only)."""
+        finished: list[_ReplayPump] = []
+        for pump in self._replays:
+            try:
+                while pump.pos < len(pump.rows) and pump.next_due <= now:
+                    row = pump.rows[pump.pos]
+                    pump.pos += 1
+                    pump.next_due += pump.interval
+                    blob = None
+                    if row["kind"] == "image":
+                        blob = pump.journal.blob(row["digest"])
+                        if blob is None:
+                            # Blob left the byte budget: restore meta-only,
+                            # exactly like rehydrate() does.
+                            pump.skipped += 1
+                    pump.events.restore_event(
+                        row["kind"], row["component"], row["cycle"],
+                        row["props"], seq=row["seq"], blob=blob,
+                    )
+            except Exception:  # a bad row ends this replay, not the loop
+                pump.pos = len(pump.rows)
+            if pump.pos >= len(pump.rows):
+                finished.append(pump)
+        for pump in finished:
+            self._replays.remove(pump)
+
     def _deliver_expired(self, now: float) -> None:
         for waiter in self.scheduler.expire_due(now):
             try:
@@ -1295,6 +1527,14 @@ class _IOShard:
         server = self.server
         self._retier()  # adaptive controller pass: piggybacks, 0 threads
         if self.index == 0:
+            if server.obs is not None:
+                # Metrics capture piggybacks the housekeeping tick (the
+                # recorder adds zero threads); a sampling failure must
+                # never take the IO loop down with it.
+                try:
+                    server.obs.recorder.sample(server.stats())
+                except Exception:
+                    pass
             # Session eviction is a service-wide sweep: run it once (on
             # shard 0) and push each evicted session's parked waiters to
             # the shard owning them; that loop answers with the 404.
@@ -1386,6 +1626,7 @@ class AjaxWebServer:
         adaptive: bool = True,
         staleness_budget: float = 0.25,
         sndbuf: int | None = None,
+        obs=None,
     ) -> None:
         self.client = client
         self.manager = client.manager
@@ -1439,6 +1680,25 @@ class AjaxWebServer:
         self._hooked: "weakref.WeakSet" = weakref.WeakSet()  # stores with our listener
         self._hook_lock = threading.Lock()
         self._stop = threading.Event()
+        # Durable ops tier: metrics recorder + session journal (+ SQLite).
+        # ``obs`` accepts False/None (off), True (in-memory rings +
+        # journal only), a path (SQLite-backed), or a ready-made
+        # Observability the caller owns.
+        self.obs, self._owns_obs = self._resolve_obs(obs)
+        if self.obs is not None and self.manager.journal is None:
+            self.manager.attach_journal(self.obs.journal)
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
+
+    @staticmethod
+    def _resolve_obs(obs) -> tuple[Observability | None, bool]:
+        if obs is None or obs is False:
+            return None, False
+        if obs is True:
+            return Observability(), True
+        if isinstance(obs, Observability):
+            return obs, False
+        return Observability(db_path=obs), True  # str / PathLike
 
     # -- lifecycle --------------------------------------------------------------------
 
@@ -1544,10 +1804,20 @@ class AjaxWebServer:
                 for field in agg:
                     agg[field] += t[field]
         tiers = [0] * (MAX_TIER + 1)
+        tier_bytes_saved = [0] * (MAX_TIER + 1)
         for s in shard_stats:
             for i, n in enumerate(s["tiers"]):
                 tiers[i] += n
-        return {
+            for i, n in enumerate(s["tier_bytes_saved"]):
+                tier_bytes_saved[i] += n
+        wakes = sum(s["wakes_measured"] for s in shard_stats)
+        wake_ewma_ms = (
+            sum(s["wake_ewma_ms"] * s["wakes_measured"] for s in shard_stats)
+            / wakes if wakes else 0.0
+        )
+        payload = {
+            "timestamp": time.time(),
+            "uptime_s": time.monotonic() - self._started_mono,
             "requests_served": sum(s["requests_served"] for s in shard_stats),
             "polls_served": sum(s["polls_served"] for s in shard_stats),
             "bytes_sent": sum(s["bytes_sent"] for s in shard_stats),
@@ -1561,6 +1831,10 @@ class AjaxWebServer:
             "tiers": tiers,
             "tier_promotions": sum(s["tier_promotions"] for s in shard_stats),
             "tier_demotions": sum(s["tier_demotions"] for s in shard_stats),
+            "tier_bytes_saved": tier_bytes_saved,
+            "bytes_saved": sum(tier_bytes_saved),
+            "wake_ewma_ms": wake_ewma_ms,
+            "wakes_measured": wakes,
             "io_threads": self.io_thread_count(),
             "worker_threads": self.worker_thread_count(),
             "shard_count": len(self._shards),
@@ -1570,9 +1844,14 @@ class AjaxWebServer:
             "sessions": len(self.manager),
             "executor": self.manager.executor_stats(),
         }
+        if self.obs is not None:
+            payload["obs"] = self.obs.stats()
+        return payload
 
     def start(self) -> "AjaxWebServer":
         self._stop.clear()
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
         self._pool.start()
         for shard in self._shards:
             shard.start()
@@ -1585,6 +1864,8 @@ class AjaxWebServer:
         for shard in self._shards:
             shard.join(timeout=5.0)
         self._pool.stop()
+        if self.obs is not None and self._owns_obs:
+            self.obs.close()
 
     def __enter__(self) -> "AjaxWebServer":
         return self.start()
@@ -1643,6 +1924,9 @@ class AjaxWebServer:
         ready = shard.scheduler.notify(sid, seq)
         targets = shard.scheduler.push_targets(sid, seq)
         if ready:
+            woken_at = time.monotonic()
+            for waiter in ready:
+                waiter.woken_at = woken_at  # wake->response latency gauge
             shard._ready.extend(ready)
         if targets:
             shard._push_queue.extend(targets)
@@ -1667,14 +1951,23 @@ class AjaxWebServer:
                 return None, "sessions"
             if segments[1] == "stats":
                 return None, "stats"
+            if segments[1] == "metrics":
+                return None, "metrics"
             if segments[1] in self._SESSION_ACTIONS:
                 # Legacy unscoped route: address the most recent session.
                 session = self.client.session
                 if session is None:
                     raise WebServerError("no active steering session")
                 return session.session_id, segments[1]
-        elif len(segments) == 3 and segments[2] in self._SESSION_ACTIONS:
-            return segments[1], segments[2]
+        elif len(segments) == 3:
+            if segments[1] == "metrics" and segments[2] == "history":
+                return None, "metrics.history"
+            if segments[1] == "replay":
+                # The path names the *source* session (possibly finished
+                # and evicted — it need not resolve to a live session).
+                return segments[2], "replay"
+            if segments[2] in self._SESSION_ACTIONS:
+                return segments[1], segments[2]
         raise WebServerError(f"no route {request.path}")
 
     @staticmethod
