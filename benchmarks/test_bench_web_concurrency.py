@@ -30,6 +30,7 @@ from repro.experiments.web_concurrency import (
     run_shard_scaling,
     run_transport_compare,
     run_web_concurrency,
+    run_window_streaming,
 )
 from repro.web.server import AjaxWebServer
 
@@ -700,3 +701,85 @@ class TestBenchObsOverhead:
         assert obs_sweep.on.encodes_per_version == pytest.approx(1.0), (
             obs_sweep.to_table()
         )
+
+
+# -- sliding-window streaming: windowed byte budget + pan prefetch ------------------
+
+WINDOW_CLIENTS = 4 if QUICK else 8
+WINDOW_STEPS = 10 if QUICK else 20
+WINDOW_PUBLISH_HZ = 10.0
+# On a domain >= 8x the viewport by volume (65^3 vs 17^3), a windowed
+# client may cost at most 30% of a full-domain client's bytes per wake.
+# This is the quick-mode CI `window-bench` guard: losing the window
+# filter (every client re-announced the whole domain) lands at ~100%.
+WINDOW_BYTE_FRACTION_LIMIT = 0.30
+# Steady pans must mostly land on bricks prefetched along the pan
+# direction; below half the pan-prediction path is not working.
+WINDOW_PREFETCH_FLOOR = 0.5
+# N clients sharing one window geometry ride one window-keyed delta
+# frame: ~1 encode per publish, plus the shared drain-tail timeout wake.
+WINDOW_JSON_PER_WAKE_LIMIT = 2.0
+
+
+@pytest.fixture(scope="module")
+def window_sweep():
+    _wait_for_lingering_sims()
+    return run_window_streaming(
+        clients=WINDOW_CLIENTS,
+        steps=WINDOW_STEPS,
+        publish_hz=WINDOW_PUBLISH_HZ,
+    )
+
+
+class TestBenchWindowStreaming:
+    def test_bench_window_streaming(self, benchmark, window_sweep):
+        result = benchmark.pedantic(
+            lambda: run_window_streaming(
+                clients=WINDOW_CLIENTS,
+                steps=max(WINDOW_STEPS // 2, 5),
+                publish_hz=WINDOW_PUBLISH_HZ,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        record_report(window_sweep.to_table())
+        artifact = Path(__file__).resolve().parent.parent / "BENCH_web_concurrency.json"
+        merge_json_artifact(
+            artifact, {"window_streaming": window_sweep.to_dict()}
+        )
+        assert result.errors == 0
+
+    def test_windowed_bytes_within_budget(self, benchmark, window_sweep):
+        """The tentpole's byte accounting: a viewport client receives
+        only its window's bricks, so its bytes per wake stay <= 30% of a
+        client whose window covers the whole (>= 8x larger) domain."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        record_report(
+            f"Window streaming - bytes/wake: windowed "
+            f"{window_sweep.windowed_bytes_per_wake:,.0f} B vs full "
+            f"{window_sweep.full_bytes_per_wake:,.0f} B "
+            f"({100 * window_sweep.windowed_byte_fraction:.1f}%)"
+        )
+        assert window_sweep.windowed_byte_fraction <= WINDOW_BYTE_FRACTION_LIMIT, (
+            window_sweep.to_table()
+        )
+        assert (window_sweep.windowed_bricks_per_wake
+                < window_sweep.full_bricks_per_wake), window_sweep.to_table()
+
+    def test_steady_pan_hits_prefetched_bricks(self, benchmark, window_sweep):
+        """Pan-direction prefetch: panning one brick column per step must
+        find >= 50% of the newly visible payloads already cached."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert window_sweep.prefetch_issued >= 1, window_sweep.to_table()
+        assert window_sweep.prefetch_hit_rate >= WINDOW_PREFETCH_FLOOR, (
+            window_sweep.to_table()
+        )
+
+    def test_shared_window_encodes_once_per_wake(self, benchmark, window_sweep):
+        """Encode-once survives windowing: N clients sharing one window
+        geometry cost ~1 JSON encode per publish, never ~N."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert window_sweep.json_encodes_per_wake <= WINDOW_JSON_PER_WAKE_LIMIT, (
+            window_sweep.to_table()
+        )
+        assert window_sweep.errors == 0, window_sweep.to_table()

@@ -44,6 +44,14 @@ the server additionally serves
 With a PATH argument the metrics and journal also persist to a
 WAL-mode SQLite file there, so dashboard history and replay survive a
 server restart.
+
+``--window`` attaches an out-of-core octree domain (65^3 samples, far
+larger than any viewport) to the bow-shock session and pans a 17^3
+sliding window across it through the versioned window routes
+(``POST /api/v1/<sid>/window`` + ``GET /api/v1/<sid>/brick``): the
+client fetches only the bricks its viewport intersects, and the pan
+lands on payloads prefetched along the pan direction — the byte
+accounting is printed at the end.
 """
 
 from __future__ import annotations
@@ -60,7 +68,7 @@ from repro.web import AjaxWebServer, SteeringWebClient
 from repro.web.client import TRANSPORTS
 
 
-def _parse_args() -> tuple[float, str, int, object]:
+def _parse_args() -> tuple[float, str, int, object, bool]:
     serve_extra = 0.0
     transport = "longpoll"
     emulate_slow = 0
@@ -84,7 +92,7 @@ def _parse_args() -> tuple[float, str, int, object]:
             dashboard = argv[idx + 1]
         else:
             dashboard = True
-    return serve_extra, transport, emulate_slow, dashboard
+    return serve_extra, transport, emulate_slow, dashboard, "--window" in argv
 
 
 def _spawn_slow_viewers(port: int, sid: str, n: int):
@@ -128,8 +136,43 @@ def _print_tiers(server: AjaxWebServer, label: str) -> None:
           f"slow disconnects {stats['slow_client_disconnects']})")
 
 
+def _demo_sliding_window(server: AjaxWebServer, web: SteeringWebClient) -> None:
+    """Pan a small viewport across an out-of-core domain, printing the
+    byte accounting the sliding-window plane exists for."""
+    import numpy as np
+
+    from repro.data.grid import StructuredGrid
+    from repro.data.octree import Octree
+    from repro.window import WindowedDomainSource
+
+    rng = np.random.default_rng(0)
+    tree = Octree(StructuredGrid(rng.random((65, 65, 65), dtype=np.float32)),
+                  leaf_cells=16)
+    store = server.manager.events("bowshock")
+    store.set_window_source(WindowedDomainSource(tree))
+    store.publish_window_step(0)
+    total = len(tree.bricks(0))
+    print(f"sliding window: 65^3 out-of-core domain ({total} bricks), "
+          f"17^3 viewport panning +x")
+    lo, hi = [0, 0, 0], [17, 17, 17]
+    fetched = bytes_rx = 0
+    for _ in range(4):
+        resp = web.set_window(lo, hi, lod=0)
+        for meta in resp["bricks"]:
+            payload = web.fetch_brick(meta["lod"], meta["brick"])
+            bytes_rx += payload["values"].nbytes
+            fetched += 1
+        lo[0] += 16
+        hi[0] += 16
+    stats = web.window_info()["stats"]
+    print(f"  fetched {fetched} of {total} bricks ({bytes_rx:,} payload "
+          f"bytes) — only what the viewport intersects")
+    print(f"  pan prefetch: {stats['prefetch_hits']}/{stats['prefetch_issued']}"
+          f" hits ({100 * stats['prefetch_hit_rate']:.0f}%)")
+
+
 def main() -> None:
-    serve_extra, transport, emulate_slow, dashboard = _parse_args()
+    serve_extra, transport, emulate_slow, dashboard, window_demo = _parse_args()
 
     topology, roles = build_paper_testbed(with_cross_traffic=False)
     print("calibrating cost models ...")
@@ -221,6 +264,8 @@ def main() -> None:
         print(f"steered frame: cycle {props['cycle']}, "
               f"loop delay {props['total_delay']:.3f}s")
         print("saved bowshock_before.png / bowshock_after.png")
+        if window_demo:
+            _demo_sliding_window(server, web)
         if transport != "longpoll":
             stats = server.stats()["transports"][transport]
             print(f"{transport} stream delivered {stats['delivered']} deltas "

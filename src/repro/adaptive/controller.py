@@ -142,3 +142,63 @@ class AdaptiveDeliveryController:
             if self.predicted_delay(tier.index, estimate) <= budget:
                 return tier.index
         return floor
+
+    # -- sliding-window LOD ladder -------------------------------------------------
+
+    def predicted_window_delay(
+        self, payload_bytes: float, estimate: PathEstimate
+    ) -> float:
+        """DP-predicted delay for delivering one window refresh.
+
+        Same machinery as :meth:`predicted_delay`, but the payload is a
+        window's worth of brick bytes rather than a tier's image blob —
+        the sliding-window plane and the image tiers share one cost
+        model, so their budgets cannot drift apart.
+        """
+        pipeline = VisualizationPipeline(
+            [
+                ModuleSpec("window-source", "source"),
+                ModuleSpec("deliver", "display", complexity=_DISPLAY_COMPLEXITY),
+            ],
+            source_bytes=max(1.0, float(payload_bytes)),
+        )
+        result = map_pipeline(
+            pipeline,
+            self._topology,
+            _SERVER,
+            _CLIENT,
+            bandwidths={(_SERVER, _CLIENT): estimate.epb},
+        )
+        return result.delay + max(estimate.d_min, 0.0)
+
+    def decide_lod(
+        self,
+        estimate: PathEstimate | None,
+        current_lod: int,
+        requested_lod: int,
+        max_lod: int,
+        window_bytes: int,
+    ) -> int:
+        """Pick the LOD for a windowed client given its live estimate.
+
+        The LOD ladder is the window plane's analogue of the tier
+        ladder: each coarser level keeps the window's spatial extent but
+        doubles the sample stride per axis, cutting payload bytes ~8x.
+        ``requested_lod`` is the client's steered level (never refined
+        past it — that is the client's choice); ``max_lod`` the octree's
+        coarsest.  Promotion back toward the requested level applies the
+        same ``promote_margin`` hysteresis as tier promotion.
+        """
+        lo = max(int(requested_lod), 0)
+        hi = max(int(max_lod), lo)
+        current = min(max(int(current_lod), lo), hi)
+        if estimate is None or estimate.epb <= 0.0 or window_bytes <= 0:
+            return current
+        for lod in range(lo, hi + 1):
+            budget = self.staleness_budget
+            if lod < current:
+                budget *= self.promote_margin
+            payload = window_bytes / float(8 ** (lod - lo))
+            if self.predicted_window_delay(payload, estimate) <= budget:
+                return lod
+        return hi

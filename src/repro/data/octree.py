@@ -9,6 +9,16 @@ module provides that decomposition:
   (with one-sample overlap so block-wise extraction is seam-free),
 * :class:`Octree` — recursive subdivision whose leaves are blocks, with
   per-node value ranges enabling ``O(log)`` culling of empty regions.
+
+The sliding-window delivery plane (Mundani et al., see PAPERS.md) adds a
+second view over the same tree: :class:`Brick` tiles at a level of
+detail.  At LOD ``L`` one brick covers ``leaf_cells * 2**L`` cells per
+axis but its payload is sampled with stride ``2**L``, so every brick's
+payload stays roughly leaf-sized regardless of level — a client panning
+a fixed-size window over an out-of-core domain always streams the same
+order of bytes per step, only the spatial extent changes.
+:meth:`Octree.bricks_in` is the ROI intersection query the web tier's
+window routes are built on.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ from typing import Iterator
 from repro.data.grid import StructuredGrid
 from repro.errors import ConfigurationError
 
-__all__ = ["Block", "Octree", "build_blocks"]
+__all__ = ["Block", "Brick", "Octree", "build_blocks"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +74,45 @@ class Block:
             grid.origin[a] + self.offset[a] * grid.spacing[a] for a in range(3)
         )
         return StructuredGrid(vals, grid.spacing, origin, grid.name)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True, slots=True)
+class Brick:
+    """One LOD tile of the sliding-window decomposition.
+
+    ``offset`` is the full-resolution sample index of the brick's lowest
+    corner, ``shape`` the full-resolution sample extent it covers, and
+    ``step`` the sample stride (``2**lod``) its payload is read with —
+    so the payload holds ``ceil(shape/step)`` samples per axis.  Brick
+    offsets are multiples of ``leaf_cells * 2**lod``, which keeps every
+    brick's strided samples on one global lattice per LOD: payloads from
+    neighbouring bricks tile seamlessly into a window view.
+    """
+
+    lod: int
+    index: int
+    ijk: tuple[int, int, int]
+    offset: tuple[int, int, int]
+    shape: tuple[int, int, int]
+    step: int
+
+    @property
+    def payload_shape(self) -> tuple[int, int, int]:
+        """Samples per axis in the strided payload."""
+        return tuple(  # type: ignore[return-value]
+            (s + self.step - 1) // self.step for s in self.shape
+        )
+
+    @property
+    def payload_samples(self) -> int:
+        nx, ny, nz = self.payload_shape
+        return nx * ny * nz
+
+    def slices(self) -> tuple[slice, slice, slice]:
+        """Strided numpy slices selecting this brick's payload samples."""
+        return tuple(  # type: ignore[return-value]
+            slice(o, o + s, self.step) for o, s in zip(self.offset, self.shape)
+        )
 
 
 def build_blocks(
@@ -139,6 +188,7 @@ class Octree:
         self.grid = grid
         self.leaf_cells = leaf_cells
         self._leaf_count = 0
+        self._brick_lists: dict[int, list[Brick]] = {}
         nx, ny, nz = grid.shape
         self.root = self._build((0, 0, 0), (nx, ny, nz))
 
@@ -206,6 +256,86 @@ class Octree:
             else:
                 stack.extend(reversed(node.children))
         return out
+
+    # -- LOD bricks (sliding-window decomposition) --------------------------------
+
+    @property
+    def max_lod(self) -> int:
+        """Coarsest useful level: one brick tile spans the whole domain."""
+        cells = max(max(s - 1, 1) for s in self.grid.shape)
+        lod = 0
+        while self.leaf_cells << lod < cells:
+            lod += 1
+        return lod
+
+    def clamp_lod(self, lod: int) -> int:
+        """Clamp ``lod`` to the tree's valid range (0 = finest = leaf depth)."""
+        return min(max(int(lod), 0), self.max_lod)
+
+    def brick_grid(self, lod: int) -> tuple[int, int, int]:
+        """Brick counts per axis at ``lod``."""
+        tile = self.leaf_cells << self.clamp_lod(lod)
+        return tuple(  # type: ignore[return-value]
+            (max(s - 1, 1) + tile - 1) // tile for s in self.grid.shape
+        )
+
+    def bricks(self, lod: int) -> list[Brick]:
+        """Every brick at ``lod`` (built once per level, then cached)."""
+        lod = self.clamp_lod(lod)
+        cached = self._brick_lists.get(lod)
+        if cached is not None:
+            return cached
+        tile = self.leaf_cells << lod
+        step = 1 << lod
+        nbx, nby, nbz = self.brick_grid(lod)
+        shape = self.grid.shape
+        out: list[Brick] = []
+        index = 0
+        for ix in range(nbx):
+            for iy in range(nby):
+                for iz in range(nbz):
+                    offset = (ix * tile, iy * tile, iz * tile)
+                    # One shared sample plane with the next brick, like
+                    # build_blocks, so strided payloads tile seamlessly.
+                    extent = tuple(
+                        min(tile, shape[a] - 1 - offset[a]) + 1 for a in range(3)
+                    )
+                    out.append(Brick(lod, index, (ix, iy, iz), offset,
+                                     extent, step))  # type: ignore[arg-type]
+                    index += 1
+        self._brick_lists[lod] = out
+        return out
+
+    def bricks_in(self, lo, hi, lod: int) -> list[Brick]:
+        """Bricks at ``lod`` intersecting the ROI sample box ``[lo, hi)``.
+
+        The box is clamped to the domain; a box fully outside (or empty
+        after clamping) intersects nothing.  This is the sliding-window
+        query: the web tier streams exactly these bricks to a client
+        whose cursor covers ``[lo, hi)``.
+        """
+        lod = self.clamp_lod(lod)
+        tile = self.leaf_cells << lod
+        ranges: list[tuple[int, int]] = []
+        for a in range(3):
+            n_cells = max(self.grid.shape[a] - 1, 0)
+            c0 = max(0, min(int(lo[a]), n_cells))
+            c1 = max(0, min(int(hi[a]) - 1, n_cells))  # cells in [lo, hi)
+            if c1 <= c0:
+                return []
+            ranges.append((c0 // tile, (c1 - 1) // tile + 1))
+        bricks = self.bricks(lod)
+        _, nby, nbz = self.brick_grid(lod)
+        out: list[Brick] = []
+        for ix in range(*ranges[0]):
+            for iy in range(*ranges[1]):
+                for iz in range(*ranges[2]):
+                    out.append(bricks[(ix * nby + iy) * nbz + iz])
+        return out
+
+    def brick_values(self, brick: Brick):
+        """The brick's strided payload samples (a view into the grid)."""
+        return self.grid.values[brick.slices()]
 
     def nodes_visited(self, iso: float) -> int:
         """Number of octree nodes touched by a pruned traversal."""

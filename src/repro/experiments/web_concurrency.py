@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.costmodel.calibration import default_calibration
+from repro.data.grid import StructuredGrid
+from repro.data.octree import Octree
 from repro.des import Simulator
 from repro.net.channel import build_sim_path
 from repro.net.testbed import build_paper_testbed
@@ -56,6 +58,7 @@ from repro.web.framing import (
     ws_client_frame,
 )
 from repro.web.server import AjaxWebServer
+from repro.window import WindowedDomainSource
 
 __all__ = [
     "AdaptiveDeliveryResult",
@@ -63,6 +66,7 @@ __all__ = [
     "ShardScalingResult",
     "TransportCompareResult",
     "WebConcurrencyResult",
+    "WindowStreamingResult",
     "bench_shard_router",
     "default_client_counts",
     "emulated_slow_bandwidth",
@@ -73,6 +77,7 @@ __all__ = [
     "run_web_concurrency",
     "run_shard_scaling",
     "run_transport_compare",
+    "run_window_streaming",
 ]
 
 
@@ -1221,4 +1226,275 @@ def run_obs_overhead(
     return ObsOverheadResult(
         sessions=sessions, clients=clients, duration=duration,
         publish_hz=publish_hz, off=off, on=on,
+    )
+
+
+# -- sliding-window streaming: windowed viewport vs full-domain client --------------
+
+
+def _window_http(port: int, method: str, path: str,
+                 payload: dict | None = None) -> bytes:
+    """One short-lived control-plane request; returns the response body."""
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("ascii")
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(head + body)
+        return read_http_response(sock, bytearray())
+
+
+class _WindowPollClient(threading.Thread):
+    """One windowed viewport stand-in.
+
+    Long-polls with its window key, then fetches every announced brick
+    payload out-of-band on the same keep-alive socket, counting the
+    delivered bytes — the delta frame plus the binary payloads, i.e.
+    exactly the traffic the sliding-window plane exists to shrink.
+    """
+
+    def __init__(self, port: int, sid: str, wid: str, stop: threading.Event,
+                 start_gate: threading.Barrier) -> None:
+        super().__init__(daemon=True, name=f"bench-window-{sid}")
+        self.port = port
+        self.sid = sid.encode("ascii")
+        self.wid = wid.encode("ascii")
+        self.stop_event = stop
+        self.start_gate = start_gate
+        self.wakes = 0
+        self.bytes_received = 0
+        self.bricks_fetched = 0
+        self.errors = 0
+
+    def run(self) -> None:
+        sock: socket.socket | None = None
+        buf = bytearray()
+        since = 0
+        self.start_gate.wait()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    if sock is None:
+                        buf.clear()
+                        sock = socket.create_connection(
+                            ("127.0.0.1", self.port), timeout=10.0
+                        )
+                        sock.setsockopt(socket.IPPROTO_TCP,
+                                        socket.TCP_NODELAY, 1)
+                    sock.sendall(
+                        b"GET /api/v1/%s/poll?since=%d&timeout=0.5&window=%s"
+                        b" HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n"
+                        % (self.sid, since, self.wid)
+                    )
+                    body = read_http_response(sock, buf)
+                    delta = json.loads(body)
+                    head = delta.get("version", since)
+                    if head == since:
+                        continue  # timeout wake: no new step
+                    since = head
+                    self.wakes += 1
+                    self.bytes_received += len(body)
+                    for meta in delta.get("bricks", ()):
+                        sock.sendall(
+                            b"GET /api/v1/%s/brick?lod=%d&id=%d HTTP/1.1\r\n"
+                            b"Host: 127.0.0.1\r\n\r\n"
+                            % (self.sid, meta["lod"], meta["brick"])
+                        )
+                        payload = read_http_response(sock, buf)
+                        self.bytes_received += len(payload)
+                        self.bricks_fetched += 1
+                except Exception:
+                    self.errors += 1
+                    if sock is not None:
+                        sock.close()
+                        sock = None
+        finally:
+            if sock is not None:
+                sock.close()
+
+
+@dataclass
+class WindowStreamingResult:
+    """Windowed-viewport cell vs full-domain cell, plus a pan phase.
+
+    The tentpole's byte-accounting story: on a domain much larger than
+    the viewport, a windowed client's bytes per wake must be a small
+    fraction of a client whose window covers the whole domain; a steady
+    pan must land mostly on prefetched bricks; and N clients sharing one
+    window geometry must cost ~1 JSON encode per wake (the window-keyed
+    delta-frame cache).
+    """
+
+    domain_cells: int
+    window_cells: int
+    clients: int
+    steps: int
+    full_bytes_per_wake: float
+    windowed_bytes_per_wake: float
+    windowed_byte_fraction: float
+    full_bricks_per_wake: float
+    windowed_bricks_per_wake: float
+    json_encodes_per_wake: float
+    prefetch_issued: int
+    prefetch_hits: int
+    prefetch_hit_rate: float
+    errors: int
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "web_window_streaming",
+            "domain_cells": self.domain_cells,
+            "window_cells": self.window_cells,
+            "clients": self.clients,
+            "steps": self.steps,
+            "full_bytes_per_wake": self.full_bytes_per_wake,
+            "windowed_bytes_per_wake": self.windowed_bytes_per_wake,
+            "windowed_byte_fraction": self.windowed_byte_fraction,
+            "full_bricks_per_wake": self.full_bricks_per_wake,
+            "windowed_bricks_per_wake": self.windowed_bricks_per_wake,
+            "json_encodes_per_wake": self.json_encodes_per_wake,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_hit_rate": self.prefetch_hit_rate,
+            "errors": self.errors,
+        }
+
+    def to_table(self) -> str:
+        return "\n".join([
+            "Sliding-window streaming - windowed viewport vs full domain",
+            f"  domain {self.domain_cells}^3 samples, window "
+            f"{self.window_cells}^3, {self.clients} shared-window clients, "
+            f"{self.steps} steps",
+            f"  bytes/wake: windowed {self.windowed_bytes_per_wake:,.0f} vs "
+            f"full {self.full_bytes_per_wake:,.0f} "
+            f"({100 * self.windowed_byte_fraction:.1f}%)",
+            f"  bricks/wake: windowed {self.windowed_bricks_per_wake} vs "
+            f"full {self.full_bricks_per_wake}",
+            f"  json encodes/wake (shared window): {self.json_encodes_per_wake}",
+            f"  pan prefetch: {self.prefetch_hits}/{self.prefetch_issued} hits "
+            f"({100 * self.prefetch_hit_rate:.0f}%)",
+            f"  errors: {self.errors}",
+        ])
+
+
+def _run_window_cell(cm: CentralManager, tree: Octree, n_clients: int,
+                     steps: int, publish_hz: float, lo, hi,
+                     lod: int = 0) -> dict:
+    """One (window geometry x clients) cell against a live server."""
+    client = SteeringClient(cm)
+    with AjaxWebServer(client, port=0) as server:
+        store = client.manager.open_monitor("win0")
+        source = WindowedDomainSource(tree)
+        store.set_window_source(source)
+        _window_http(server.port, "POST", "/api/v1/win0/window",
+                     {"lo": list(lo), "hi": list(hi), "lod": lod, "wid": "w"})
+        stop = threading.Event()
+        gate = threading.Barrier(n_clients + 1)
+        clients = [
+            _WindowPollClient(server.port, "win0", "w", stop, gate)
+            for _ in range(n_clients)
+        ]
+        for t in clients:
+            t.start()
+        gate.wait()
+        encodes_before = store.json_encodes
+        interval = 1.0 / publish_hz
+        for step in range(steps):
+            store.publish_window_step(step)
+            time.sleep(interval)
+        time.sleep(0.5)  # let the herd drain the last announce + payloads
+        json_encodes = store.json_encodes - encodes_before
+        stop.set()
+        for t in clients:
+            t.join(timeout=30.0)
+        wakes = sum(c.wakes for c in clients)
+        return {
+            "bytes_per_wake": sum(c.bytes_received for c in clients)
+            / max(wakes, 1),
+            "bricks_per_wake": sum(c.bricks_fetched for c in clients)
+            / max(wakes, 1),
+            "json_encodes_per_wake": round(json_encodes / max(steps, 1), 3),
+            "wakes": wakes,
+            "errors": sum(c.errors for c in clients),
+        }
+
+
+def _run_window_pan(cm: CentralManager, tree: Octree, window_cells: int,
+                    pans: int) -> dict:
+    """Steady +x pan through the v1 window routes; returns source stats."""
+    client = SteeringClient(cm)
+    with AjaxWebServer(client, port=0) as server:
+        store = client.manager.open_monitor("pan0")
+        source = WindowedDomainSource(tree)
+        store.set_window_source(source)
+        store.publish_window_step(0)
+        lo, hi = [0, 0, 0], [window_cells] * 3
+        pitch = tree.leaf_cells  # one brick column per pan step
+        for _ in range(pans + 1):
+            resp = json.loads(_window_http(
+                server.port, "POST", "/api/v1/pan0/window",
+                {"lo": lo, "hi": hi, "lod": 0, "wid": "w"},
+            ))
+            for meta in resp["bricks"]:
+                _window_http(
+                    server.port, "GET",
+                    f"/api/v1/pan0/brick?lod={meta['lod']}&id={meta['brick']}",
+                )
+            lo[0] += pitch
+            hi[0] += pitch
+        info = json.loads(_window_http(
+            server.port, "GET", "/api/v1/pan0/window?window=w"))
+        return info["stats"]
+
+
+def run_window_streaming(
+    clients: int = 6,
+    steps: int = 20,
+    publish_hz: float = 10.0,
+    domain_cells: int = 65,
+    window_cells: int = 17,
+    pans: int = 3,
+    cm: CentralManager | None = None,
+) -> WindowStreamingResult:
+    """Measure the sliding-window delivery plane end to end.
+
+    Three phases on one out-of-core domain (``domain_cells^3`` samples,
+    >= 8x the ``window_cells^3`` viewport by volume):
+
+    1. N clients sharing one small window long-poll while the publisher
+       steps the domain — bytes per wake and JSON encodes per wake.
+    2. One client whose window covers the whole domain — the bytes-per-
+       wake denominator the 30% budget is judged against.
+    3. A steady +x pan fetching every announced payload — prefetch hit
+       accounting along the pan direction.
+    """
+    if cm is None:
+        topo, roles = build_paper_testbed(with_cross_traffic=False)
+        cm = CentralManager(topo, roles, calibration=default_calibration(0))
+    rng = np.random.default_rng(23)
+    vals = rng.random((domain_cells,) * 3, dtype=np.float32)
+    tree = Octree(StructuredGrid(vals), leaf_cells=16)
+    windowed = _run_window_cell(cm, tree, clients, steps, publish_hz,
+                                (0, 0, 0), (window_cells,) * 3)
+    full = _run_window_cell(cm, tree, 1, steps, publish_hz,
+                            (0, 0, 0), (domain_cells,) * 3)
+    pan = _run_window_pan(cm, tree, window_cells, pans)
+    fraction = windowed["bytes_per_wake"] / max(full["bytes_per_wake"], 1e-9)
+    return WindowStreamingResult(
+        domain_cells=domain_cells,
+        window_cells=window_cells,
+        clients=clients,
+        steps=steps,
+        full_bytes_per_wake=round(full["bytes_per_wake"], 1),
+        windowed_bytes_per_wake=round(windowed["bytes_per_wake"], 1),
+        windowed_byte_fraction=round(fraction, 4),
+        full_bricks_per_wake=round(full["bricks_per_wake"], 2),
+        windowed_bricks_per_wake=round(windowed["bricks_per_wake"], 2),
+        json_encodes_per_wake=windowed["json_encodes_per_wake"],
+        prefetch_issued=pan["prefetch_issued"],
+        prefetch_hits=pan["prefetch_hits"],
+        prefetch_hit_rate=round(pan["prefetch_hit_rate"], 3),
+        errors=windowed["errors"] + full["errors"],
     )

@@ -193,11 +193,12 @@ class _ImageRecord:
 class DeltaFrameCache:
     """Bounded LRU of serialized delta frames.
 
-    Keys are ``(since, head_seq, framing, tier)`` windows: a delta —
-    components past ``since``, the ``dropped`` gap count, the ``timeout``
-    flag, the tier's image variant selection — is a pure function of its
-    key, so the encoded bytes can be shared by every waiter parked at
-    the same cursor in the same (framing, tier) group.  The cache is
+    Keys are ``(since, head_seq, framing, tier, window)`` windows: a
+    delta — components past ``since``, the ``dropped`` gap count, the
+    ``timeout`` flag, the tier's image variant selection, the sliding
+    window's brick announce list — is a pure function of its key, so the
+    encoded bytes can be shared by every waiter parked at the same
+    cursor in the same (framing, tier, window-geometry) group.  The cache is
     tiny by design: on a herd wake nearly all waiters share a handful of
     keys, and stragglers at older cursors (or clients hopping between
     tiers) each add one entry that the LRU bound reclaims as the head
@@ -291,6 +292,7 @@ class EventSequenceStore:
         self._listeners: list[Callable[[int], None]] = []
         self._taps: list[Callable[[SessionEvent, bytes | None], None]] = []
         self._demand_probes: list[Callable[[], bool]] = []
+        self._window_source = None  # repro.window.WindowedDomainSource | None
         self._frame_cache = DeltaFrameCache(frame_cache_size)
         # Poll-demand clock: starts "recently polled" so a fresh session
         # is scheduled hot until its consumers demonstrably stall.
@@ -525,10 +527,55 @@ class EventSequenceStore:
         """Record a steering action so every monitor sees the new params."""
         return self._append("steering", "params", cycle, dict(params))
 
+    # -- sliding-window domain ----------------------------------------------------
+
+    def set_window_source(self, source) -> None:
+        """Attach a :class:`~repro.window.WindowedDomainSource`.
+
+        Once attached, deltas built for a window key carry a ``bricks``
+        announce list and :meth:`publish_window_step` stamps the bricks
+        a simulation step touched.
+        """
+        with self._cond:
+            self._window_source = source
+
+    def window_source(self):
+        with self._cond:
+            return self._window_source
+
+    def publish_window_step(self, cycle: int = 0, box=None, /, **props: Any) -> int:
+        """Append a domain-step event, stamping intersecting bricks dirty.
+
+        ``box`` is the ``(lo, hi)`` sample region the step changed
+        (``None`` = whole domain).  The bricks are stamped with the
+        event's sequence number *under the store lock, before the event
+        is appended*, so any delta built after the head advances already
+        sees the new brick versions — a client can never observe the
+        event without its announce list.
+        """
+        with self._cond:
+            seq = self._seq + 1  # the seq _append_locked is about to assign
+            source = self._window_source
+            if source is not None:
+                # Lock order store._cond -> source._lock, same as the
+                # delta path; the source never calls back into the store.
+                source.mark_step(seq, box)
+            event = self._append_locked(
+                "brick", "domain", cycle, {"version": seq, "cycle": cycle, **props}
+            )
+            listeners = list(self._listeners)
+            taps = list(self._taps)
+            self._cond.notify_all()
+        for fn in listeners:
+            fn(event.seq)
+        self._fire_taps(event, None, taps)
+        return event.seq
+
     # -- polling -----------------------------------------------------------------
 
     def _delta_locked(self, since: int, tier: int = 0,
-                      skipped_out: list[int] | None = None) -> dict:
+                      skipped_out: list[int] | None = None,
+                      window: tuple | None = None) -> dict:
         first = self._events[0].seq if self._events else self._seq + 1
         dropped = max(0, min(first - 1, self._seq) - since)
         components = [e.to_component() for e in self._events if e.seq > since]
@@ -564,17 +611,27 @@ class EventSequenceStore:
         }
         if skipped:
             delta["skipped_images"] = skipped
+        if window is not None and self._window_source is not None:
+            # The sliding-window announce: bricks this window intersects
+            # whose stamped version is past the client's cursor.  Fetched
+            # under the store lock (lock order store._cond ->
+            # source._lock) so the list is consistent with ``version``.
+            lo, hi, lod = window
+            delta["window"] = {"lo": list(lo), "hi": list(hi), "lod": lod}
+            delta["bricks"] = self._window_source.bricks_for(window, since)
         return delta
 
-    def delta(self, since: int, tier: int = 0) -> dict:
+    def delta(self, since: int, tier: int = 0,
+              window: tuple | None = None) -> dict:
         """Events past ``since`` (non-blocking), with gap accounting."""
         self._last_poll = time.monotonic()
         with self._cond:
-            return self._delta_locked(since, clamp_tier(tier))
+            return self._delta_locked(since, clamp_tier(tier), window=window)
 
     def _inline_delta_locked(
         self, since: int, tier: int,
         skipped_out: list[int] | None = None,
+        window: tuple | None = None,
     ) -> tuple[dict, list[tuple[dict, _ImageRecord]]]:
         """Delta plus the (component, record) pairs needing inline blobs.
 
@@ -586,7 +643,7 @@ class EventSequenceStore:
         encode.  Blobs already evicted from the image ring are skipped —
         the meta event still arrives, exactly like the poll path.
         """
-        delta = self._delta_locked(since, tier, skipped_out)
+        delta = self._delta_locked(since, tier, skipped_out, window)
         by_seq = {record.seq: record for record in self._images}
         pending: list[tuple[dict, _ImageRecord]] = []
         for comp in delta["components"]:
@@ -627,7 +684,8 @@ class EventSequenceStore:
                 offset += len(blob)
         return blobs, max(0, saved)
 
-    def delta_frame(self, since: int, tier: int = 0) -> bytes:
+    def delta_frame(self, since: int, tier: int = 0,
+                    window: tuple | None = None) -> bytes:
         """Serialized JSON delta past ``since``, encoded once per window.
 
         The response bytes for a ``(since, head_seq, tier)`` window are
@@ -637,10 +695,10 @@ class EventSequenceStore:
         connection write queues without copying.  ``json_encodes``
         counts actual encodes.
         """
-        return self.framed_delta(since, FRAME_JSON, tier)
+        return self.framed_delta(since, FRAME_JSON, tier, window)
 
     def framed_delta(self, since: int, framing: str = FRAME_JSON,
-                     tier: int = 0) -> bytes:
+                     tier: int = 0, window: tuple | None = None) -> bytes:
         """The delta past ``since``, pre-framed for one wire transport.
 
         Every framing of a ``(since, head_seq, tier)`` window is
@@ -652,11 +710,18 @@ class EventSequenceStore:
         framings (``ws+b64``, ``ws+bin``) carry different JSON and
         honestly cost their own encode, still one per window however
         many subscribers share it.
+
+        ``window`` (a window-geometry key, see
+        :meth:`repro.window.WindowCursor.key`) extends the cache key:
+        clients sharing one window geometry share one encode per wake,
+        exactly like clients sharing a tier — distinct geometries
+        honestly cost their own encode.
         """
-        return self.framed_delta_with_head(since, framing, tier)[0]
+        return self.framed_delta_with_head(since, framing, tier, window)[0]
 
     def framed_delta_with_head(self, since: int, framing: str = FRAME_JSON,
-                               tier: int = 0) -> tuple[bytes, int]:
+                               tier: int = 0,
+                               window: tuple | None = None) -> tuple[bytes, int]:
         """:meth:`framed_delta` plus the head seq the frame covers.
 
         The push path advances each subscriber's cursor to exactly the
@@ -672,23 +737,23 @@ class EventSequenceStore:
         saved = 0
         with self._cond:
             head = self._seq
-            key = (since, head, framing, tier)
+            key = (since, head, framing, tier, window)
             frame = self._frame_cache.get(key)
             if frame is not None:
                 return frame, head
-            base = (self._frame_cache.get((since, head, FRAME_JSON, tier))
+            base = (self._frame_cache.get((since, head, FRAME_JSON, tier, window))
                     if framing in (FRAME_SSE, FRAME_WS) else None)
             if framing in (FRAME_WS_B64, FRAME_WS_BINARY):
                 delta, pending = self._inline_delta_locked(
-                    since, tier, skipped_versions)
+                    since, tier, skipped_versions, window)
             elif base is None:
-                delta = self._delta_locked(since, tier, skipped_versions)
+                delta = self._delta_locked(since, tier, skipped_versions, window)
             else:
                 delta = None
                 # Wrapped framing reusing a cached JSON base: inherit the
                 # base window's savings so the gauge stays per-delivery.
                 saved = self._frame_cache.saved_for(
-                    (since, head, FRAME_JSON, tier))
+                    (since, head, FRAME_JSON, tier, window))
             if skipped_versions:
                 # Snapshot tier elided these image events entirely; the
                 # payload a tier-0 client would have received for them
@@ -725,13 +790,13 @@ class EventSequenceStore:
             if encoded and framing in (FRAME_SSE, FRAME_WS):
                 # The wrapped framings share the JSON bytes: cache them
                 # under their own key too so a mixed herd never re-encodes.
-                self._frame_cache.put((since, head, FRAME_JSON, tier), base,
-                                      saved=saved)
+                self._frame_cache.put((since, head, FRAME_JSON, tier, window),
+                                      base, saved=saved)
             self._frame_cache.put(key, frame, saved=saved)
         return frame, head
 
     def frame_saved(self, since: int, head: int, framing: str,
-                    tier: int = 0) -> int:
+                    tier: int = 0, window: tuple | None = None) -> int:
         """Bytes the tiered frame for this window saved vs tier 0.
 
         The per-tier ``bytes_saved`` gauge's source: downscaled inline
@@ -742,7 +807,7 @@ class EventSequenceStore:
         """
         with self._cond:
             return self._frame_cache.saved_for(
-                (since, head, framing, clamp_tier(tier)))
+                (since, head, framing, clamp_tier(tier), window))
 
     def frame_cache_stats(self) -> dict:
         with self._cond:

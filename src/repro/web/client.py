@@ -34,12 +34,14 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+import warnings
 
 from repro.errors import WebServerError
 from repro.steering.events import WS_BINARY, WS_CLOSE, WS_PING, WS_PONG, WS_TEXT
 from repro.viz.image import Image, decode_fixed_size
 from repro.web.framing import (
     decode_binary_delta,
+    decode_brick_payload,
     decode_chunks,
     parse_ws_frames,
     split_sse_events,
@@ -50,6 +52,21 @@ from repro.web.framing import (
 __all__ = ["SteeringWebClient", "AjaxClient"]
 
 TRANSPORTS = ("longpoll", "sse", "ws")
+
+#: Canonical API mount point; the unversioned ``/api/...`` aliases still
+#: answer (with a ``Deprecation`` header) but this client never uses them.
+API_PREFIX = "/api/v1"
+
+
+def _http_error(verb: str, path: str, exc: urllib.error.HTTPError) -> WebServerError:
+    """Surface the server's error envelope, not just the status line."""
+    detail = ""
+    try:
+        envelope = json.loads(exc.read().decode("utf-8"))
+        detail = ": " + envelope["error"]["message"]
+    except Exception:
+        pass
+    return WebServerError(f"{verb} {path}: HTTP {exc.code}{detail}")
 
 
 class SteeringWebClient:
@@ -78,6 +95,10 @@ class SteeringWebClient:
         self.skipped_images = 0
         self.tier_changes = 0
         self.reconnects = 0
+        # Sliding-window state: the wid this client registered via
+        # set_window (None = whole-domain deltas), mirrored into the
+        # ``window=`` query on every delivery route.
+        self.window_id: str | None = None
 
     # -- HTTP helpers ------------------------------------------------------------
 
@@ -88,7 +109,7 @@ class SteeringWebClient:
             ) as resp:
                 return resp.read()
         except urllib.error.HTTPError as exc:
-            raise WebServerError(f"GET {path}: HTTP {exc.code}") from exc
+            raise _http_error("GET", path, exc) from exc
         except urllib.error.URLError as exc:
             raise ConnectionError(f"GET {path}: {exc.reason}") from exc
 
@@ -107,7 +128,7 @@ class SteeringWebClient:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            raise WebServerError(f"POST {path}: HTTP {exc.code}") from exc
+            raise _http_error("POST", path, exc) from exc
         except urllib.error.URLError as exc:
             raise ConnectionError(f"POST {path}: {exc.reason}") from exc
 
@@ -142,7 +163,7 @@ class SteeringWebClient:
         return self.session
 
     def _api(self, action: str) -> str:
-        return f"/api/{self.resolve_session()}/{action}"
+        return f"{API_PREFIX}/{self.resolve_session()}/{action}"
 
     # -- the Ajax protocol ----------------------------------------------------------
 
@@ -171,6 +192,12 @@ class SteeringWebClient:
             return ""
         return f"&min_quality={self.min_quality}"
 
+    def _window_query(self) -> str:
+        """The sliding-window binding as a query suffix ('' when unset)."""
+        if self.window_id is None:
+            return ""
+        return f"&window={urllib.parse.quote(self.window_id)}"
+
     def poll(self, timeout: float = 5.0) -> dict:
         """One long poll; advances the cursor, reconnects transparently.
 
@@ -181,7 +208,7 @@ class SteeringWebClient:
             return self._get_json(
                 self._api("poll")
                 + f"?since={self.since}&timeout={timeout}"
-                + self._quality_query(),
+                + self._quality_query() + self._window_query(),
                 timeout=timeout + 5.0,
             )
 
@@ -269,8 +296,8 @@ class SteeringWebClient:
             raise ConnectionError(f"stream connect failed: {exc}") from exc
         try:
             request = (
-                f"GET /api/{sid}/stream?since={self.since}"
-                f"{self._quality_query()} HTTP/1.1\r\n"
+                f"GET {API_PREFIX}/{sid}/stream?since={self.since}"
+                f"{self._quality_query()}{self._window_query()} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 f"Last-Event-ID: {self.since}\r\n"
                 "Accept: text/event-stream\r\n\r\n"
@@ -327,8 +354,8 @@ class SteeringWebClient:
             key = base64.b64encode(os.urandom(16)).decode("ascii")
             images_q = f"&images={images}" if images else ""
             request = (
-                f"GET /api/{sid}/ws?since={self.since}{images_q}"
-                f"{self._quality_query()} HTTP/1.1\r\n"
+                f"GET {API_PREFIX}/{sid}/ws?since={self.since}{images_q}"
+                f"{self._quality_query()}{self._window_query()} HTTP/1.1\r\n"
                 f"Host: {host}:{port}\r\n"
                 "Upgrade: websocket\r\nConnection: Upgrade\r\n"
                 f"Sec-WebSocket-Key: {key}\r\n"
@@ -426,6 +453,42 @@ class SteeringWebClient:
             tier = self.tier
         return self._get(self._api("image.png") + self._image_query(version, tier))
 
+    # -- sliding-window streaming -----------------------------------------------------
+
+    def set_window(self, lo, hi, lod: int = 0, wid: str = "default") -> dict:
+        """Register/move this client's sliding window over the session's
+        out-of-core domain.
+
+        ``lo``/``hi`` bound the region of interest in samples (half-open
+        box), ``lod`` the requested level of detail (0 = finest).  Every
+        later delivery route carries ``window=<wid>`` so the server
+        streams only intersecting bricks.  Returns the server response
+        (the clamped window plus the announce list of visible bricks).
+        """
+        resp = self._post_json(self._api("window"), {
+            "lo": list(lo), "hi": list(hi), "lod": int(lod), "wid": wid,
+        })
+        self.window_id = resp.get("wid", wid)
+        return resp
+
+    def window_info(self, wid: str | None = None) -> dict:
+        """The server's view of a registered window (geometry + stats)."""
+        wid = wid if wid is not None else (self.window_id or "default")
+        return self._get_json(
+            self._api("window") + f"?window={urllib.parse.quote(wid)}")
+
+    def fetch_brick(self, lod: int, brick: int) -> dict:
+        """Download and decode one brick payload (binary, out-of-band).
+
+        Returns the decoded dict from
+        :func:`repro.web.framing.decode_brick_payload` — offset/shape/
+        step metadata plus the float32 sample block.
+        """
+        blob = self._get(self._api("brick") + f"?lod={int(lod)}&id={int(brick)}")
+        return decode_brick_payload(blob)
+
+    # -- steering --------------------------------------------------------------------
+
     def steer(self, **params) -> dict:
         return self._post_json(self._api("steer"), params)
 
@@ -436,17 +499,17 @@ class SteeringWebClient:
         return self._post_json(self._api("stop"), {})
 
     def sessions(self) -> dict:
-        return self._get_json("/api/sessions")
+        return self._get_json(f"{API_PREFIX}/sessions")
 
     # -- observability (metrics + journal replay) -----------------------------------
 
     def server_stats(self) -> dict:
         """The merged ``/api/stats`` payload."""
-        return self._get_json("/api/stats")
+        return self._get_json(f"{API_PREFIX}/stats")
 
     def metrics(self) -> dict:
         """Recorder/journal/store health plus the known series names."""
-        return self._get_json("/api/metrics")
+        return self._get_json(f"{API_PREFIX}/metrics")
 
     def metrics_history(self, series=(), since: float = 0.0,
                         step: float = 0.0, limit: int = 2000) -> dict:
@@ -460,7 +523,7 @@ class SteeringWebClient:
             "series": ",".join(series),
             "since": since, "step": step, "limit": int(limit),
         })
-        return self._get_json(f"/api/metrics/history?{query}")
+        return self._get_json(f"{API_PREFIX}/metrics/history?{query}")
 
     def replay(self, session: str | None = None, target: str | None = None,
                rate_hz: float = 0.0) -> "SteeringWebClient":
@@ -478,18 +541,29 @@ class SteeringWebClient:
             body["session"] = target
         if rate_hz:
             body["rate_hz"] = float(rate_hz)
-        resp = self._post_json(f"/api/replay/{source}", body)
+        resp = self._post_json(f"{API_PREFIX}/replay/{source}", body)
         return SteeringWebClient(self.base_url, session=resp["session"],
                                  timeout=self.timeout)
 
     def create_session(self, **spec) -> str:
         """Ask the server to start a new steered session; adopts it."""
-        resp = self._post_json("/api/sessions", spec)
+        resp = self._post_json(f"{API_PREFIX}/sessions", spec)
         self.session = resp["session"]
         self.since = 0
         self.tier = 0
         return self.session
 
 
-#: Back-compat name from the seed's browser stand-in.
-AjaxClient = SteeringWebClient
+class AjaxClient(SteeringWebClient):
+    """Back-compat name from the seed's browser stand-in (deprecated).
+
+    Identical to :class:`SteeringWebClient`; construct that directly.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "AjaxClient is deprecated; use SteeringWebClient",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -32,12 +32,18 @@ import struct
 
 from repro.errors import WebServerError
 
+# Re-exported for client symmetry: the brick payload format lives with
+# the sliding-window plane, but web clients decode it alongside the
+# other wire formats collected here.
+from repro.window.bricks import decode_brick_payload
+
 __all__ = [
     "WS_GUID",
     "ws_accept_key",
     "ws_client_frame",
     "parse_ws_frames",
     "decode_binary_delta",
+    "decode_brick_payload",
     "decode_chunks",
     "split_sse_events",
 ]

@@ -35,9 +35,10 @@ class Waiter:
     """One parked long poll: where it waits, since when, until when."""
 
     __slots__ = ("id", "key", "since", "deadline", "handle", "done",
-                 "woken_at")
+                 "woken_at", "window")
 
-    def __init__(self, id: int, key: str, since: int, deadline: float, handle: Any) -> None:
+    def __init__(self, id: int, key: str, since: int, deadline: float, handle: Any,
+                 window: tuple | None = None) -> None:
         self.id = id
         self.key = key
         self.since = since
@@ -47,6 +48,9 @@ class Waiter:
         # Stamped (monotonic) by the publish wake path so the serving
         # shard can gauge wake->response latency for the ops dashboard.
         self.woken_at = 0.0
+        # Sliding-window geometry key this poll watches (None = whole
+        # domain); part of the frame group a woken herd shares.
+        self.window = window
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Waiter(id={self.id}, key={self.key!r}, since={self.since}, "
@@ -68,10 +72,11 @@ class Subscriber:
     """
 
     __slots__ = ("id", "key", "since", "handle", "transport", "framing",
-                 "tier", "done")
+                 "tier", "done", "window")
 
     def __init__(self, id: int, key: str, since: int, handle: Any,
-                 transport: str, framing: str, tier: int = 0) -> None:
+                 transport: str, framing: str, tier: int = 0,
+                 window: tuple | None = None) -> None:
         self.id = id
         self.key = key
         self.since = since
@@ -80,6 +85,9 @@ class Subscriber:
         self.framing = framing
         self.tier = tier
         self.done = False  # unsubscribed or session dropped
+        # Sliding-window geometry key (None = whole domain), read at
+        # every push like ``tier`` to pick the shared frame group.
+        self.window = window
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Subscriber(id={self.id}, key={self.key!r}, "
@@ -108,10 +116,11 @@ class LongPollScheduler:
         self.subscribed_total = 0
         self.pushed_total = 0
 
-    def register(self, key: str, since: int, deadline: float, handle: Any = None) -> Waiter:
+    def register(self, key: str, since: int, deadline: float, handle: Any = None,
+                 window: tuple | None = None) -> Waiter:
         """Park a poll: it will be returned by ``notify`` or ``expire_due``."""
         with self._lock:
-            waiter = Waiter(next(self._ids), key, since, deadline, handle)
+            waiter = Waiter(next(self._ids), key, since, deadline, handle, window)
             self._by_key.setdefault(key, {})[waiter.id] = waiter
             heapq.heappush(self._heap, (deadline, waiter.id, waiter))
             self.registered_total += 1
@@ -160,7 +169,7 @@ class LongPollScheduler:
 
     def subscribe(self, key: str, since: int, handle: Any = None,
                   transport: str = "sse", framing: str = "json",
-                  tier: int = 0) -> Subscriber:
+                  tier: int = 0, window: tuple | None = None) -> Subscriber:
         """Register a persistent push stream on ``key``.
 
         Unlike :meth:`register`, the record survives publishes: it is
@@ -170,7 +179,7 @@ class LongPollScheduler:
         """
         with self._lock:
             sub = Subscriber(next(self._ids), key, since, handle,
-                             transport, framing, tier)
+                             transport, framing, tier, window)
             self._subs_by_key.setdefault(key, {})[sub.id] = sub
             self.subscribed_total += 1
             return sub

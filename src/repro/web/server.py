@@ -90,7 +90,7 @@ from collections import deque
 from repro.adaptive.controller import AdaptiveDeliveryController
 from repro.adaptive.estimator import ClientLinkEstimator
 from repro.adaptive.tiers import MAX_TIER, clamp_tier
-from repro.errors import ReproError, WebServerError
+from repro.errors import ConfigurationError, ReproError, WebServerError
 from repro.obs import Observability
 from repro.steering.client import SteeringClient
 from repro.steering.events import (
@@ -109,8 +109,9 @@ from repro.web.framing import parse_ws_frames, ws_accept_key
 from repro.web.longpoll import LongPollScheduler, Subscriber, Waiter
 from repro.web.sharding import create_shard_listeners, default_shard_router
 from repro.web.static import DASHBOARD_HTML, INDEX_HTML
+from repro.window import WindowCursor
 
-__all__ = ["AjaxWebServer"]
+__all__ = ["API_ROUTES", "AjaxWebServer"]
 
 _MAX_POLL_TIMEOUT = 30.0
 _MAX_HEADER_BYTES = 64 * 1024
@@ -126,9 +127,103 @@ _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    405: "Method Not Allowed",
     408: "Request Timeout",
     500: "Internal Server Error",
 }
+
+
+class _HttpError(Exception):
+    """A routing/validation failure with an explicit HTTP status.
+
+    Raised anywhere under dispatch; ``_dispatch_safe`` renders it as the
+    uniform JSON error envelope.  ``code`` is the machine-readable slug
+    (``not_found``, ``bad_request``, ``method_not_allowed``,
+    ``internal``) the envelope carries alongside the human message.
+    """
+
+    __slots__ = ("status", "code", "message")
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+def _error_body(code: str, message: str) -> bytes:
+    """The one JSON error envelope every endpoint answers with."""
+    return json.dumps({"error": {"code": code, "message": message}}).encode("utf-8")
+
+
+class _Route:
+    """One declarative API route: method + path pattern + action name.
+
+    ``pattern`` is a tuple of path segments below the API prefix;
+    ``"{sid}"`` binds the session id.  ``offload`` marks routes whose
+    handler always runs on the worker pool (informational — the handler
+    owns the actual submit), so the table documents the full routing
+    policy in one place.
+    """
+
+    __slots__ = ("method", "pattern", "action", "offload")
+
+    def __init__(self, method: str, pattern: tuple, action: str,
+                 offload: bool = False) -> None:
+        self.method = method
+        self.pattern = pattern
+        self.action = action
+        self.offload = offload
+
+    def match(self, method: str | None, segments: list) -> tuple[bool, str | None]:
+        """(matched, bound sid); ``method=None`` probes the path alone
+        (the 405 discriminator)."""
+        if len(segments) != len(self.pattern):
+            return False, None
+        if method is not None and method != self.method:
+            return False, None
+        sid = None
+        for want, got in zip(self.pattern, segments):
+            if want == "{sid}":
+                sid = got
+            elif want != got:
+                return False, None
+        return True, sid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"_Route({self.method} /api/v1/{'/'.join(self.pattern)}"
+                f" -> {self.action})")
+
+
+#: The whole API surface, declaratively.  Mounted under ``/api/v1/...``;
+#: the bare ``/api/...`` aliases serve the same table with a
+#: ``Deprecation`` response header.  Literal patterns precede ``{sid}``
+#: wildcards of the same length so ``/api/v1/replay/<x>`` can never be
+#: captured as a session route.
+API_ROUTES = (
+    _Route("GET", ("sessions",), "sessions.list"),
+    _Route("POST", ("sessions",), "sessions.create", offload=True),
+    _Route("GET", ("stats",), "stats"),
+    _Route("GET", ("metrics",), "metrics", offload=True),
+    _Route("GET", ("metrics", "history"), "metrics.history", offload=True),
+    _Route("POST", ("replay", "{sid}"), "replay", offload=True),
+    _Route("GET", ("{sid}", "state"), "state"),
+    _Route("GET", ("{sid}", "poll"), "poll"),
+    _Route("GET", ("{sid}", "stream"), "stream"),
+    _Route("GET", ("{sid}", "ws"), "ws"),
+    _Route("GET", ("{sid}", "image"), "image"),
+    _Route("GET", ("{sid}", "image.png"), "image.png"),
+    _Route("GET", ("{sid}", "window"), "window.get"),
+    _Route("POST", ("{sid}", "window"), "window.set"),
+    _Route("GET", ("{sid}", "brick"), "brick", offload=True),
+    _Route("POST", ("{sid}", "steer"), "steer"),
+    _Route("POST", ("{sid}", "view"), "view"),
+    _Route("POST", ("{sid}", "stop"), "stop"),
+)
+
+#: Actions that are not keyed by a live session id.
+_SESSIONLESS_ACTIONS = {"sessions.list", "sessions.create", "stats",
+                        "metrics", "metrics.history"}
 
 
 class _Request:
@@ -188,7 +283,8 @@ class _Handler:
     __slots__ = ("shard", "sock", "addr", "inbuf", "outq", "out_bytes",
                  "close_after", "waiter", "subscriber", "mode", "busy",
                  "closed", "keep_alive", "last_activity", "want_write",
-                 "tier", "max_tier", "estimator")
+                 "tier", "max_tier", "estimator", "deprecated",
+                 "window", "window_wid", "window_source", "lod_bias")
 
     def __init__(self, shard: "_IOShard", sock: socket.socket, addr) -> None:
         self.shard = shard
@@ -210,6 +306,17 @@ class _Handler:
         self.max_tier = MAX_TIER
         self.estimator = (ClientLinkEstimator()
                           if shard.server.adaptive else None)
+        # Set per request by dispatch: True when the request arrived on a
+        # legacy (unversioned) alias and the response must say so.
+        self.deprecated = False
+        # Sliding-window state: the client's window id within its
+        # session, the owning session's domain source, the extra LOD
+        # coarsening the staleness ladder currently applies, and the
+        # last resolved geometry key (the frame-group component).
+        self.window: tuple | None = None
+        self.window_wid: str | None = None
+        self.window_source = None
+        self.lod_bias = 0
 
     # -- response construction -----------------------------------------------------
 
@@ -222,11 +329,17 @@ class _Handler:
         """
         if not self.keep_alive:
             self.close_after = True
-        header = self.shard.server._render_head(code, ctype, len(body), self.keep_alive)
+        header = self.shard.server._render_head(code, ctype, len(body),
+                                                self.keep_alive,
+                                                deprecated=self.deprecated)
         self.shard._enqueue_and_flush(self, (header, body) if body else (header,))
 
     def _send_json(self, obj, code: int = 200) -> None:
         self._send(code, json.dumps(obj).encode("utf-8"))
+
+    def _send_error(self, status: int, code: str, message: str) -> None:
+        """The uniform error envelope: ``{"error": {"code", "message"}}``."""
+        self._send(status, _error_body(code, message))
 
 
 class _WorkerPool:
@@ -345,6 +458,8 @@ class _IOShard:
         self.accept_handoffs = 0  # connections this shard accepted for peers
         self.tier_promotions = 0  # adaptive controller moved a client up
         self.tier_demotions = 0  # ...or down (degrade-before-disconnect)
+        self.lod_promotions = 0  # windowed client refined back toward its LOD
+        self.lod_demotions = 0  # ...or was coarsened (staleness ladder)
         # Satellite gauges for the ops tier: per-tier downscale savings
         # (full-tier bytes minus sent bytes, accumulated per delivered
         # delta) and an EWMA of publish-wake -> response latency sampled
@@ -446,6 +561,8 @@ class _IOShard:
             "tiers": self._tier_gauges(),
             "tier_promotions": self.tier_promotions,
             "tier_demotions": self.tier_demotions,
+            "lod_promotions": self.lod_promotions,
+            "lod_demotions": self.lod_demotions,
             "tier_bytes_saved": list(self.tier_bytes_saved),
             "bytes_saved": sum(self.tier_bytes_saved),
             "wake_ewma_ms": self.wake_ewma_ms,
@@ -710,16 +827,22 @@ class _IOShard:
             self._dispatch_safe(handler, request)
 
     def _dispatch_safe(self, handler: _Handler, request: _Request) -> None:
-        """Dispatch one request, converting errors to JSON responses."""
+        """Dispatch one request, converting errors to the JSON envelope."""
         try:
             self._dispatch(handler, request)
+        except _HttpError as exc:
+            handler._send_error(exc.status, exc.code, exc.message)
         except WebServerError as exc:
-            code = 404 if request.method == "GET" else 400
-            handler._send_json({"error": str(exc)}, code=code)
+            # Session-registry lookups: an unknown resource on a GET is a
+            # 404; on a mutating POST the request itself was bad.
+            if request.method == "GET":
+                handler._send_error(404, "not_found", str(exc))
+            else:
+                handler._send_error(400, "bad_request", str(exc))
         except ReproError as exc:
-            handler._send_json({"error": str(exc)}, code=400)
+            handler._send_error(400, "bad_request", str(exc))
         except Exception as exc:  # never kill the loop for one request
-            handler._send_json({"error": f"internal: {exc}"}, code=500)
+            handler._send_error(500, "internal", f"internal: {exc}")
 
     def _parse_one(self, handler: _Handler) -> _Request | None:
         buf = handler.inbuf
@@ -763,34 +886,27 @@ class _IOShard:
         if request.method == "GET" and request.path == "/dashboard":
             handler._send(200, _DASHBOARD_BYTES, "text/html; charset=utf-8")
             return
-        if request.method not in ("GET", "POST"):
-            handler._send_json({"error": f"method {request.method}"}, code=400)
-            return
-        sid, action = server._route(request)
+        sid, route, deprecated = server._route(request)
+        handler.deprecated = deprecated
+        action = route.action
         if action == "stats":
-            if request.method != "GET":
-                raise WebServerError(f"no route {request.path}")
             handler._send_json(server.stats())
             return
-        if action == "sessions":
-            if request.method == "POST":
-                self._create_session(handler, request)
-            else:
-                handler._send_json(server.manager.sessions())
+        if action == "sessions.list":
+            handler._send_json(server.manager.sessions())
+            return
+        if action == "sessions.create":
+            self._create_session(handler, request)
             return
         if action == "metrics":
-            if request.method != "GET":
-                raise WebServerError(f"no route {request.path}")
             self._handle_metrics(handler)
             return
         if action == "metrics.history":
-            if request.method != "GET":
-                raise WebServerError(f"no route {request.path}")
             self._handle_metrics_history(handler, request)
             return
         if action == "replay":
-            if request.method != "POST":
-                raise WebServerError(f"no route {request.path}")
+            # ``sid`` names the journaled *source* session — it need not
+            # resolve to a live session, so no shard migration either.
             assert sid is not None
             self._handle_replay(handler, request, sid)
             return
@@ -802,10 +918,7 @@ class _IOShard:
             # every future poll parks where the publish path wakes.
             self._migrate(handler, request, owner)
             return
-        if request.method == "GET":
-            self._dispatch_get(handler, request, sid, action)
-        else:
-            self._dispatch_post(handler, request, sid, action)
+        self._dispatch_session(handler, request, sid, action)
 
     def _migrate(self, handler: _Handler, request: _Request,
                  target: "_IOShard") -> None:
@@ -827,8 +940,8 @@ class _IOShard:
         target._incoming.append((handler, request, True))
         target._wake()
 
-    def _dispatch_get(self, handler: _Handler, request: _Request,
-                      sid: str, action: str) -> None:
+    def _dispatch_session(self, handler: _Handler, request: _Request,
+                          sid: str, action: str) -> None:
         server = self.server
         store = server.manager.events(sid)
         if action == "state":
@@ -873,28 +986,94 @@ class _IOShard:
                 self._offload(handler, lambda: (
                     200, store.image_png(version, tier), "image/png",
                 ))
-        else:
-            raise WebServerError(f"no route {request.path}")
-
-    def _dispatch_post(self, handler: _Handler, request: _Request,
-                       sid: str, action: str) -> None:
-        server = self.server
-        body = request.json_body()
-        session = server.manager.get(sid)
-        if action == "steer":
+        elif action == "window.get":
+            self._handle_window_get(handler, request, sid, store)
+        elif action == "window.set":
+            self._handle_window_set(handler, request, sid, store)
+        elif action == "brick":
+            self._handle_brick(handler, request, store)
+        elif action == "steer":
+            body = request.json_body()
+            session = server.manager.get(sid)
             with server.manager.locked(sid):
                 session.steer(body)
             handler._send_json({"ok": True, "session": sid, "staged": body})
         elif action == "view":
+            body = request.json_body()
+            session = server.manager.get(sid)
             with server.manager.locked(sid):
                 server._apply_view_ops(session, body)
             handler._send_json({"ok": True, "session": sid})
         elif action == "stop":
+            session = server.manager.get(sid)
             with server.manager.locked(sid):
                 session.request_shutdown()
             handler._send_json({"ok": True, "session": sid})
-        else:
+        else:  # pragma: no cover - route table and dispatch agree by construction
             raise WebServerError(f"no route {request.path}")
+
+    # -- sliding-window routes -------------------------------------------------------
+
+    @staticmethod
+    def _window_source_or_404(store):
+        source = store.window_source()
+        if source is None:
+            raise _HttpError(404, "not_found",
+                             "session has no windowed domain source")
+        return source
+
+    def _handle_window_set(self, handler: _Handler, request: _Request,
+                           sid: str, store) -> None:
+        source = self._window_source_or_404(store)
+        body = request.json_body()
+        cursor = WindowCursor.from_props(body)
+        wid = str(body.get("wid") or "default")
+        metas = source.set_cursor(wid, cursor)
+        cursor = source.cursor(wid)  # LOD clamped by the source
+        handler.window_wid = wid
+        handler.window_source = source
+        handler.lod_bias = 0
+        handler.window = cursor.key()
+        handler._send_json({
+            "ok": True,
+            "session": sid,
+            "wid": wid,
+            "window": cursor.to_props(),
+            "bricks": metas,
+            "version": store.seq,
+        })
+
+    def _handle_window_get(self, handler: _Handler, request: _Request,
+                           sid: str, store) -> None:
+        source = self._window_source_or_404(store)
+        wid = request.query.get("window", ["default"])[0]
+        cursor = source.cursor(wid)
+        if cursor is None:
+            raise _HttpError(404, "not_found", f"no window {wid!r}")
+        handler._send_json({
+            "session": sid,
+            "wid": wid,
+            "window": cursor.to_props(),
+            "max_lod": source.octree.max_lod,
+            "stats": source.stats(),
+        })
+
+    def _handle_brick(self, handler: _Handler, request: _Request,
+                      store) -> None:
+        """Brick payload fetch: binary, encode-once, worker-pool encoded."""
+        source = self._window_source_or_404(store)
+        server = self.server
+        lod = server._query_num(request, "lod", "0")
+        index = server._query_num(request, "id", "0")
+
+        def job() -> tuple[int, bytes, str]:
+            try:
+                payload = source.payload(lod, index)
+            except ConfigurationError as exc:
+                return 404, _error_body("not_found", str(exc)), "application/json"
+            return 200, payload, "application/octet-stream"
+
+        self._offload(handler, job)
 
     def _offload(self, handler: _Handler, fn) -> None:
         """Run ``fn() -> (code, body, ctype)`` on the shared worker pool.
@@ -912,14 +1091,18 @@ class _IOShard:
         def job() -> None:
             try:
                 code, body, ctype = fn()
+            except _HttpError as exc:
+                code, body, ctype = (
+                    exc.status, _error_body(exc.code, exc.message),
+                    "application/json",
+                )
             except ReproError as exc:
                 code, body, ctype = (
-                    400, json.dumps({"error": str(exc)}).encode("utf-8"),
-                    "application/json",
+                    400, _error_body("bad_request", str(exc)), "application/json",
                 )
             except Exception as exc:  # report, never kill the worker
                 code, body, ctype = (
-                    500, json.dumps({"error": f"internal: {exc}"}).encode("utf-8"),
+                    500, _error_body("internal", f"internal: {exc}"),
                     "application/json",
                 )
             self._completions.append((handler, code, body, ctype))
@@ -1069,31 +1252,32 @@ class _IOShard:
         timeout = min(server._query_num(request, "timeout", "20", float),
                       _MAX_POLL_TIMEOUT)
         server._apply_min_quality(handler, request)
+        wkey = server._apply_window(handler, request, store)
         server._hook_store(sid, store)
         if store.seq > since or timeout <= 0:
             self.polls_served += 1
             frame, head = store.framed_delta_with_head(since, FRAME_JSON,
-                                                       handler.tier)
+                                                       handler.tier, wkey)
             if handler.tier:
                 self.tier_bytes_saved[handler.tier] += store.frame_saved(
-                    since, head, FRAME_JSON, handler.tier)
+                    since, head, FRAME_JSON, handler.tier, wkey)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
             return
         # Park: register first, then re-check, so a publish racing this
         # request is either seen by the re-check or pops the waiter.
         waiter = self.scheduler.register(
-            sid, since, time.monotonic() + timeout, handler
+            sid, since, time.monotonic() + timeout, handler, window=wkey
         )
         handler.waiter = waiter
         if store.seq > since and self.scheduler.cancel(waiter):
             handler.waiter = None
             self.polls_served += 1
             frame, head = store.framed_delta_with_head(since, FRAME_JSON,
-                                                       handler.tier)
+                                                       handler.tier, wkey)
             if handler.tier:
                 self.tier_bytes_saved[handler.tier] += store.frame_saved(
-                    since, head, FRAME_JSON, handler.tier)
+                    since, head, FRAME_JSON, handler.tier, wkey)
             self._count_tx("longpoll", len(frame))
             handler._send(200, frame)
         # else: the waiter is parked (or already in the ready queue); the
@@ -1111,15 +1295,16 @@ class _IOShard:
             # this is the O(1 encode + N writes) wake path.
             frame, head = store.framed_delta_with_head(waiter.since,
                                                        FRAME_JSON,
-                                                       handler.tier)
+                                                       handler.tier,
+                                                       waiter.window)
         except ReproError as exc:  # session evicted while parked
-            handler._send_json({"error": str(exc)}, code=404)
+            handler._send_error(404, "not_found", str(exc))
             self._process_input(handler)
             return
         self.polls_served += 1
         if handler.tier:
             self.tier_bytes_saved[handler.tier] += store.frame_saved(
-                waiter.since, head, FRAME_JSON, handler.tier)
+                waiter.since, head, FRAME_JSON, handler.tier, waiter.window)
         if waiter.woken_at:
             self._note_wake(time.monotonic() - waiter.woken_at)
         self._count_tx("longpoll", len(frame))
@@ -1135,7 +1320,7 @@ class _IOShard:
         encode per tier group plus N queue-appends and N vectored writes.
         """
         while self._ready:  # publishers may append concurrently; re-check
-            groups: dict[tuple[str, int, int], list[Waiter]] = {}
+            groups: dict[tuple, list[Waiter]] = {}
             while True:
                 try:
                     waiter = self._ready.popleft()
@@ -1143,28 +1328,32 @@ class _IOShard:
                     break
                 handler = waiter.handle
                 tier = handler.tier if handler is not None else 0
-                groups.setdefault((waiter.key, waiter.since, tier),
-                                  []).append(waiter)
-            for (sid, since, tier), herd in groups.items():
+                deprecated = handler.deprecated if handler is not None else False
+                groups.setdefault(
+                    (waiter.key, waiter.since, tier, waiter.window, deprecated),
+                    []).append(waiter)
+            for (sid, since, tier, window, deprecated), herd in groups.items():
                 try:
-                    self._respond_herd(sid, since, tier, herd)
+                    self._respond_herd(sid, since, tier, window, deprecated,
+                                       herd)
                 except Exception:  # one bad herd must not kill the IO loop
                     for waiter in herd:
                         if waiter.handle is not None:
                             self._close(waiter.handle)
 
     def _respond_herd(self, sid: str, since: int, tier: int,
+                      window: tuple | None, deprecated: bool,
                       herd: list[Waiter]) -> None:
         server = self.server
         try:
             store = server.manager.events(sid)
             frame, head = store.framed_delta_with_head(since, FRAME_JSON,
-                                                       tier)
+                                                       tier, window)
         except ReproError:  # session evicted while parked
             for waiter in herd:
                 self._respond_waiter(waiter)
             return
-        saved = (store.frame_saved(since, head, FRAME_JSON, tier)
+        saved = (store.frame_saved(since, head, FRAME_JSON, tier, window)
                  if tier else 0)
         now = time.monotonic()
         shared: bytes | None = None
@@ -1184,7 +1373,8 @@ class _IOShard:
                 # single immutable buffer every connection references.
                 if shared is None:
                     shared = server._render_head(
-                        200, "application/json", len(frame), True
+                        200, "application/json", len(frame), True,
+                        deprecated=deprecated,
                     ) + frame
                 self._enqueue_and_flush(handler, (shared,))
             else:
@@ -1216,9 +1406,9 @@ class _IOShard:
         if not request.http11:
             # A client error, not a missing route: answer 400 inline
             # (the generic GET error path would call this a 404).
-            handler._send_json(
-                {"error": "stream requires HTTP/1.1 (chunked transfer)"},
-                code=400,
+            handler._send_error(
+                400, "bad_request",
+                "stream requires HTTP/1.1 (chunked transfer)",
             )
             return
         since = server._query_num(request, "since", "-1")
@@ -1228,17 +1418,19 @@ class _IOShard:
             last_id = request.headers.get("last-event-id", "")
             since = int(last_id) if last_id.isdigit() else 0
         server._apply_min_quality(handler, request)
+        wkey = server._apply_window(handler, request, store)
         server._hook_store(sid, store)
         handler.mode = "sse"
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: text/event-stream\r\n"
             "Cache-Control: no-store\r\nServer: RICSA/2.0\r\n"
-            "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+            + ("Deprecation: true\r\n" if handler.deprecated else "")
+            + "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
         ).encode("latin-1")
         sub = self.scheduler.subscribe(sid, since, handler,
                                        transport="sse", framing=FRAME_SSE,
-                                       tier=handler.tier)
+                                       tier=handler.tier, window=wkey)
         handler.subscriber = sub
         self._enqueue_and_flush(handler, (head, sse_comment_chunk(b"ok")))
         if not handler.closed and store.seq > since:
@@ -1251,15 +1443,15 @@ class _IOShard:
         # Handshake violations are client errors: answer 400 inline (the
         # generic GET error path would call them 404s).
         if request.headers.get("upgrade", "").lower() != "websocket":
-            handler._send_json(
-                {"error": "ws route requires an Upgrade: websocket handshake"},
-                code=400,
+            handler._send_error(
+                400, "bad_request",
+                "ws route requires an Upgrade: websocket handshake",
             )
             return
         key = request.headers.get("sec-websocket-key", "")
         if not key:
-            handler._send_json(
-                {"error": "ws handshake missing Sec-WebSocket-Key"}, code=400
+            handler._send_error(
+                400, "bad_request", "ws handshake missing Sec-WebSocket-Key"
             )
             return
         images = request.query.get("images", [""])[0]
@@ -1270,23 +1462,25 @@ class _IOShard:
         elif images in ("", "none"):
             framing = FRAME_WS  # meta only; images fetched over HTTP
         else:
-            handler._send_json(
-                {"error": f"unknown images mode {images!r}"}, code=400
+            handler._send_error(
+                400, "bad_request", f"unknown images mode {images!r}"
             )
             return
         since = server._query_num(request, "since", "0")
         server._apply_min_quality(handler, request)
+        wkey = server._apply_window(handler, request, store)
         server._hook_store(sid, store)
         head = (
             "HTTP/1.1 101 Switching Protocols\r\n"
             "Upgrade: websocket\r\nConnection: Upgrade\r\n"
             f"Sec-WebSocket-Accept: {ws_accept_key(key)}\r\n"
-            "Server: RICSA/2.0\r\n\r\n"
+            + ("Deprecation: true\r\n" if handler.deprecated else "")
+            + "Server: RICSA/2.0\r\n\r\n"
         ).encode("latin-1")
         handler.mode = "ws"
         sub = self.scheduler.subscribe(sid, since, handler,
                                        transport="ws", framing=framing,
-                                       tier=handler.tier)
+                                       tier=handler.tier, window=wkey)
         handler.subscriber = sub
         self._enqueue_and_flush(handler, (head,))
         if not handler.closed and store.seq > since:
@@ -1359,17 +1553,23 @@ class _IOShard:
                 stores[sub.key] = store
         if store.seq <= sub.since:
             return  # duplicate wake: an earlier delivery already covered it
-        group = (sub.key, sub.since, sub.framing, sub.tier)
+        if handler.window_source is not None and handler.window_wid is not None:
+            # Re-resolve the geometry each push: cursor moves and LOD
+            # demotions land between publishes, and subscribers sharing
+            # identical geometry must land in the same frame group.
+            sub.window = handler.window_source.window_key(
+                handler.window_wid, handler.lod_bias)
+        group = (sub.key, sub.since, sub.framing, sub.tier, sub.window)
         framed = frames.get(group) if frames is not None else None
         if framed is None:
             framed = store.framed_delta_with_head(sub.since, sub.framing,
-                                                  sub.tier)
+                                                  sub.tier, sub.window)
             if frames is not None:
                 frames[group] = framed
         frame, head = framed
         if sub.tier:
             self.tier_bytes_saved[sub.tier] += store.frame_saved(
-                sub.since, head, sub.framing, sub.tier)
+                sub.since, head, sub.framing, sub.tier, sub.window)
         sub.since = head  # advance to exactly what was framed
         self._count_tx(sub.transport, len(frame))
         self._enqueue_and_flush(handler, (frame,))
@@ -1438,6 +1638,42 @@ class _IOShard:
         if handler.subscriber is not None:
             handler.subscriber.tier = tier
 
+    # -- sliding-window LOD ladder (degrade window clients by coarsening) -----------
+
+    def _set_lod_bias(self, handler: _Handler, bias: int) -> bool:
+        """Set a windowed client's extra-coarsening bias; True if changed."""
+        source = handler.window_source
+        if source is None or handler.window_wid is None:
+            return False
+        bias = max(0, int(bias))
+        if bias == handler.lod_bias:
+            return False
+        if bias > handler.lod_bias:
+            self.lod_demotions += 1
+        else:
+            self.lod_promotions += 1
+        handler.lod_bias = bias
+        wkey = source.window_key(handler.window_wid, bias)
+        handler.window = wkey
+        if handler.subscriber is not None:
+            handler.subscriber.window = wkey
+        return True
+
+    def _shift_lod(self, handler: _Handler, delta: int = 0,
+                   to_max: bool = False) -> bool:
+        """Coarsen (or refine) a windowed client by ``delta`` LOD levels;
+        ``to_max`` jumps straight to the octree's coarsest level."""
+        source = handler.window_source
+        if source is None or handler.window_wid is None:
+            return False
+        cursor = source.cursor(handler.window_wid)
+        if cursor is None:
+            return False
+        octree = source.octree
+        max_bias = octree.max_lod - octree.clamp_lod(cursor.lod)
+        bias = max_bias if to_max else handler.lod_bias + delta
+        return self._set_lod_bias(handler, min(max(bias, 0), max_bias))
+
     def _maybe_degrade(self, handler: _Handler) -> None:
         """Inline degrade-before-disconnect, checked at every enqueue.
 
@@ -1449,12 +1685,22 @@ class _IOShard:
         behind that intermediate frames are pure liability.
         """
         server = self.server
+        heavy = handler.out_bytes > server.write_budget // 2
+        stale = (handler.estimator.backlog_age(time.monotonic())
+                 > server.staleness_budget)
+        if handler.window_wid is not None:
+            # Windowed clients shed bytes by coarsening LOD first (an
+            # 8x/level lever on brick payloads); image tiers are the
+            # fallback once the LOD ladder saturates.
+            if heavy and self._shift_lod(handler, +1):
+                return
+            if stale and self._shift_lod(handler, to_max=True):
+                return
         if handler.tier >= handler.max_tier:
             return
-        if handler.out_bytes > server.write_budget // 2:
+        if heavy:
             self._set_tier(handler, handler.tier + 1)
-        elif (handler.estimator.backlog_age(time.monotonic())
-              > server.staleness_budget):
+        elif stale:
             self._set_tier(handler, handler.max_tier)
 
     def _retier(self) -> None:
@@ -1474,11 +1720,30 @@ class _IOShard:
             if est is None or handler.closed:
                 continue
             if est.backlog_age(now) > self.server.staleness_budget:
-                self._set_tier(handler, handler.max_tier)
+                if not self._shift_lod(handler, to_max=True):
+                    self._set_tier(handler, handler.max_tier)
                 continue
+            if handler.window_wid is not None:
+                self._relod(handler, controller, est.estimate())
             tier = controller.decide(est.estimate(), handler.tier,
                                      handler.max_tier)
             self._set_tier(handler, tier)
+
+    def _relod(self, handler: _Handler, controller, estimate) -> None:
+        """DP pass over the window LOD ladder (mirrors tier decide)."""
+        source = handler.window_source
+        if source is None:
+            return
+        cursor = source.cursor(handler.window_wid)
+        if cursor is None:
+            return
+        octree = source.octree
+        requested = octree.clamp_lod(cursor.lod)
+        current = octree.clamp_lod(requested + handler.lod_bias)
+        wbytes = source.window_bytes((cursor.lo, cursor.hi, requested))
+        lod = controller.decide_lod(estimate, current, requested,
+                                    octree.max_lod, wbytes)
+        self._set_lod_bias(handler, lod - requested)
 
     # -- paced replays (journal -> live session, 0 threads) -------------------------
 
@@ -1735,14 +2000,20 @@ class AjaxWebServer:
         )
 
     def _render_head(self, code: int, ctype: str, length: int,
-                     keep_alive: bool) -> bytes:
-        """The single home of the HTTP response-head format."""
+                     keep_alive: bool, deprecated: bool = False) -> bytes:
+        """The single home of the HTTP response-head format.
+
+        ``deprecated`` marks responses served off the unversioned
+        ``/api/...`` aliases with a ``Deprecation`` header (clients
+        should move to ``/api/v1/...``).
+        """
         reason = _STATUS_TEXT.get(code, "OK")
         suffix = self._keepalive_suffix if keep_alive else self._close_suffix
+        mark = "Deprecation: true\r\n" if deprecated else ""
         return (
             f"HTTP/1.1 {code} {reason}\r\n"
             f"Content-Type: {ctype}\r\n"
-            f"Content-Length: {length}\r\n" + suffix
+            f"Content-Length: {length}\r\n" + mark + suffix
         ).encode("latin-1")
 
     def io_thread_count(self) -> int:
@@ -1831,6 +2102,8 @@ class AjaxWebServer:
             "tiers": tiers,
             "tier_promotions": sum(s["tier_promotions"] for s in shard_stats),
             "tier_demotions": sum(s["tier_demotions"] for s in shard_stats),
+            "lod_promotions": sum(s["lod_promotions"] for s in shard_stats),
+            "lod_demotions": sum(s["lod_demotions"] for s in shard_stats),
             "tier_bytes_saved": tier_bytes_saved,
             "bytes_saved": sum(tier_bytes_saved),
             "wake_ewma_ms": wake_ewma_ms,
@@ -1935,40 +2208,50 @@ class AjaxWebServer:
 
     # -- routing helpers ---------------------------------------------------------------
 
-    _SESSION_ACTIONS = {"state", "poll", "stream", "ws", "image", "image.png",
-                        "steer", "view", "stop"}
+    #: Final path segments a legacy *unscoped* ``/api/<action>`` may name —
+    #: resolved against the most recent session (pre-multi-session wire
+    #: compatibility).  Everything else must address a session by id.
+    _UNSCOPED_ACTIONS = {"state", "poll", "stream", "ws", "image", "image.png",
+                         "window", "brick", "steer", "view", "stop"}
 
     #: Snapshots past this many components are serialized off the IO loop.
     SNAPSHOT_OFFLOAD_COMPONENTS = 32
 
-    def _route(self, request: _Request) -> tuple[str | None, str]:
-        """Split ``/api/<session>/<action>`` (and legacy unscoped routes)."""
+    def _route(self, request: _Request) -> tuple[str | None, _Route, bool]:
+        """Match the request against :data:`API_ROUTES`.
+
+        Returns ``(sid, route, deprecated)``: ``sid`` is the bound
+        ``{sid}`` wildcard (None for sessionless routes) and
+        ``deprecated`` is True when the request used the unversioned
+        ``/api/...`` alias rather than the canonical ``/api/v1/...``
+        prefix.  Raises :class:`_HttpError` 404 for unknown paths and
+        405 when the path exists under another method.
+        """
         segments = [s for s in request.path.split("/") if s]
         if not segments or segments[0] != "api":
-            raise WebServerError(f"no route {request.path}")
-        if len(segments) == 2:
-            if segments[1] == "sessions":
-                return None, "sessions"
-            if segments[1] == "stats":
-                return None, "stats"
-            if segments[1] == "metrics":
-                return None, "metrics"
-            if segments[1] in self._SESSION_ACTIONS:
-                # Legacy unscoped route: address the most recent session.
-                session = self.client.session
-                if session is None:
-                    raise WebServerError("no active steering session")
-                return session.session_id, segments[1]
-        elif len(segments) == 3:
-            if segments[1] == "metrics" and segments[2] == "history":
-                return None, "metrics.history"
-            if segments[1] == "replay":
-                # The path names the *source* session (possibly finished
-                # and evicted — it need not resolve to a live session).
-                return segments[2], "replay"
-            if segments[2] in self._SESSION_ACTIONS:
-                return segments[1], segments[2]
-        raise WebServerError(f"no route {request.path}")
+            raise _HttpError(404, "not_found", f"no route {request.path}")
+        if len(segments) > 1 and segments[1] == "v1":
+            rest, deprecated = segments[2:], False
+        else:
+            rest, deprecated = segments[1:], True
+        if (deprecated and len(rest) == 1
+                and rest[0] in self._UNSCOPED_ACTIONS):
+            # Legacy unscoped route: address the most recent session.
+            session = self.client.session
+            if session is None:
+                raise WebServerError("no active steering session")
+            rest = [session.session_id, rest[0]]
+        path_matched = False
+        for route in API_ROUTES:
+            ok, sid = route.match(request.method, rest)
+            if ok:
+                return sid, route, deprecated
+            matched, _ = route.match(None, rest)
+            path_matched = path_matched or matched
+        if path_matched:
+            raise _HttpError(405, "method_not_allowed",
+                             f"method {request.method} not allowed for {request.path}")
+        raise _HttpError(404, "not_found", f"no route {request.path}")
 
     @staticmethod
     def _query_num(request: _Request, name: str, default: str, cast=int):
@@ -2003,6 +2286,34 @@ class AjaxWebServer:
         )
         if handler.tier > handler.max_tier:
             handler.tier = handler.max_tier
+
+    @staticmethod
+    def _apply_window(handler: _Handler, request: _Request,
+                      store) -> tuple | None:
+        """Bind a delivery route to the ``window=<wid>`` sliding window.
+
+        Returns the window's canonical geometry key (the frame-cache
+        dimension), or None for a whole-domain client.  The wid must
+        have been registered via ``POST .../window`` first.
+        """
+        wid = request.query.get("window", [None])[0]
+        if wid is None:
+            handler.window_wid = None
+            handler.window_source = None
+            handler.window = None
+            return None
+        source = store.window_source()
+        if source is None:
+            raise _HttpError(404, "not_found",
+                             "session has no windowed domain source")
+        wkey = source.window_key(wid, handler.lod_bias)
+        if wkey is None:
+            raise WebServerError(
+                f"unknown window {wid!r}: register it via POST .../window first")
+        handler.window_wid = wid
+        handler.window_source = source
+        handler.window = wkey
+        return wkey
 
     # -- view operations -------------------------------------------------------------------
 

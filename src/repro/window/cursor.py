@@ -1,0 +1,138 @@
+"""Client-steerable window cursors and client-side brick reassembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WindowCursor", "WindowView"]
+
+
+@dataclass(frozen=True, slots=True)
+class WindowCursor:
+    """A region-of-interest box ``[lo, hi)`` in full-resolution sample
+    indices, viewed at level of detail ``lod``.
+
+    The cursor is pure geometry — it knows nothing about any particular
+    domain.  The server clamps it against its octree when intersecting;
+    a box fully outside the domain simply intersects zero bricks.
+    """
+
+    lo: tuple[int, int, int]
+    hi: tuple[int, int, int]
+    lod: int = 0
+
+    def __post_init__(self) -> None:
+        lo = tuple(int(v) for v in self.lo)
+        hi = tuple(int(v) for v in self.hi)
+        if len(lo) != 3 or len(hi) != 3:
+            raise ConfigurationError("window lo/hi must be 3-vectors")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "lod", max(int(self.lod), 0))
+
+    @property
+    def extent(self) -> tuple[int, int, int]:
+        return tuple(  # type: ignore[return-value]
+            max(h - l, 0) for l, h in zip(self.lo, self.hi)
+        )
+
+    def key(self) -> tuple:
+        """Canonical geometry key — equal for equal windows, whoever owns
+        them, so encode-once caching shares across clients."""
+        return (self.lo, self.hi, self.lod)
+
+    def shifted(self, delta) -> "WindowCursor":
+        """The cursor translated by ``delta`` samples (pan step)."""
+        d = tuple(int(v) for v in delta)
+        return WindowCursor(
+            tuple(l + d[a] for a, l in enumerate(self.lo)),  # type: ignore[arg-type]
+            tuple(h + d[a] for a, h in enumerate(self.hi)),  # type: ignore[arg-type]
+            self.lod,
+        )
+
+    def with_lod(self, lod: int) -> "WindowCursor":
+        if lod == self.lod:
+            return self
+        return WindowCursor(self.lo, self.hi, lod)
+
+    def to_props(self) -> dict:
+        return {"lo": list(self.lo), "hi": list(self.hi), "lod": self.lod}
+
+    @classmethod
+    def from_props(cls, props) -> "WindowCursor":
+        try:
+            return cls(tuple(props["lo"]), tuple(props["hi"]), props.get("lod", 0))
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"bad window spec: {exc}") from exc
+
+
+class WindowView:
+    """Reassembles decoded brick payloads into one window-sized array.
+
+    Payloads from :func:`repro.window.bricks.decode_brick_payload` land
+    on the global per-LOD sample lattice (indices that are multiples of
+    ``2**lod``); the view exposes the slice of that lattice covered by
+    its cursor, with ``NaN`` where no brick has arrived yet.
+    """
+
+    def __init__(self, cursor: WindowCursor) -> None:
+        self.cursor = cursor
+        step = 1 << cursor.lod
+        self._step = step
+        # First lattice sample at or after lo, per axis.
+        self._starts = tuple(-(-l // step) * step for l in cursor.lo)
+        dims = tuple(
+            max(0, (h - 1 - s) // step + 1) if h > s else 0
+            for s, h in zip(self._starts, cursor.hi)
+        )
+        self._data = np.full(dims, np.nan, dtype=np.float32)
+        self._versions: dict[int, int] = {}
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the window's lattice samples filled in so far."""
+        if self._data.size == 0:
+            return 1.0
+        return float(np.count_nonzero(~np.isnan(self._data))) / self._data.size
+
+    def apply(self, decoded: dict) -> bool:
+        """Insert one decoded brick payload; returns False if it does not
+        belong to this view (wrong LOD or stale version)."""
+        if decoded["step"] != self._step:
+            return False
+        index = decoded["brick"]
+        if self._versions.get(index, -1) >= decoded["version"]:
+            return False
+        src = decoded["values"]
+        placed = False
+        view_slices = []
+        src_slices = []
+        for a in range(3):
+            b0 = decoded["offset"][a]
+            # Brick payload sample g sits at global index b0 + j*step.
+            lo = max(self._starts[a], b0)
+            hi = min(self.cursor.hi[a], b0 + decoded["shape"][a])
+            if hi <= lo:
+                return False
+            j0 = -(-(lo - b0) // self._step)
+            g0 = b0 + j0 * self._step
+            if g0 >= hi:
+                return False
+            n = (hi - 1 - g0) // self._step + 1
+            src_slices.append(slice(j0, j0 + n))
+            v0 = (g0 - self._starts[a]) // self._step
+            view_slices.append(slice(v0, v0 + n))
+            placed = True
+        if not placed:
+            return False
+        self._data[tuple(view_slices)] = src[tuple(src_slices)]
+        self._versions[index] = decoded["version"]
+        return True

@@ -176,7 +176,10 @@ class TestHttpEndpoints:
         conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
         try:
             conn.request("POST", "/api/stats", body=b"{}")
-            assert conn.getresponse().status == 400
+            resp = conn.getresponse()
+            assert resp.status == 405
+            body = json.loads(resp.read().decode("utf-8"))
+            assert body["error"]["code"] == "method_not_allowed"
         finally:
             conn.close()
 
@@ -439,7 +442,7 @@ class TestOffLoopSessionCreation:
                 assert resp.status == 400
                 assert "already exists" in json.loads(
                     resp.read().decode("utf-8")
-                )["error"]
+                )["error"]["message"]
             finally:
                 conn.close()
 

@@ -1,0 +1,202 @@
+"""Versioned API surface: route-table parity between /api/v1 and the
+legacy /api aliases, plus the uniform error envelope.
+
+Every entry in ``API_ROUTES`` must have a request case here — the
+``test_route_table_is_fully_covered`` guard (run by the CI route-parity
+job) fails the build when a new v1 route lands without a parity test.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.costmodel.calibration import default_calibration
+from repro.data.grid import StructuredGrid
+from repro.data.octree import Octree
+from repro.net import build_paper_testbed
+from repro.steering import CentralManager, SteeringClient
+from repro.web import AjaxWebServer, SteeringWebClient
+from repro.web.server import API_ROUTES
+from repro.window import WindowedDomainSource
+
+#: action -> (body, must_succeed).  The path is derived from the route's
+#: own pattern, so a renamed route cannot silently drift from its test.
+#: ``must_succeed`` pins a 2xx expectation; the rest only assert parity
+#: (identical status + envelope under both prefixes).
+REQUEST_CASES = {
+    "sessions.list": (None, True),
+    # Malformed body: exercises the 400 envelope without spawning a session.
+    "sessions.create": (b"{not json", False),
+    "stats": (None, True),
+    "metrics": (None, False),           # 404 envelope when obs is off
+    "metrics.history": (None, False),
+    "replay": (b"{}", False),
+    "state": (None, True),
+    "poll": ("?since=0&timeout=0", True),
+    "stream": ("?since=0", True),
+    "ws": (None, False),                # no Upgrade header: 400 envelope
+    "image": (None, True),
+    "image.png": (None, True),
+    "window.get": ("?window=default", True),
+    "window.set": (json.dumps({"lo": [0, 0, 0], "hi": [17, 17, 17],
+                               "lod": 0, "wid": "default"}).encode(), True),
+    "brick": ("?lod=0&id=0", True),
+    "steer": (b"{}", True),
+    "view": (b"{}", True),
+    "stop": (b"{}", True),
+}
+
+
+@pytest.fixture(scope="module")
+def api_server():
+    topo, roles = build_paper_testbed(with_cross_traffic=False)
+    cm = CentralManager(topo, roles, calibration=default_calibration())
+    client = SteeringClient(cm)
+    server = AjaxWebServer(client, port=0)
+    server.start()
+    client.start(simulator="heat", technique="isosurface", n_cycles=400,
+                 background=True, sim_kwargs={"shape": (12, 12, 12)},
+                 push_every=2)
+    web = SteeringWebClient(server.url)
+    web.wait_for_component("image", polls=40, timeout=2.0)
+    sid = web.resolve_session()
+    # Attach a windowed domain and register the wid the cases address.
+    rng = np.random.default_rng(3)
+    tree = Octree(StructuredGrid(rng.random((33, 33, 33), dtype=np.float32)),
+                  leaf_cells=16)
+    store = server.manager.events(sid)
+    store.set_window_source(WindowedDomainSource(tree))
+    store.publish_window_step(0)
+    web.set_window((0, 0, 0), (17, 17, 17), lod=0, wid="default")
+    yield server, sid
+    try:
+        client.stop_all()
+    finally:
+        server.stop()
+
+
+def _path_for(route, sid: str, versioned: bool) -> str:
+    prefix = "/api/v1" if versioned else "/api"
+    segments = [sid if seg == "{sid}" else seg for seg in route.pattern]
+    path = prefix + "/" + "/".join(segments)
+    case = REQUEST_CASES[route.action][0]
+    if isinstance(case, str):  # query-string cases
+        path += case
+    return path
+
+
+def _body_for(route):
+    case = REQUEST_CASES[route.action][0]
+    return case if isinstance(case, bytes) else None
+
+
+def _request(server, method: str, path: str, body=None):
+    """One request; returns (status, headers, body bytes)."""
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10.0)
+    try:
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"}
+                     if body is not None else {})
+        resp = conn.getresponse()
+        if resp.getheader("Transfer-Encoding") == "chunked":
+            # SSE stream: the handshake head is the assertion target;
+            # don't block reading an endless body.
+            return resp.status, dict(resp.getheaders()), b""
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def test_route_table_is_fully_covered():
+    """CI route-parity guard: a v1 route without a test case fails here."""
+    assert {route.action for route in API_ROUTES} == set(REQUEST_CASES)
+
+
+def test_route_patterns_are_unambiguous():
+    """No two routes may claim the same (method, pattern)."""
+    seen = {(r.method, r.pattern) for r in API_ROUTES}
+    assert len(seen) == len(API_ROUTES)
+
+
+@pytest.mark.parametrize("route", API_ROUTES, ids=lambda r: r.action)
+def test_v1_and_legacy_alias_parity(api_server, route):
+    server, sid = api_server
+    body = _body_for(route)
+    st_v1, h_v1, b_v1 = _request(
+        server, route.method, _path_for(route, sid, True), body)
+    st_old, h_old, b_old = _request(
+        server, route.method, _path_for(route, sid, False), body)
+    assert st_v1 == st_old, (route.action, st_v1, st_old)
+    # Only the unversioned alias is marked deprecated.
+    assert "Deprecation" not in h_v1, route.action
+    assert h_old.get("Deprecation") == "true", route.action
+    if REQUEST_CASES[route.action][1]:
+        assert 200 <= st_v1 < 300, (route.action, st_v1, b_v1)
+    if st_v1 >= 400:
+        for blob in (b_v1, b_old):
+            envelope = json.loads(blob)["error"]
+            assert set(envelope) == {"code", "message"}, route.action
+
+
+def test_unknown_route_is_enveloped_404(api_server):
+    server, _ = api_server
+    for path in ("/api/v1/flux-capacitor/bogus/deep", "/api/v1", "/not-api"):
+        status, _, body = _request(server, "GET", path)
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+
+def test_wrong_method_is_enveloped_405(api_server):
+    server, sid = api_server
+    for path in ("/api/v1/stats", f"/api/v1/{sid}/state", f"/api/{sid}/steer"):
+        method = "GET" if path.endswith("steer") else "POST"
+        status, _, body = _request(server, method, path, b"{}")
+        assert status == 405, path
+        assert json.loads(body)["error"]["code"] == "method_not_allowed"
+
+
+def test_ws_handshake_rejection_uses_envelope(api_server):
+    server, sid = api_server
+    status, _, body = _request(server, "GET", f"/api/v1/{sid}/ws")
+    assert status == 400
+    assert json.loads(body)["error"]["code"] == "bad_request"
+
+
+def test_sse_rejects_http10_with_envelope(api_server):
+    server, sid = api_server
+    with socket.create_connection(("127.0.0.1", server.port), timeout=10.0) as sock:
+        sock.sendall(f"GET /api/v1/{sid}/stream HTTP/1.0\r\n"
+                     "Host: x\r\n\r\n".encode("latin-1"))
+        raw = bytearray()
+        while b"\r\n\r\n" not in raw:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+        head, _, rest = bytes(raw).partition(b"\r\n\r\n")
+        assert b"400 Bad Request" in head.split(b"\r\n", 1)[0]
+        length = 0
+        for line in head.decode("latin-1").split("\r\n"):
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1])
+        body = bytearray(rest)
+        while len(body) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            body += chunk
+        assert json.loads(bytes(body))["error"]["code"] == "bad_request"
+
+
+def test_legacy_unscoped_routes_resolve_live_session(api_server):
+    server, sid = api_server
+    status, headers, body = _request(server, "GET", "/api/state")
+    assert status == 200
+    assert headers.get("Deprecation") == "true"
+    status, _, _ = _request(server, "GET", "/api/window?window=default")
+    assert status == 200
